@@ -1,0 +1,98 @@
+"""E10 (extension) -- log growth with and without garbage collection.
+
+Message-logging systems live or die by GC: without it, send logs,
+determinant logs and stable logs grow with every message, and restore
+reads grow with them.  This ablation runs a long workload with periodic
+checkpoints on and off and reports the retained state.
+"""
+
+import pytest
+
+from repro import build_system, crash_at
+
+from paper_setup import emit, once, paper_config
+
+
+def run(protocol, recovery, checkpoint_every, crashes=(), params=None):
+    config = paper_config(
+        f"e10-{protocol}-{checkpoint_every}",
+        protocol=protocol,
+        protocol_params=params or ({"f": 2} if protocol == "fbl" else {}),
+        recovery=recovery,
+        checkpoint_every=checkpoint_every,
+        crashes=list(crashes),
+        workload_params={"hops": 80, "fanout": 2},
+    )
+    system = build_system(config)
+    result = system.run()
+    assert result.consistent
+    return system, result
+
+
+@pytest.mark.benchmark(group="exp10")
+def test_exp10_volatile_log_growth(benchmark):
+    no_gc_system, _ = run("fbl", "nonblocking", checkpoint_every=0)
+    gc_system, _ = once(benchmark, lambda: run("fbl", "nonblocking", checkpoint_every=8))
+
+    def totals(system):
+        send = sum(len(n.protocol.send_log) for n in system.nodes)
+        dets = sum(len(n.protocol.det_log) for n in system.nodes)
+        return send, dets
+
+    send_no, dets_no = totals(no_gc_system)
+    send_gc, dets_gc = totals(gc_system)
+    emit(
+        "E10a retained volatile log entries after a long run (FBL f=2)",
+        ["configuration", "send-log entries", "determinants held"],
+        [
+            ["no periodic checkpoints", send_no, dets_no],
+            ["checkpoint every 8 deliveries + GC", send_gc, dets_gc],
+        ],
+    )
+    assert send_gc < send_no
+    assert dets_gc < dets_no
+
+
+@pytest.mark.benchmark(group="exp10")
+def test_exp10_stable_log_compaction(benchmark):
+    no_gc_system, _ = run("pessimistic", "local", checkpoint_every=0)
+    gc_system, _ = once(
+        benchmark, lambda: run("pessimistic", "local", checkpoint_every=8)
+    )
+    len_no = sum(
+        n.storage.log_len(f"msglog:{n.node_id}") for n in no_gc_system.nodes
+    )
+    len_gc = sum(
+        n.storage.log_len(f"msglog:{n.node_id}") for n in gc_system.nodes
+    )
+    emit(
+        "E10b pessimistic stable-log entries retained",
+        ["configuration", "stable log entries"],
+        [["no GC", len_no], ["checkpoint every 8 + compaction", len_gc]],
+    )
+    assert len_gc < len_no
+
+
+@pytest.mark.benchmark(group="exp10")
+def test_exp10_checkpoints_shorten_replay(benchmark):
+    _, without = run(
+        "fbl", "nonblocking", checkpoint_every=0,
+        crashes=[crash_at(node=3, time=0.25)],
+    )
+    _, with_gc = once(benchmark, lambda: run(
+        "fbl", "nonblocking", checkpoint_every=8,
+        crashes=[crash_at(node=3, time=0.25)],
+    ))
+    replay_no = without.episodes[0].replayed_deliveries
+    replay_gc = with_gc.episodes[0].replayed_deliveries
+    emit(
+        "E10c replay length with and without periodic checkpoints",
+        ["configuration", "deliveries replayed", "recovery (s)"],
+        [
+            ["checkpoint at start only", replay_no,
+             f"{without.recovery_durations()[0]:.2f}"],
+            ["checkpoint every 8", replay_gc,
+             f"{with_gc.recovery_durations()[0]:.2f}"],
+        ],
+    )
+    assert replay_gc <= replay_no

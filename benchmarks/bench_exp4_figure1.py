@@ -1,0 +1,93 @@
+"""E4 -- the Figure 1 execution, quantitatively.
+
+Section 2.1's example: p receives m, sends m' to q, which sends m'' to
+r, under FBL with f = 2.  The benchmark verifies the replication claims
+("the receipt order of m need not be propagated further than r") and
+reproduces both failure cases (p fails; p and q fail) with exact state
+recovery, under both recovery algorithms.
+"""
+
+import pytest
+
+from repro import build_system, crash_at
+
+from paper_setup import emit, once, paper_config
+
+from repro.procs.process import Send
+from repro.workloads.generators import Workload
+
+S, P, Q, R = 0, 1, 2, 3
+
+
+class Figure1Workload(Workload):
+    def initial_sends(self, node_id, n_nodes):
+        if node_id == S:
+            return [Send(dst=P, payload={"name": "m"}, body_bytes=64)]
+        return []
+
+    def on_deliver(self, node_id, n_nodes, rsn, sender, payload):
+        if node_id == P and payload.get("name") == "m":
+            return [Send(dst=Q, payload={"name": "m_prime"}, body_bytes=64)]
+        if node_id == Q and payload.get("name") == "m_prime":
+            return [Send(dst=R, payload={"name": "m_dprime"}, body_bytes=64)]
+        return []
+
+
+def build(crashes, recovery="nonblocking"):
+    config = paper_config(
+        f"e4-{recovery}", recovery=recovery, n=4, f=2, crashes=crashes
+    )
+    system = build_system(config)
+    for node in system.nodes:
+        node.app.workload = Figure1Workload()
+    return system
+
+
+@pytest.mark.benchmark(group="exp4")
+def test_exp4_figure1_replication_and_recovery(benchmark):
+    # replication structure, failure-free
+    clean = build([])
+    clean.run()
+    det_m = clean.nodes[P].protocol.det_log.for_receiver(P)[0]
+    holders = [i for i in range(4) if det_m in clean.nodes[i].protocol.det_log]
+
+    def double_failure():
+        system = build([crash_at(P, 0.01), crash_at(Q, 0.01)])
+        result = system.run()
+        assert result.consistent
+        return system, result
+
+    system, result = once(benchmark, double_failure)
+
+    rows = [
+        ["hosts storing #m after the chain", ", ".join(map(str, holders))],
+        ["#m stable at f+1 = 3 hosts", str(len(holders) >= 3)],
+        ["p's history after p+q fail and recover",
+         str(system.nodes[P].app.delivery_history)],
+        ["q's history after p+q fail and recover",
+         str(system.nodes[Q].app.delivery_history)],
+        ["digests equal failure-free run",
+         str(all(system.nodes[i].app.digest == clean.nodes[i].app.digest
+                 for i in (P, Q, R)))],
+    ]
+    emit("E4 Figure-1 scenario under FBL(f=2)", ["check", "value"], rows)
+
+    assert set(holders) >= {P, Q, R}
+    assert system.nodes[P].app.delivery_history == [(S, 0)]
+    assert system.nodes[Q].app.delivery_history == [(P, 0)]
+    for i in (P, Q, R):
+        assert system.nodes[i].app.digest == clean.nodes[i].app.digest
+
+
+@pytest.mark.benchmark(group="exp4")
+def test_exp4_figure1_blocking_baseline(benchmark):
+    def run():
+        system = build([crash_at(P, 0.01), crash_at(Q, 0.01)], recovery="blocking")
+        result = system.run()
+        assert result.consistent
+        return result
+
+    result = once(benchmark, run)
+    assert len(result.recovery_durations()) == 2
+    # r and the unnamed sender blocked during the double recovery
+    assert result.blocked_time_by_node.get(R, 0.0) > 0

@@ -1,0 +1,88 @@
+"""E7 -- the protocol-family comparison of the paper's Section 6.
+
+Same workload, same crash, seven stacks: the two FBL recovery algorithms,
+the f = 1 and f = n instances, and the three classical alternatives.
+The shape to reproduce: the new-generation protocols (FBL family)
+recover in detection+restore time with no orphans and no failure-free
+storage stalls; pessimistic buys simple recovery with failure-free
+stalls; optimistic orphans live processes; coordinated checkpointing
+rolls the whole system back.
+"""
+
+import pytest
+
+from repro import build_system, crash_at
+
+from paper_setup import emit, once, paper_config
+
+VICTIM = 3
+
+STACKS = [
+    ("fbl(f=2)+nonblocking", "fbl", {"f": 2}, "nonblocking"),
+    ("fbl(f=2)+blocking", "fbl", {"f": 2}, "blocking"),
+    ("sender_based(f=1)", "sender_based", {}, "nonblocking"),
+    ("manetho(f=n)", "manetho", {}, "nonblocking"),
+    ("pessimistic", "pessimistic", {}, "local"),
+    ("optimistic", "optimistic", {}, "optimistic"),
+    ("coordinated", "coordinated", {"snapshot_every": 12}, "coordinated"),
+]
+
+
+def run(label, protocol, params, recovery):
+    config = paper_config(
+        f"e7-{label}", protocol=protocol, protocol_params=dict(params),
+        recovery=recovery, crashes=[crash_at(node=VICTIM, time=0.1)],
+    )
+    system = build_system(config)
+    result = system.run()
+    assert result.consistent, f"{label}: {result.oracle_violations[:2]}"
+    return system, result
+
+
+@pytest.mark.benchmark(group="exp7")
+def test_exp7_protocol_comparison(benchmark):
+    measurements = {}
+    for label, protocol, params, recovery in STACKS:
+        measurements[label] = run(label, protocol, params, recovery)
+    once(benchmark, lambda: run(*("timed",) + ("fbl", {"f": 2}, "nonblocking")))
+
+    rows = []
+    for label, (system, result) in measurements.items():
+        sync_stall = sum(
+            ops.get("sync_stall", 0.0) for ops in result.storage_ops.values()
+        )
+        rows.append([
+            label,
+            f"{max(result.recovery_durations()):.2f}",
+            f"{result.mean_blocked_time(exclude=[VICTIM]) * 1000:.0f}",
+            result.recovery_messages(),
+            f"{sync_stall:.2f}",
+            result.orphan_rollbacks,
+            system.metrics.rolled_back_deliveries,
+        ])
+    emit(
+        "E7 protocol families under one crash (n = 8)",
+        ["stack", "recovery (s)", "live blocked (ms)", "ctl msgs",
+         "sync stall (s)", "orphans", "lost deliveries"],
+        rows,
+    )
+
+    nb = measurements["fbl(f=2)+nonblocking"][1]
+    blk = measurements["fbl(f=2)+blocking"][1]
+    pes = measurements["pessimistic"][1]
+    opt = measurements["optimistic"][1]
+    coord_system, coord = measurements["coordinated"]
+
+    # the paper's qualitative landscape:
+    assert nb.total_blocked_time == 0.0
+    assert blk.mean_blocked_time(exclude=[VICTIM]) > 0.005
+    # pessimistic: heavy failure-free storage cost, trivial recovery traffic
+    assert sum(o.get("sync_stall", 0.0) for o in pes.storage_ops.values()) > 1.0
+    assert pes.recovery_messages() < blk.recovery_messages()
+    # optimistic orphans live processes; FBL never does
+    assert opt.orphan_rollbacks >= 1
+    assert nb.orphan_rollbacks == 0
+    # coordinated loses work at processes that never crashed
+    assert coord_system.metrics.rolled_back_deliveries > 0
+    # and stalls every live process through a state reload
+    assert coord.mean_blocked_time(exclude=[VICTIM]) > 0.1

@@ -1,0 +1,71 @@
+"""The paper's evaluation setting, shared by all benchmarks.
+
+Section 5: eight DEC 5000/200 workstations (25 MHz MIPS, 32 MB) on a
+155 Mb/s ATM network; process size about one Mbyte; failure detection by
+timeouts takes "several seconds"; restoring a process's state costs
+stable-storage time.  All benchmarks build from :func:`paper_config` and
+print their reproduced table via :func:`emit`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Optional
+
+from repro import SystemConfig
+from repro.analysis.report import format_table
+from repro.procs.failure import CrashPlan
+
+#: where benchmark tables are appended (also printed to stdout)
+REPORT_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results.txt")
+
+
+def paper_config(
+    name: str,
+    recovery: str = "nonblocking",
+    n: int = 8,
+    f: int = 2,
+    protocol: str = "fbl",
+    protocol_params: Optional[Dict[str, Any]] = None,
+    crashes: Optional[List[CrashPlan]] = None,
+    seed: int = 0,
+    hops: int = 40,
+    **overrides: Any,
+) -> SystemConfig:
+    """The evaluation's configuration with optional overrides."""
+    if protocol_params is None:
+        protocol_params = {"f": f} if protocol == "fbl" else {}
+    return SystemConfig(
+        name=name,
+        n=n,
+        seed=seed,
+        protocol=protocol,
+        protocol_params=protocol_params,
+        recovery=recovery,
+        workload=overrides.pop("workload", "uniform"),
+        workload_params=overrides.pop(
+            "workload_params", {"hops": hops, "fanout": 2}
+        ),
+        crashes=list(crashes or []),
+        detection_delay=overrides.pop("detection_delay", 3.0),
+        state_bytes=overrides.pop("state_bytes", 1_000_000),
+        **overrides,
+    )
+
+
+def emit(title: str, headers: List[str], rows: List[List[Any]]) -> str:
+    """Print a reproduced table and append it to the results file."""
+    table = format_table(headers, rows, title=title)
+    print("\n" + table)
+    with open(REPORT_PATH, "a", encoding="utf-8") as handle:
+        handle.write(table + "\n\n")
+    return table
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    A whole-system simulation is deterministic, so one round measures it
+    faithfully and keeps the harness fast.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

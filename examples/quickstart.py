@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: run one failure under the paper's new recovery algorithm.
+
+Builds the paper's setting -- eight processes, FBL with f = 2 on an
+ATM-class network with mid-90s stable storage -- crashes one process
+50 ms in, and prints what the paper's evaluation would report:
+recovery duration (dominated by failure detection and state restore),
+blocked time at the live processes (zero!), and the recovery-control
+message bill.
+
+Run:  python examples/quickstart.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import SystemConfig, crash_at, run_config
+from repro.analysis.report import format_run_summary
+
+
+def main() -> None:
+    config = SystemConfig(
+        name="quickstart",
+        n=8,                                # the paper's eight workstations
+        protocol="fbl",
+        protocol_params={"f": 2},           # tolerate two failures
+        recovery="nonblocking",             # the paper's new algorithm
+        workload="uniform",
+        workload_params={"hops": 40, "fanout": 2},
+        crashes=[crash_at(node=3, time=0.05)],
+        detection_delay=3.0,                # "several seconds of timeouts"
+        state_bytes=1_000_000,              # "about one Mbyte"
+    )
+
+    result = run_config(config)
+
+    print(format_run_summary(result, crashed=[3]))
+    episode = result.episodes[0]
+    print()
+    print("anatomy of the recovery:")
+    print(f"  failure detection : {episode.detection_duration:.3f} s")
+    print(f"  state restore     : {episode.restore_duration:.3f} s")
+    algorithm = episode.total_duration - episode.detection_duration - episode.restore_duration
+    print(f"  algorithm + replay: {algorithm * 1000:.1f} ms")
+    print()
+    print(
+        "the paper's claim in one line: the whole distributed part of\n"
+        "recovery costs milliseconds, while storage and detection cost\n"
+        "seconds -- and no live process was disturbed at all."
+    )
+
+    assert result.consistent, "oracle found an inconsistency!"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Result analysis and report formatting.
+
+* :mod:`repro.analysis.stats` -- summary statistics (mean, std,
+  percentiles, confidence half-widths) without external dependencies.
+* :mod:`repro.analysis.report` -- plain-text tables in the style the
+  benchmarks print, one per reproduced experiment.
+* :mod:`repro.analysis.model` -- closed-form cost predictions for both
+  recovery algorithms (message counts, blocked time, recovery
+  duration), validated against the simulator by the test suite -- the
+  "theoretical formulations" the paper's conclusion calls for.
+"""
+
+from repro.analysis.model import (
+    HardwareModel,
+    blocking_live_blocked_time,
+    blocking_live_blocked_time_concurrent,
+    blocking_recovery_messages,
+    concurrent_recovery_duration,
+    message_overhead_ratio,
+    nonblocking_live_blocked_time,
+    nonblocking_recovery_messages,
+    recovery_duration,
+)
+from repro.analysis.report import format_table, format_run_summary
+from repro.analysis.stats import Summary, summarize
+from repro.analysis.timeline import TimelineRenderer, render_timeline
+
+__all__ = [
+    "format_table",
+    "format_run_summary",
+    "Summary",
+    "summarize",
+    "HardwareModel",
+    "blocking_recovery_messages",
+    "nonblocking_recovery_messages",
+    "message_overhead_ratio",
+    "blocking_live_blocked_time",
+    "blocking_live_blocked_time_concurrent",
+    "nonblocking_live_blocked_time",
+    "recovery_duration",
+    "concurrent_recovery_duration",
+    "TimelineRenderer",
+    "render_timeline",
+]

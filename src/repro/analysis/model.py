@@ -1,0 +1,160 @@
+"""Analytic cost models for the two recovery algorithms.
+
+The paper closes: "It is hoped that theoretical formulations could be
+developed to precisely express the effects of these factors in the same
+way that message complexity became the yardstick."  This module is a
+small step in that direction: closed-form predictions for
+
+* the recovery-control **message count** of both algorithms (the
+  traditional yardstick),
+* the **blocked time** each imposes on live processes (the paper's
+  proposed yardstick), expressed in the hardware parameters
+  (detection delay, storage latency/bandwidth, state size, network
+  latency).
+
+The test suite validates each formula against the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class HardwareModel:
+    """The cost parameters the predictions are expressed in."""
+
+    n: int
+    detection_delay: float = 3.0
+    state_bytes: int = 1_000_000
+    storage_op_latency: float = 0.020
+    storage_bandwidth: float = 1_000_000.0
+    #: one-way latency of a small control message
+    message_latency: float = 350e-6
+
+    @property
+    def restore_time(self) -> float:
+        """Time to reload one process image from stable storage."""
+        return self.storage_op_latency + self.state_bytes / self.storage_bandwidth
+
+    def storage_write_time(self, size_bytes: int) -> float:
+        """Synchronous write latency for a payload of ``size_bytes``."""
+        return self.storage_op_latency + size_bytes / self.storage_bandwidth
+
+
+# ----------------------------------------------------------------------
+# message complexity (the traditional yardstick)
+# ----------------------------------------------------------------------
+def blocking_recovery_messages(n: int, recovering: int = 1) -> int:
+    """Control messages of the blocking baseline.
+
+    Per recovering process: one request to each of the n-1 peers, one
+    reply from each *live* peer, and one completion broadcast:
+    ``(n-1) + live + (n-1)``.  With r concurrent recoveries, each sees
+    ``n - r`` live peers.
+    """
+    if recovering < 1 or n < 2:
+        raise ValueError("need n >= 2 and recovering >= 1")
+    live = n - recovering
+    return recovering * (2 * (n - 1) + live)
+
+
+def nonblocking_recovery_messages(
+    n: int, recovering: int = 1, gather_restarts: int = 0
+) -> int:
+    """Control messages of the paper's non-blocking algorithm.
+
+    Per recovering process (the steady parts):
+
+    * ordinal round-trip with the sequencer ........................ 2
+    * join announcement to every peer .......................... n - 1
+    * completion broadcast to peers plus the sequencer ............. n
+
+    Leader-side, per completed gather round over R recovering and
+    L = n - R live processes:
+
+    * incarnation round over the *other* members of R ..... 2 (R - 1)
+    * depinfo round over L ..................................... 2 L
+    * distribution to the other members of R ................. R - 1
+    * leader-done to peers plus the sequencer ..................... n
+
+    A gather restart repeats the incarnation and depinfo rounds.  This
+    counts one leadership round serving all R members (the common case
+    when failures overlap); processes recovering in disjoint windows are
+    better modelled as separate calls.
+    """
+    if recovering < 1 or n < 2:
+        raise ValueError("need n >= 2 and recovering >= 1")
+    r = recovering
+    live = n - r
+    per_process = 2 + (n - 1) + n
+    gather = 2 * (r - 1) + 2 * live
+    leader = (gather_restarts + 1) * gather + (r - 1) + n
+    return r * per_process + leader
+
+
+def message_overhead_ratio(n: int) -> float:
+    """Non-blocking / blocking message ratio for a single failure."""
+    return nonblocking_recovery_messages(n) / blocking_recovery_messages(n)
+
+
+# ----------------------------------------------------------------------
+# blocked time (the paper's proposed yardstick)
+# ----------------------------------------------------------------------
+def blocking_live_blocked_time(
+    hw: HardwareModel, reply_bytes: int = 4096, replay_time: float = 0.001
+) -> float:
+    """Blocked time per live process, single failure, blocking baseline.
+
+    A live process blocks from the recovery request until the
+    completion broadcast: its own synchronous reply write, the slowest
+    peer's write (they proceed in parallel, so approximately one write
+    time), the replay at the recovering process, and a few message
+    flights.
+    """
+    return (
+        hw.storage_write_time(reply_bytes)
+        + replay_time
+        + 3 * hw.message_latency
+    )
+
+
+def blocking_live_blocked_time_concurrent(
+    hw: HardwareModel, reply_bytes: int = 4096, replay_time: float = 0.001
+) -> float:
+    """Blocked time per live process when a second failure hits during
+    recovery: the paper's E2.
+
+    Live processes stay blocked across the second failure's detection
+    and restore before the normal single-failure tail.
+    """
+    return (
+        hw.detection_delay
+        + hw.restore_time
+        + blocking_live_blocked_time(hw, reply_bytes, replay_time)
+    )
+
+
+def nonblocking_live_blocked_time(_: HardwareModel) -> float:
+    """Blocked time per live process under the new algorithm: zero,
+    by construction -- the algorithm's defining property."""
+    return 0.0
+
+
+def recovery_duration(
+    hw: HardwareModel, algorithm_time: float = 0.005
+) -> float:
+    """Crash-to-live duration of a single recovery, either algorithm.
+
+    detection + restore + (milliseconds of algorithm and replay); the
+    paper's central observation is that the last term is negligible.
+    """
+    return hw.detection_delay + hw.restore_time + algorithm_time
+
+
+def concurrent_recovery_duration(
+    hw: HardwareModel, algorithm_time: float = 0.005
+) -> float:
+    """Duration of the *first* recovery when a second failure interrupts
+    it (the leader must wait out the second detection + restore)."""
+    return 2 * (hw.detection_delay + hw.restore_time) + algorithm_time

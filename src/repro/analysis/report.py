@@ -1,0 +1,57 @@
+"""Plain-text report tables for the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+from repro.core.metrics import RunResult
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) < 0.001 or abs(value) >= 100_000:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_run_summary(result: RunResult, crashed: Optional[List[int]] = None) -> str:
+    """One-paragraph summary of a run, in the paper's vocabulary."""
+    crashed = crashed or []
+    lines = [f"run {result.config_name!r}: virtual time {result.end_time:.3f}s"]
+    lines.append(
+        f"  deliveries: {result.total_deliveries} across {len(result.deliveries)} processes"
+    )
+    durations = result.recovery_durations()
+    if durations:
+        pretty = ", ".join(f"{d:.3f}s" for d in durations)
+        lines.append(f"  recovery durations: {pretty}")
+    lines.append(
+        f"  live-process blocked time: mean "
+        f"{result.mean_blocked_time(exclude=crashed) * 1000:.1f} ms"
+    )
+    messages, volume = result.recovery_messages(), result.recovery_bytes()
+    lines.append(f"  recovery control traffic: {messages} messages, {volume} bytes")
+    lines.append(f"  consistent: {result.consistent}")
+    return "\n".join(lines)

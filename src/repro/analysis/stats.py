@@ -1,0 +1,63 @@
+"""Small summary-statistics helpers (dependency-free)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    p50: float
+    p95: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.6g} std={self.std:.3g} "
+            f"min={self.minimum:.6g} p50={self.p50:.6g} p95={self.p95:.6g} "
+            f"max={self.maximum:.6g}"
+        )
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile of pre-sorted values; q in [0, 1]."""
+    if not sorted_values:
+        raise ValueError("percentile of empty sample")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0, 1], got {q!r}")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    position = q * (len(sorted_values) - 1)
+    low = int(math.floor(position))
+    high = int(math.ceil(position))
+    if low == high:
+        return sorted_values[low]
+    weight = position - low
+    return sorted_values[low] * (1 - weight) + sorted_values[high] * weight
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Build a :class:`Summary` of the sample."""
+    data: List[float] = sorted(float(v) for v in values)
+    if not data:
+        raise ValueError("cannot summarize an empty sample")
+    n = len(data)
+    mean = sum(data) / n
+    variance = sum((v - mean) ** 2 for v in data) / n if n > 1 else 0.0
+    return Summary(
+        count=n,
+        mean=mean,
+        std=math.sqrt(variance),
+        minimum=data[0],
+        maximum=data[-1],
+        p50=percentile(data, 0.5),
+        p95=percentile(data, 0.95),
+    )

@@ -1,0 +1,130 @@
+"""ASCII timelines of a run.
+
+Renders per-node lanes from the execution trace, so a recovery scenario
+can be *seen*: when each process crashed, how long detection and restore
+took, when the gather phases ran, and -- the paper's point -- which live
+processes were stalled meanwhile.
+
+::
+
+    t=0.000                                                    t=8.100
+    n0 |=============================================================|
+    n3 |----X.........R~~~~g*=========================================|
+    n5 |--------------X.........R~~~~*================================|
+
+    legend: = live   # blocked   X crash   . down (undetected + detected)
+            R restore begins   ~ restoring   g gathering   * recovered
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.trace import TraceRecorder
+
+#: lane glyphs, in increasing precedence (later overwrites earlier)
+LIVE = "="
+BLOCKED = "#"
+DOWN = "."
+RESTORING = "~"
+RECOVERING = "g"
+CRASH = "X"
+RESTORE_MARK = "R"
+RECOVERED = "*"
+
+
+class TimelineRenderer:
+    """Builds per-node lanes from a :class:`TraceRecorder`."""
+
+    def __init__(self, trace: TraceRecorder, width: int = 72) -> None:
+        if width < 20:
+            raise ValueError(f"width must be >= 20, got {width!r}")
+        self.trace = trace
+        self.width = width
+
+    # ------------------------------------------------------------------
+    def _intervals(self, end_time: float) -> Dict[int, List[Tuple[float, float, str]]]:
+        """Per node: (start, end, glyph) state intervals plus point marks."""
+        nodes = sorted(
+            {e.node for e in self.trace.events if e.category == "node" and e.node is not None}
+        )
+        lanes: Dict[int, List[Tuple[float, float, str]]] = {n: [] for n in nodes}
+        state_since: Dict[int, Tuple[float, str]] = {n: (0.0, LIVE) for n in nodes}
+
+        def close(node: int, at: float, new_glyph: str) -> None:
+            since, glyph = state_since[node]
+            if at > since:
+                lanes[node].append((since, at, glyph))
+            state_since[node] = (at, new_glyph)
+
+        for event in self.trace.events:
+            if event.node not in lanes:
+                continue
+            node, t = event.node, event.time
+            if event.category == "node":
+                if event.action == "crash":
+                    close(node, t, DOWN)
+                elif event.action == "restart_begin":
+                    close(node, t, RESTORING)
+                elif event.action == "restored":
+                    close(node, t, RECOVERING)
+                elif event.action == "recovered":
+                    close(node, t, LIVE)
+                elif event.action == "block":
+                    close(node, t, BLOCKED)
+                elif event.action == "unblock":
+                    close(node, t, LIVE)
+        for node in nodes:
+            close(node, end_time, LIVE)
+        return lanes
+
+    def _marks(self) -> Dict[int, List[Tuple[float, str]]]:
+        marks: Dict[int, List[Tuple[float, str]]] = {}
+        for event in self.trace.events:
+            if event.category == "node" and event.node is not None:
+                glyph = {
+                    "crash": CRASH,
+                    "restart_begin": RESTORE_MARK,
+                    "recovered": RECOVERED,
+                }.get(event.action)
+                if glyph:
+                    marks.setdefault(event.node, []).append((event.time, glyph))
+        return marks
+
+    # ------------------------------------------------------------------
+    def render(self, end_time: Optional[float] = None) -> str:
+        """Render the timeline; ``end_time`` defaults to the last event."""
+        if not self.trace.events:
+            return "(empty trace)"
+        if end_time is None:
+            end_time = max(e.time for e in self.trace.events)
+        if end_time <= 0:
+            end_time = 1.0
+        scale = (self.width - 1) / end_time
+
+        def column(t: float) -> int:
+            return min(self.width - 1, max(0, int(t * scale)))
+
+        lanes = self._intervals(end_time)
+        marks = self._marks()
+        lines = [f"t=0.000{' ' * (self.width - 14)}t={end_time:.3f}"]
+        for node in sorted(lanes):
+            row = [LIVE] * self.width
+            for start, end, glyph in lanes[node]:
+                for col in range(column(start), column(end) + 1):
+                    row[col] = glyph
+            for t, glyph in marks.get(node, []):
+                row[column(t)] = glyph
+            lines.append(f"n{node:<2d} |{''.join(row)}|")
+        lines.append("")
+        lines.append(
+            f"legend: {LIVE} live  {BLOCKED} blocked  {CRASH} crash  "
+            f"{DOWN} down  {RESTORE_MARK}/{RESTORING} restoring  "
+            f"{RECOVERING} recovering  {RECOVERED} recovered"
+        )
+        return "\n".join(lines)
+
+
+def render_timeline(trace: TraceRecorder, width: int = 72) -> str:
+    """One-call helper: render the whole run."""
+    return TimelineRenderer(trace, width=width).render()

@@ -1,0 +1,84 @@
+"""Trace export and import (JSON lines).
+
+A run's trace is the audit record behind every reported number.  These
+helpers serialize a :class:`~repro.sim.trace.TraceRecorder` to JSONL so
+traces can be archived, diffed between runs, or analysed with external
+tooling, and load them back for the in-library query and timeline tools.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, Union
+
+from repro.sim.trace import TraceEvent, TraceRecorder
+
+
+def event_to_dict(event: TraceEvent) -> dict:
+    """Plain-dict form of one trace event."""
+    return {
+        "time": event.time,
+        "category": event.category,
+        "node": event.node,
+        "action": event.action,
+        "details": dict(event.details),
+    }
+
+
+def event_from_dict(data: dict) -> TraceEvent:
+    """Rebuild a trace event from its dict form."""
+    return TraceEvent(
+        time=float(data["time"]),
+        category=str(data["category"]),
+        node=data["node"],
+        action=str(data["action"]),
+        details=dict(data.get("details", {})),
+    )
+
+
+def dump_trace(trace: TraceRecorder, destination: Union[str, IO[str]]) -> int:
+    """Write the trace as JSON lines; returns the event count.
+
+    ``destination`` is a path or an open text file.
+    """
+    if isinstance(destination, str):
+        with open(destination, "w", encoding="utf-8") as handle:
+            return dump_trace(trace, handle)
+    count = 0
+    for event in trace.events:
+        destination.write(json.dumps(event_to_dict(event), default=str))
+        destination.write("\n")
+        count += 1
+    return count
+
+
+def load_trace(source: Union[str, IO[str], Iterable[str]]) -> TraceRecorder:
+    """Read a JSONL trace back into a :class:`TraceRecorder`.
+
+    Counters are rebuilt; subscribers obviously are not.
+    """
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            return load_trace(handle)
+    trace = TraceRecorder()
+    for line in source:
+        line = line.strip()
+        if not line:
+            continue
+        data = json.loads(line)
+        event = event_from_dict(data)
+        trace.record(
+            event.time, event.category, event.node, event.action, **event.details
+        )
+    return trace
+
+
+def diff_counters(a: TraceRecorder, b: TraceRecorder) -> dict:
+    """Counter deltas between two traces: ``{key: b - a}`` for keys that
+    differ.  Handy for comparing two runs of the same scenario."""
+    keys = set(a.counters) | set(b.counters)
+    return {
+        key: b.counters.get(key, 0) - a.counters.get(key, 0)
+        for key in sorted(keys)
+        if a.counters.get(key, 0) != b.counters.get(key, 0)
+    }

@@ -1,0 +1,307 @@
+"""``depinfo`` -- dependency-information stores.
+
+The paper (Section 3.2) deliberately leaves the representation of the
+receipt-order information abstract::
+
+    depinfo: This is an abstract presentation of the message receipt
+    order information that is maintained by the process.  It could take
+    the form of dependency vectors, a dependency matrix, or a dependency
+    graph.
+
+We implement all three behind one interface (:class:`DependencyStore`) so
+that both recovery algorithms are representation-agnostic, which is the
+property the paper claims for its algorithm ("It does not depend on the
+particular technique used to gather dependency information").
+
+All three representations store the same determinants; they differ in
+their index structure, their wire size, and the extra queries they
+support (the antecedence graph can answer transitive-antecedent queries,
+which the Manetho-style ``f = n`` instance uses).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.causality.determinant import Determinant
+
+
+class DependencyStore(ABC):
+    """Common interface over the three ``depinfo`` representations."""
+
+    #: registry name -> subclass, filled by ``register_depinfo``
+    KINDS: Dict[str, type] = {}
+
+    # -- mutation ------------------------------------------------------
+    @abstractmethod
+    def record(self, det: Determinant) -> bool:
+        """Add one determinant.  Returns True if it was new."""
+
+    def merge(self, dets: Iterable[Determinant]) -> int:
+        """Add many determinants; returns how many were new."""
+        return sum(1 for det in dets if self.record(det))
+
+    @abstractmethod
+    def clear(self) -> None:
+        """Drop everything (volatile state lost in a crash)."""
+
+    # -- queries -------------------------------------------------------
+    @abstractmethod
+    def determinants(self) -> List[Determinant]:
+        """All stored determinants in a deterministic order."""
+
+    @abstractmethod
+    def __contains__(self, det: Determinant) -> bool: ...
+
+    @abstractmethod
+    def for_receiver(self, receiver: int) -> Dict[int, Determinant]:
+        """``rsn -> determinant`` for one receiver's deliveries."""
+
+    def max_rsn(self, receiver: int) -> int:
+        """Highest known rsn for ``receiver`` (-1 if none)."""
+        orders = self.for_receiver(receiver)
+        return max(orders) if orders else -1
+
+    def __len__(self) -> int:
+        return len(self.determinants())
+
+    # -- wire format ---------------------------------------------------
+    def to_wire(self) -> List[Tuple[int, int, int, int]]:
+        """Serialize for a network payload."""
+        return [det.to_tuple() for det in self.determinants()]
+
+    def load_wire(self, data: Iterable[Tuple[int, int, int, int]]) -> int:
+        """Merge a serialized payload; returns count of new determinants."""
+        return self.merge(Determinant.from_tuple(item) for item in data)
+
+    @property
+    def wire_bytes(self) -> int:
+        """Approximate serialized size (32 bytes per determinant)."""
+        return 32 * len(self)
+
+
+def register_depinfo(name: str):
+    """Class decorator adding a representation to the registry."""
+
+    def decorator(cls: type) -> type:
+        DependencyStore.KINDS[name] = cls
+        cls.kind = name
+        return cls
+
+    return decorator
+
+
+def make_depinfo(kind: str) -> DependencyStore:
+    """Instantiate a representation by registry name.
+
+    ``kind`` is one of ``"vector"``, ``"matrix"``, ``"graph"``.
+    """
+    try:
+        cls = DependencyStore.KINDS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown depinfo kind {kind!r}; choose from {sorted(DependencyStore.KINDS)}"
+        ) from None
+    return cls()
+
+
+@register_depinfo("vector")
+class DependencyVector(DependencyStore):
+    """Flat map of delivery id to determinant, plus per-receiver max rsn.
+
+    The cheapest representation: O(1) insert and membership, and the
+    per-receiver "how far did this process get" vector that gives the
+    representation its name.
+    """
+
+    def __init__(self) -> None:
+        self._by_delivery: Dict[Tuple[int, int], Determinant] = {}
+        self._max_rsn: Dict[int, int] = {}
+
+    def record(self, det: Determinant) -> bool:
+        key = det.delivery_id
+        if key in self._by_delivery:
+            return False
+        self._by_delivery[key] = det
+        if det.rsn > self._max_rsn.get(det.receiver, -1):
+            self._max_rsn[det.receiver] = det.rsn
+        return True
+
+    def clear(self) -> None:
+        self._by_delivery.clear()
+        self._max_rsn.clear()
+
+    def determinants(self) -> List[Determinant]:
+        return sorted(self._by_delivery.values())
+
+    def __contains__(self, det: Determinant) -> bool:
+        return self._by_delivery.get(det.delivery_id) == det
+
+    def for_receiver(self, receiver: int) -> Dict[int, Determinant]:
+        return {
+            rsn: det
+            for (recv, rsn), det in self._by_delivery.items()
+            if recv == receiver
+        }
+
+    def max_rsn(self, receiver: int) -> int:
+        return self._max_rsn.get(receiver, -1)
+
+    def vector(self) -> Dict[int, int]:
+        """The classic dependency vector: receiver -> highest known rsn."""
+        return dict(self._max_rsn)
+
+    def __len__(self) -> int:
+        return len(self._by_delivery)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DependencyVector({len(self)} determinants)"
+
+
+@register_depinfo("matrix")
+class DependencyMatrix(DependencyStore):
+    """Determinants indexed ``[receiver][sender]``, as in Johnson/Zwaenepoel.
+
+    Supports the "what do I know about channel (s -> r)" query that
+    matrix-based protocols use, at the cost of a bigger index.
+    """
+
+    def __init__(self) -> None:
+        self._cells: Dict[int, Dict[int, Dict[int, Determinant]]] = {}
+        self._deliveries: Set[Tuple[int, int]] = set()
+
+    def record(self, det: Determinant) -> bool:
+        if det.delivery_id in self._deliveries:
+            return False
+        row = self._cells.setdefault(det.receiver, {})
+        cell = row.setdefault(det.sender, {})
+        # keyed by rsn (the delivery), not ssn: two contradictory
+        # determinants for one message must both be representable
+        cell[det.rsn] = det
+        self._deliveries.add(det.delivery_id)
+        return True
+
+    def clear(self) -> None:
+        self._cells.clear()
+        self._deliveries.clear()
+
+    def determinants(self) -> List[Determinant]:
+        result: List[Determinant] = []
+        for row in self._cells.values():
+            for cell in row.values():
+                result.extend(cell.values())
+        return sorted(result)
+
+    def __contains__(self, det: Determinant) -> bool:
+        cell = self._cells.get(det.receiver, {}).get(det.sender, {})
+        return cell.get(det.rsn) == det
+
+    def for_receiver(self, receiver: int) -> Dict[int, Determinant]:
+        result: Dict[int, Determinant] = {}
+        for cell in self._cells.get(receiver, {}).values():
+            for det in cell.values():
+                result[det.rsn] = det
+        return result
+
+    def channel(self, sender: int, receiver: int) -> List[Determinant]:
+        """Determinants of messages on one directed channel, by ssn."""
+        cell = self._cells.get(receiver, {}).get(sender, {})
+        return sorted(cell.values(), key=lambda det: det.ssn)
+
+    def __len__(self) -> int:
+        return len(self._deliveries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DependencyMatrix({len(self)} determinants)"
+
+
+@register_depinfo("graph")
+class AntecedenceGraph(DependencyStore):
+    """Manetho-style antecedence graph.
+
+    Nodes are delivery events ``(receiver, rsn)``; an edge runs from a
+    delivery to every later delivery at the same process (program order)
+    and from the delivery that *caused* a send to the delivery of the
+    sent message (message order), when both are known.  Supports the
+    transitive :meth:`antecedents` query used by the ``f = n`` instance.
+    """
+
+    def __init__(self) -> None:
+        self._dets: Dict[Tuple[int, int], Determinant] = {}
+        self._edges: Dict[Tuple[int, int], Set[Tuple[int, int]]] = {}
+
+    def record(self, det: Determinant) -> bool:
+        key = det.delivery_id
+        if key in self._dets:
+            return False
+        self._dets[key] = det
+        self._edges.setdefault(key, set())
+        # program-order edge from the receiver's previous known delivery
+        prev = (det.receiver, det.rsn - 1)
+        if prev in self._dets:
+            self._edges[prev].add(key)
+        nxt = (det.receiver, det.rsn + 1)
+        if nxt in self._dets:
+            self._edges[key].add(nxt)
+        return True
+
+    def add_send_edge(self, cause: Determinant, effect: Determinant) -> None:
+        """Record that ``cause``'s delivery causally precedes ``effect``'s.
+
+        Both determinants are recorded if new.
+        """
+        self.record(cause)
+        self.record(effect)
+        self._edges[cause.delivery_id].add(effect.delivery_id)
+
+    def clear(self) -> None:
+        self._dets.clear()
+        self._edges.clear()
+
+    def determinants(self) -> List[Determinant]:
+        return sorted(self._dets.values())
+
+    def __contains__(self, det: Determinant) -> bool:
+        return self._dets.get(det.delivery_id) == det
+
+    def for_receiver(self, receiver: int) -> Dict[int, Determinant]:
+        return {
+            rsn: det for (recv, rsn), det in self._dets.items() if recv == receiver
+        }
+
+    def antecedents(self, det: Determinant) -> List[Determinant]:
+        """All deliveries that transitively precede ``det`` in the graph."""
+        target = det.delivery_id
+        reverse: Dict[Tuple[int, int], Set[Tuple[int, int]]] = {}
+        for src, dsts in self._edges.items():
+            for dst in dsts:
+                reverse.setdefault(dst, set()).add(src)
+        seen: Set[Tuple[int, int]] = set()
+        stack = list(reverse.get(target, ()))
+        while stack:
+            key = stack.pop()
+            if key in seen:
+                continue
+            seen.add(key)
+            stack.extend(reverse.get(key, ()))
+        return sorted(self._dets[key] for key in seen if key in self._dets)
+
+    def descendants(self, det: Determinant) -> List[Determinant]:
+        """All deliveries that transitively follow ``det`` in the graph."""
+        seen: Set[Tuple[int, int]] = set()
+        stack = list(self._edges.get(det.delivery_id, ()))
+        while stack:
+            key = stack.pop()
+            if key in seen:
+                continue
+            seen.add(key)
+            stack.extend(self._edges.get(key, ()))
+        return sorted(self._dets[key] for key in seen if key in self._dets)
+
+    def __len__(self) -> int:
+        return len(self._dets)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        edges = sum(len(v) for v in self._edges.values())
+        return f"AntecedenceGraph({len(self)} deliveries, {edges} edges)"

@@ -1,0 +1,69 @@
+"""Message determinants.
+
+A *determinant* records everything needed to replay one message delivery
+deterministically: who sent it, the sender's sequence number, who received
+it, and the *receipt order* (rsn) the receiver assigned.  This is the
+``#m`` of Alvisi & Marzullo's message-logging theory and the unit of
+information the FBL protocols replicate at ``f + 1`` hosts.
+
+The paper's recovery algorithm gathers exactly these records (as
+``depinfo``) from live processes so that recovering processes can replay
+their pre-crash deliveries in the original order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Determinant:
+    """The receipt-order record of a single message delivery.
+
+    Attributes
+    ----------
+    sender:
+        Node id that sent the message.
+    ssn:
+        Sender sequence number; ``(sender, ssn)`` names the message.
+    receiver:
+        Node id that delivered the message.
+    rsn:
+        Receive sequence number: position of the delivery in the
+        receiver's delivery order.  ``(receiver, rsn)`` names the
+        delivery event.
+    """
+
+    sender: int
+    ssn: int
+    receiver: int
+    rsn: int
+
+    def __post_init__(self) -> None:
+        if self.ssn < 0 or self.rsn < 0:
+            raise ValueError(f"ssn/rsn must be non-negative: {self!r}")
+        if self.sender == self.receiver:
+            raise ValueError(f"self-delivery is not a message: {self!r}")
+
+    @property
+    def message_id(self) -> Tuple[int, int]:
+        """``(sender, ssn)`` -- globally unique name of the message."""
+        return (self.sender, self.ssn)
+
+    @property
+    def delivery_id(self) -> Tuple[int, int]:
+        """``(receiver, rsn)`` -- globally unique name of the delivery."""
+        return (self.receiver, self.rsn)
+
+    def to_tuple(self) -> Tuple[int, int, int, int]:
+        """Compact wire form used in piggybacks."""
+        return (self.sender, self.ssn, self.receiver, self.rsn)
+
+    @classmethod
+    def from_tuple(cls, data: Tuple[int, int, int, int]) -> "Determinant":
+        sender, ssn, receiver, rsn = data
+        return cls(sender=sender, ssn=ssn, receiver=receiver, rsn=rsn)
+
+    def __str__(self) -> str:
+        return f"#({self.sender},{self.ssn})->({self.receiver},rsn={self.rsn})"

@@ -1,0 +1,54 @@
+"""Scalar Lamport logical clocks.
+
+Used by the protocols to timestamp events with a total order consistent
+with happens-before [Lamport 1978], which the paper's definitions of
+*antecedent* and *descendent* messages (Section 4.1) rest on.
+"""
+
+from __future__ import annotations
+
+
+class LamportClock:
+    """A scalar logical clock.
+
+    >>> c = LamportClock()
+    >>> c.tick()
+    1
+    >>> c.update(10)
+    11
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int = 0) -> None:
+        if value < 0:
+            raise ValueError(f"clock value must be non-negative, got {value!r}")
+        self.value = value
+
+    def tick(self) -> int:
+        """Advance for a local or send event; returns the new value."""
+        self.value += 1
+        return self.value
+
+    def update(self, received: int) -> int:
+        """Merge a received timestamp (receive event); returns the new value."""
+        if received < 0:
+            raise ValueError(f"received timestamp must be non-negative, got {received!r}")
+        self.value = max(self.value, received) + 1
+        return self.value
+
+    def peek(self) -> int:
+        """Current value without advancing."""
+        return self.value
+
+    def reset(self, value: int = 0) -> None:
+        """Set the clock (used when restoring a checkpoint)."""
+        if value < 0:
+            raise ValueError(f"clock value must be non-negative, got {value!r}")
+        self.value = value
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"LamportClock({self.value})"

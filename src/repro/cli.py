@@ -1,0 +1,263 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands cover the common uses:
+
+* ``run``     -- one simulation with chosen protocol/recovery/failures,
+                 printed as a run summary;
+* ``compare`` -- the paper's head-to-head (blocking vs non-blocking, or
+                 any set of stacks) on an identical scenario;
+* ``sweep``   -- vary one numeric knob (n, f, detection delay, storage
+                 latency, state size) and print one row per value.
+
+Examples::
+
+    python -m repro run --protocol fbl --f 2 --recovery nonblocking \\
+        --crash 3@0.05
+    python -m repro compare --crash 3@0.05 --crash 5@0.06
+    python -m repro sweep --knob n --values 4,8,16,32 --crash 1@0.05
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro import SystemConfig, build_system, crash_at
+from repro.analysis.report import format_run_summary, format_table
+from repro.analysis.stats import summarize
+
+
+def _parse_crash(text: str):
+    """``NODE@TIME`` -> CrashPlan (e.g. ``3@0.05``)."""
+    try:
+        node_text, time_text = text.split("@", 1)
+        return crash_at(node=int(node_text), time=float(time_text))
+    except (ValueError, TypeError) as exc:
+        raise argparse.ArgumentTypeError(
+            f"crash must look like NODE@TIME (e.g. 3@0.05), got {text!r}"
+        ) from exc
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--n", type=int, default=8, help="number of processes")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--protocol",
+        default="fbl",
+        choices=["fbl", "sender_based", "manetho", "pessimistic",
+                 "optimistic", "coordinated"],
+    )
+    parser.add_argument("--f", type=int, default=2, help="failures tolerated (fbl)")
+    parser.add_argument(
+        "--recovery",
+        default=None,
+        help="recovery algorithm; defaults to the protocol's natural one",
+    )
+    parser.add_argument(
+        "--workload", default="uniform",
+        choices=["uniform", "token_ring", "client_server", "ping_pong", "all_to_all"],
+    )
+    parser.add_argument("--hops", type=int, default=40)
+    parser.add_argument("--output-every", type=int, default=0,
+                        help="emit an output commit every k deliveries")
+    parser.add_argument("--crash", type=_parse_crash, action="append", default=[],
+                        metavar="NODE@TIME", help="repeatable crash plan")
+    parser.add_argument("--detection-delay", type=float, default=3.0)
+    parser.add_argument("--state-bytes", type=int, default=1_000_000)
+    parser.add_argument("--storage-latency", type=float, default=0.020)
+    parser.add_argument("--storage-bandwidth", type=float, default=1e6)
+
+
+DEFAULT_RECOVERY = {
+    "fbl": "nonblocking",
+    "sender_based": "nonblocking",
+    "manetho": "nonblocking",
+    "pessimistic": "local",
+    "optimistic": "optimistic",
+    "coordinated": "coordinated",
+}
+
+
+def _config_from_args(args: argparse.Namespace, **overrides: Any) -> SystemConfig:
+    protocol = overrides.pop("protocol", args.protocol)
+    recovery = overrides.pop(
+        "recovery", args.recovery or DEFAULT_RECOVERY[protocol]
+    )
+    protocol_params: Dict[str, Any] = {}
+    if protocol == "fbl":
+        protocol_params = {"f": overrides.pop("f", args.f)}
+    elif protocol == "coordinated":
+        protocol_params = {"snapshot_every": 12}
+    workload_params: Dict[str, Any] = {"hops": args.hops}
+    if args.workload == "uniform":
+        workload_params["fanout"] = 2
+        if args.output_every:
+            workload_params["output_every"] = args.output_every
+    name = overrides.pop("name", f"{protocol}+{recovery}")
+    config = SystemConfig(
+        name=name,
+        n=overrides.pop("n", args.n),
+        seed=args.seed,
+        protocol=protocol,
+        protocol_params=protocol_params,
+        recovery=recovery,
+        workload=args.workload,
+        workload_params=workload_params,
+        crashes=[crash_at(plan.node, plan.at_time) for plan in args.crash],
+        detection_delay=overrides.pop("detection_delay", args.detection_delay),
+        state_bytes=overrides.pop("state_bytes", args.state_bytes),
+        storage_op_latency=overrides.pop("storage_op_latency", args.storage_latency),
+        storage_bandwidth=args.storage_bandwidth,
+    )
+    if overrides:
+        raise ValueError(f"unused overrides: {sorted(overrides)}")
+    return config
+
+
+def _crashed_nodes(config: SystemConfig) -> List[int]:
+    return sorted({plan.node for plan in config.crashes})
+
+
+# ----------------------------------------------------------------------
+def cmd_run(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    system = build_system(config)
+    result = system.run()
+    print(config.describe())
+    print()
+    print(format_run_summary(result, crashed=_crashed_nodes(config)))
+    if args.timeline:
+        from repro.analysis.timeline import render_timeline
+
+        print()
+        print(render_timeline(system.trace))
+    if result.outputs_committed:
+        stats = summarize(result.output_latencies())
+        print(
+            f"  output commits: {result.outputs_committed} "
+            f"(p50 {stats.p50 * 1000:.2f} ms, max {stats.maximum * 1000:.1f} ms)"
+        )
+    if not result.consistent:
+        print("\nINCONSISTENT RUN -- oracle violations:")
+        for violation in result.oracle_violations[:10]:
+            print(f"  {violation}")
+        return 1
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    stacks = [
+        ("fbl + nonblocking", {"protocol": "fbl", "recovery": "nonblocking"}),
+        ("fbl + blocking", {"protocol": "fbl", "recovery": "blocking"}),
+    ]
+    if args.all_protocols:
+        stacks += [
+            ("sender_based", {"protocol": "sender_based", "recovery": "nonblocking"}),
+            ("manetho", {"protocol": "manetho", "recovery": "nonblocking"}),
+            ("pessimistic", {"protocol": "pessimistic", "recovery": "local"}),
+            ("optimistic", {"protocol": "optimistic", "recovery": "optimistic"}),
+            ("coordinated", {"protocol": "coordinated", "recovery": "coordinated"}),
+        ]
+    rows = []
+    exit_code = 0
+    for label, overrides in stacks:
+        config = _config_from_args(args, name=label, **overrides)
+        result = build_system(config).run()
+        durations = result.recovery_durations()
+        rows.append([
+            label,
+            f"{max(durations):.2f}" if durations else "-",
+            f"{result.mean_blocked_time(exclude=_crashed_nodes(config)) * 1000:.1f}",
+            result.recovery_messages(),
+            "yes" if result.consistent else "NO",
+        ])
+        if not result.consistent:
+            exit_code = 1
+    print(format_table(
+        ["stack", "recovery (s)", "live blocked (ms)", "ctl msgs", "consistent"],
+        rows,
+        title="same scenario, different recovery machinery",
+    ))
+    return exit_code
+
+
+SWEEP_KNOBS = {
+    "n": ("n", int),
+    "f": ("f", int),
+    "detection": ("detection_delay", float),
+    "storage-latency": ("storage_op_latency", float),
+    "state-bytes": ("state_bytes", int),
+}
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    knob, caster = SWEEP_KNOBS[args.knob]
+    values = [caster(v) for v in args.values.split(",")]
+    rows = []
+    exit_code = 0
+    for value in values:
+        config = _config_from_args(args, name=f"{args.knob}={value}", **{knob: value})
+        result = build_system(config).run()
+        durations = result.recovery_durations()
+        rows.append([
+            value,
+            f"{max(durations):.2f}" if durations else "-",
+            f"{result.total_blocked_time:.3f}",
+            result.recovery_messages(),
+            result.final_progress,
+            "yes" if result.consistent else "NO",
+        ])
+        if not result.consistent:
+            exit_code = 1
+    print(format_table(
+        [args.knob, "recovery (s)", "total blocked (s)", "ctl msgs",
+         "progress", "consistent"],
+        rows,
+        title=f"sweep over {args.knob} ({args.protocol} + "
+              f"{args.recovery or DEFAULT_RECOVERY[args.protocol]})",
+    ))
+    return exit_code
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Rollback-recovery protocol simulator (Elnozahy, PODC 1995)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run one scenario")
+    _add_common(run_parser)
+    run_parser.add_argument(
+        "--timeline", action="store_true",
+        help="render an ASCII per-node timeline of the run",
+    )
+    run_parser.set_defaults(fn=cmd_run)
+
+    compare_parser = sub.add_parser("compare", help="compare recovery algorithms")
+    _add_common(compare_parser)
+    compare_parser.add_argument(
+        "--all-protocols", action="store_true",
+        help="include every protocol family, not just the two recovery algorithms",
+    )
+    compare_parser.set_defaults(fn=cmd_compare)
+
+    sweep_parser = sub.add_parser("sweep", help="sweep one knob")
+    _add_common(sweep_parser)
+    sweep_parser.add_argument("--knob", required=True, choices=sorted(SWEEP_KNOBS))
+    sweep_parser.add_argument(
+        "--values", required=True, help="comma-separated values, e.g. 4,8,16"
+    )
+    sweep_parser.set_defaults(fn=cmd_sweep)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

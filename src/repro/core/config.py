@@ -1,0 +1,118 @@
+"""Declarative run configuration.
+
+A :class:`SystemConfig` fully determines a simulation: same config +
+same seed = identical run, event for event.  Defaults follow the paper's
+testbed (Section 5): eight workstations, 155 Mb/s ATM network, ~1 MB
+process images, mid-90s stable storage, and "several seconds" of failure
+detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Optional
+
+from repro.procs.failure import DEFAULT_DETECTION_DELAY, CrashPlan
+from repro.storage.stable import DEFAULT_BANDWIDTH, DEFAULT_OP_LATENCY
+
+
+@dataclass
+class SystemConfig:
+    """Everything needed to build and run one simulated system."""
+
+    # -- topology ---------------------------------------------------------
+    #: number of application processes (the paper used eight)
+    n: int = 8
+    #: root seed for every random stream in the run
+    seed: int = 0
+    #: label used in result tables
+    name: str = "run"
+
+    # -- protocol stack ---------------------------------------------------
+    #: protocol name: fbl | sender_based | manetho | pessimistic |
+    #: optimistic | coordinated
+    protocol: str = "fbl"
+    #: protocol construction parameters (e.g. {"f": 2} for fbl)
+    protocol_params: Dict[str, Any] = field(default_factory=dict)
+    #: recovery algorithm: nonblocking (the paper's new algorithm) |
+    #: blocking (the message-optimal baseline) | local | optimistic |
+    #: coordinated
+    recovery: str = "nonblocking"
+
+    # -- workload -----------------------------------------------------------
+    #: workload name, see repro.workloads
+    workload: str = "uniform"
+    workload_params: Dict[str, Any] = field(default_factory=dict)
+
+    # -- failure model ------------------------------------------------------
+    #: scheduled / triggered crashes
+    crashes: List[CrashPlan] = field(default_factory=list)
+    #: the paper's "several seconds of timeouts and retrials"
+    detection_delay: float = DEFAULT_DETECTION_DELAY
+
+    # -- hardware model -------------------------------------------------------
+    #: process image size ("about one Mbyte" in the paper)
+    state_bytes: int = 1_000_000
+    #: per-operation stable-storage latency (seek + rotation)
+    storage_op_latency: float = DEFAULT_OP_LATENCY
+    #: stable-storage bandwidth, bytes/second
+    storage_bandwidth: float = DEFAULT_BANDWIDTH
+    #: network parameters (passed to AtmLinkModel); None = paper defaults
+    network_params: Dict[str, Any] = field(default_factory=dict)
+
+    # -- policies ----------------------------------------------------------
+    #: take a checkpoint every k deliveries (0 = only the initial one)
+    checkpoint_every: int = 0
+    #: protocol message types deferred while a node is blocked
+    blocked_protocol_types: FrozenSet[str] = frozenset({"retransmit_data"})
+
+    # -- run control -----------------------------------------------------------
+    #: stop at this virtual time; None runs to quiescence
+    run_until: Optional[float] = None
+    #: safety valve on total events
+    max_events: int = 5_000_000
+
+    # ------------------------------------------------------------------
+    @property
+    def sequencer_id(self) -> int:
+        """Node id of the never-failing ordinal service."""
+        return self.n
+
+    def validate(self) -> None:
+        """Raise ValueError on inconsistent settings."""
+        from repro.protocols import PROTOCOLS
+        from repro.recovery import RECOVERY_MANAGERS
+
+        if self.n < 2:
+            raise ValueError(f"need at least two processes, got n={self.n}")
+        if self.protocol not in PROTOCOLS:
+            raise ValueError(
+                f"unknown protocol {self.protocol!r}; choose from {sorted(PROTOCOLS)}"
+            )
+        if self.recovery not in RECOVERY_MANAGERS:
+            raise ValueError(
+                f"unknown recovery {self.recovery!r}; "
+                f"choose from {sorted(RECOVERY_MANAGERS)}"
+            )
+        supported = PROTOCOLS[self.protocol].supported_recovery
+        if self.recovery not in supported:
+            raise ValueError(
+                f"protocol {self.protocol!r} supports recovery {supported}, "
+                f"not {self.recovery!r}"
+            )
+        for plan in self.crashes:
+            if not 0 <= plan.node < self.n:
+                raise ValueError(f"crash plan references unknown node {plan.node}")
+        if self.detection_delay < 0:
+            raise ValueError("detection_delay must be non-negative")
+        if self.state_bytes <= 0:
+            raise ValueError("state_bytes must be positive")
+
+    def describe(self) -> str:
+        """One-line human summary for reports."""
+        f = self.protocol_params.get("f")
+        proto = self.protocol if f is None else f"{self.protocol}(f={f})"
+        return (
+            f"{self.name}: n={self.n} {proto} + {self.recovery} recovery, "
+            f"workload={self.workload}, crashes={len(self.crashes)}"
+        )

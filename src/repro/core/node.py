@@ -1,0 +1,401 @@
+"""A simulated host: application + protocol + recovery manager.
+
+:class:`Node` owns the lifecycle the paper's Section 3 data structures
+describe: the ``state`` variable (live / crashed / restoring /
+recovering), the ``incarnation`` counter, and the ``incvector`` used to
+reject stale messages from pre-failure incarnations.  It routes incoming
+messages to the right layer, implements crash/restore semantics (all
+volatile state vanishes; restore costs real stable-storage time), and
+provides the blocking primitive the baseline recovery algorithm uses.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.core.output import OutputDevice
+from repro.net.network import Message, MessageKind
+from repro.procs.process import OUTPUT_DST, ApplicationProcess, Send
+from repro.storage.checkpoint import Checkpoint, CheckpointStore
+from repro.storage.stable import StableStorage
+
+
+class NodeState(enum.Enum):
+    """Lifecycle states of a simulated host."""
+
+    LIVE = "live"
+    CRASHED = "crashed"
+    RESTORING = "restoring"  # reading the checkpoint back
+    RECOVERING = "recovering"  # running the recovery algorithm / replaying
+
+
+class Node:
+    """One host of the distributed system under test."""
+
+    def __init__(
+        self,
+        node_id: int,
+        sim: "Simulator",
+        network: "Network",
+        detector: "FailureDetector",
+        trace: "TraceRecorder",
+        metrics: "MetricsCollector",
+        oracle: "ConsistencyOracle",
+        config: "SystemConfig",
+        app: ApplicationProcess,
+        protocol: "LoggingProtocol",
+        recovery: "RecoveryManager",
+        output_device: Optional[OutputDevice] = None,
+    ) -> None:
+        self.node_id = node_id
+        self.sim = sim
+        self.network = network
+        self.detector = detector
+        self.trace = trace
+        self.metrics = metrics
+        self.oracle = oracle
+        self.config = config
+        self.app = app
+        self.protocol = protocol
+        self.recovery = recovery
+        self.output_device = output_device if output_device is not None else OutputDevice()
+
+        self.storage = StableStorage(
+            sim,
+            owner=node_id,
+            op_latency=config.storage_op_latency,
+            bandwidth_bps=config.storage_bandwidth,
+            trace=trace,
+        )
+        self.checkpoints = CheckpointStore(self.storage, node_id)
+
+        self.state = NodeState.CRASHED  # becomes LIVE in start()
+        self.incarnation = 0
+        #: peer -> minimum acceptable incarnation (the paper's incvector)
+        self.incvector: Dict[int, int] = {}
+        self.send_seqnos: Dict[int, int] = {}
+        self.delivered_ids: Set[Tuple[int, int]] = set()
+
+        self.blocked = False
+        self._blocked_queue: List[Message] = []
+        self._restore_queue: List[Message] = []
+        self._crash_epoch = 0
+        self.crash_count = 0
+
+        protocol.attach(self)
+        recovery.attach(self)
+
+    # ------------------------------------------------------------------
+    # derived state
+    # ------------------------------------------------------------------
+    @property
+    def is_live(self) -> bool:
+        return self.state == NodeState.LIVE
+
+    @property
+    def is_recovering(self) -> bool:
+        return self.state == NodeState.RECOVERING
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Boot the node: the workload's first sends, then the initial
+        checkpoint (which therefore covers the initial sends' sequence
+        numbers and logged data)."""
+        self.state = NodeState.LIVE
+        self.network.register(self.node_id, self.receive)
+        self.detector.register_node(self.node_id)
+        self.trace.record(self.sim.now, "node", self.node_id, "start")
+        self.protocol.on_start()
+        # The initial image is on disk before the process launches, so
+        # this bootstrap checkpoint is durable immediately.
+        self._take_checkpoint(bootstrap=True)
+
+    def crash(self) -> None:
+        """Fail-stop: every volatile structure is lost instantly."""
+        if self.state == NodeState.CRASHED:
+            return
+        if self.blocked:
+            self.metrics.block_end(self.node_id, self.sim.now)
+            self.blocked = False
+            self._blocked_queue.clear()
+        self.state = NodeState.CRASHED
+        self._crash_epoch += 1
+        self.crash_count += 1
+        self.network.deregister(self.node_id)
+        self.storage.abort_pending()
+        self.app.reset()
+        self.delivered_ids = set()
+        self.send_seqnos = {}
+        self.protocol.on_crash()
+        self.recovery.on_crash()
+        self.metrics.start_episode(self.node_id, self.sim.now)
+        self.trace.record(self.sim.now, "node", self.node_id, "crash")
+        self.detector.notify_crash(self.node_id)
+        # The watchdog restarts the process once the failure is detected
+        # ("several seconds of timeouts and retrials").
+        self.sim.schedule(
+            self.config.detection_delay,
+            self._restart_if_current,
+            self._crash_epoch,
+            label=f"restart:{self.node_id}",
+        )
+
+    def _restart_if_current(self, epoch: int) -> None:
+        if epoch == self._crash_epoch and self.state == NodeState.CRASHED:
+            self.begin_restart()
+
+    def begin_restart(self) -> None:
+        """Reload the checkpoint from stable storage (a slow, real cost)."""
+        self.state = NodeState.RESTORING
+        self._restore_queue = []
+        episode = self.metrics.episode_of(self.node_id)
+        if episode is not None:
+            episode.restart_time = self.sim.now
+        self.network.register(self.node_id, self.receive)
+        self.trace.record(self.sim.now, "node", self.node_id, "restart_begin")
+        self.checkpoints.restore(self._on_restored)
+
+    def _on_restored(self, checkpoint: Optional[Checkpoint]) -> None:
+        if checkpoint is None:
+            raise RuntimeError(
+                f"node {self.node_id} has no durable checkpoint to restore"
+            )
+        if self.state != NodeState.RESTORING:
+            return  # crashed again while the read was in flight
+        self.app.restore(checkpoint.app_state)
+        self.send_seqnos = dict(checkpoint.send_seqnos)
+        self.delivered_ids = {
+            tuple(item) for item in checkpoint.extra.get("delivered_ids", [])
+        }
+        self.protocol.on_restore(checkpoint)
+        self.protocol.restore_stable(lambda: self._finish_restore(checkpoint))
+
+    def _finish_restore(self, checkpoint: Checkpoint) -> None:
+        if self.state != NodeState.RESTORING:
+            return
+        # Paper step 2: incarnation <- incarnation + 1.  The counter is a
+        # restart count, trivially persisted by the watchdog.
+        self.incarnation += 1
+        self.state = NodeState.RECOVERING
+        episode = self.metrics.episode_of(self.node_id)
+        if episode is not None:
+            episode.restored_time = self.sim.now
+        self.trace.record(
+            self.sim.now,
+            "node",
+            self.node_id,
+            "restored",
+            checkpoint_id=checkpoint.checkpoint_id,
+            delivered=self.app.delivered_count,
+            incarnation=self.incarnation,
+        )
+        queued, self._restore_queue = self._restore_queue, []
+        for msg in queued:
+            self.recovery.on_control(msg)
+        self.recovery.begin_recovery()
+
+    def complete_recovery(self) -> None:
+        """Recovery manager finished; the process is live again."""
+        self.state = NodeState.LIVE
+        episode = self.metrics.episode_of(self.node_id)
+        if episode is not None:
+            episode.replayed_deliveries = self.metrics.replayed.get(self.node_id, 0)
+        self.metrics.finish_episode(self.node_id, self.sim.now)
+        self.oracle.on_rollback(self.node_id, self.app.delivered_count)
+        self.trace.record(
+            self.sim.now,
+            "node",
+            self.node_id,
+            "recovered",
+            delivered=self.app.delivered_count,
+            incarnation=self.incarnation,
+        )
+        self.detector.notify_up(self.node_id)
+
+    # ------------------------------------------------------------------
+    # message routing
+    # ------------------------------------------------------------------
+    def receive(self, msg: Message) -> None:
+        if self.state == NodeState.CRASHED:
+            return
+        if self.state == NodeState.RESTORING:
+            # The process image is still being read back; it cannot run
+            # any code yet.  Recovery control is queued so the algorithm
+            # sees announcements made during the restore; everything else
+            # is dropped (it will be retransmitted or regenerated).
+            if msg.kind == MessageKind.RECOVERY:
+                self._restore_queue.append(msg)
+            return
+        if msg.kind == MessageKind.RECOVERY:
+            self.recovery.on_control(msg)
+            return
+        # Reject stale messages from superseded incarnations (Section 3.2:
+        # "A receiver rejects any message that originates from a previous
+        # incarnation of its sender").
+        if msg.incarnation < self.incvector.get(msg.src, 0):
+            self.trace.record(
+                self.sim.now, "node", self.node_id, "reject_stale",
+                src=msg.src, incarnation=msg.incarnation,
+            )
+            return
+        if msg.kind == MessageKind.PROTOCOL:
+            if self.blocked and msg.mtype in self.config.blocked_protocol_types:
+                self._blocked_queue.append(msg)
+                return
+            self.protocol.on_protocol_message(msg)
+            return
+        # application traffic
+        if self.state == NodeState.RECOVERING:
+            self.protocol.on_app_message_during_recovery(msg)
+            return
+        if self.blocked:
+            self._blocked_queue.append(msg)
+            return
+        self.protocol.on_app_message(msg)
+
+    # ------------------------------------------------------------------
+    # application-side services
+    # ------------------------------------------------------------------
+    def next_ssn(self, dst: int) -> int:
+        ssn = self.send_seqnos.get(dst, 0)
+        self.send_seqnos[dst] = ssn + 1
+        return ssn
+
+    def deliver_app(
+        self, sender: int, ssn: int, payload: Dict[str, Any]
+    ) -> List[Send]:
+        """Deliver one message to the application; returns its *network*
+        sends.  Output sends (``dst == OUTPUT_DST``) are intercepted and
+        routed to the protocol's output-commit machinery."""
+        rsn = self.app.delivered_count
+        self.delivered_ids.add((sender, ssn))
+        sends = self.app.deliver(sender, ssn, payload)
+        self.oracle.on_deliver(self.node_id, rsn, sender, ssn, self.app.digest)
+        self.metrics.count_delivery(self.node_id, during_replay=self.is_recovering)
+        self.trace.record(
+            self.sim.now, "app", self.node_id, "deliver",
+            sender=sender, ssn=ssn, rsn=rsn,
+        )
+        network_sends = []
+        output_index = 0
+        for send in sends:
+            if send.dst == OUTPUT_DST:
+                output_id = (self.node_id, rsn, output_index)
+                output_index += 1
+                payload_with_digest = dict(send.payload)
+                payload_with_digest["_digest8"] = self.app.digest[:8]
+                self.protocol.request_output_commit(output_id, payload_with_digest)
+            else:
+                network_sends.append(send)
+        return network_sends
+
+    def commit_output(
+        self, output_id: tuple, payload: Dict[str, Any], requested_at: float
+    ) -> None:
+        """Release one output to the outside world (it is now safe)."""
+        fresh = self.output_device.release(
+            self.node_id, output_id, payload, requested_at, self.sim.now
+        )
+        self.trace.record(
+            self.sim.now, "output", self.node_id, "commit",
+            output_id=output_id, duplicate=not fresh,
+            latency=self.sim.now - requested_at,
+        )
+
+    def maybe_checkpoint(self) -> None:
+        """Count-based checkpoint policy (deterministic, so replay-safe)."""
+        every = self.config.checkpoint_every
+        if every and self.app.delivered_count % every == 0:
+            self._take_checkpoint()
+
+    def _take_checkpoint(self, bootstrap: bool = False) -> Checkpoint:
+        extra = {
+            "delivered_ids": sorted(self.delivered_ids),
+            "protocol": self.protocol.checkpoint_extra(),
+        }
+        checkpoint = self.checkpoints.save(
+            delivered_count=self.app.delivered_count,
+            app_state=self.app.snapshot(),
+            send_seqnos=self.send_seqnos,
+            state_bytes=self.config.state_bytes,
+            taken_at=self.sim.now,
+            extra=extra,
+            on_done=self.protocol.on_checkpoint,
+            bootstrap=bootstrap,
+        )
+        self.trace.record(
+            self.sim.now, "node", self.node_id, "checkpoint",
+            checkpoint_id=checkpoint.checkpoint_id,
+            delivered=self.app.delivered_count,
+        )
+        return checkpoint
+
+    # ------------------------------------------------------------------
+    # rollback primitives (used by optimistic and coordinated recovery)
+    # ------------------------------------------------------------------
+    def voluntary_rollback(self) -> None:
+        """Self-inflicted rollback (an orphaned process killing itself).
+
+        Semantically a crash, but no failure detection is needed -- the
+        process knows it is rolling back, so the restart begins
+        immediately.
+        """
+        if self.state == NodeState.CRASHED:
+            return
+        pre_epoch = self._crash_epoch
+        self.crash()
+        if self._crash_epoch == pre_epoch + 1:
+            self._crash_epoch += 1  # invalidate the detection-delayed restart
+            self.sim.schedule(
+                0.0,
+                self._restart_if_current,
+                self._crash_epoch,
+                label=f"voluntary-restart:{self.node_id}",
+            )
+
+    def apply_snapshot(
+        self,
+        app_state: Dict[str, Any],
+        send_seqnos: Dict[int, int],
+        delivered_ids: List[Tuple[int, int]],
+    ) -> int:
+        """Overwrite replayable state in place (coordinated rollback).
+
+        Returns the number of deliveries rolled back.
+        """
+        lost = max(0, self.app.delivered_count - app_state["delivered_count"])
+        self.app.restore(app_state)
+        self.send_seqnos = dict(send_seqnos)
+        self.delivered_ids = {tuple(item) for item in delivered_ids}
+        self.metrics.rolled_back_deliveries += lost
+        return lost
+
+    # ------------------------------------------------------------------
+    # blocking primitive (used by the baseline recovery algorithm)
+    # ------------------------------------------------------------------
+    def block(self) -> None:
+        """Suspend application progress (deliveries queue up)."""
+        if not self.blocked and self.is_live:
+            self.blocked = True
+            self.metrics.block_start(self.node_id, self.sim.now)
+            self.trace.record(self.sim.now, "node", self.node_id, "block")
+
+    def unblock(self) -> None:
+        """Resume application progress and drain the queue."""
+        if not self.blocked:
+            return
+        self.blocked = False
+        self.metrics.block_end(self.node_id, self.sim.now)
+        self.trace.record(self.sim.now, "node", self.node_id, "unblock")
+        queued, self._blocked_queue = self._blocked_queue, []
+        for msg in queued:
+            self.receive(msg)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Node({self.node_id}, {self.state.value}, inc={self.incarnation}, "
+            f"delivered={self.app.delivered_count})"
+        )

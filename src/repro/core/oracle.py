@@ -1,0 +1,245 @@
+"""The consistency oracle.
+
+An omniscient observer, invisible to the protocols and free of simulated
+cost, that records every send and delivery in the run and checks the
+correctness properties the paper proves in Section 4:
+
+* **Replay determinism** (liveness, Section 4.4): when a recovering
+  process re-delivers rsn ``k``, it must deliver the *same message* and
+  reach the *same state digest* as the original execution did at rsn
+  ``k``.
+* **Safety** (Section 4.3): at the end of the run, every antecedent of a
+  delivery that survived at any process must itself have survived -- no
+  live process may be left an orphan of a rolled-back delivery.
+
+Violations are collected, not raised, so a failing run can still be
+inspected; the test suite asserts ``oracle.violations == []``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+
+@dataclass(frozen=True)
+class OracleViolation:
+    """One detected breach of a correctness property."""
+
+    kind: str
+    node: int
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] node {self.node}: {self.detail}"
+
+
+class ConsistencyOracle:
+    """Records the causal structure of the run and checks invariants.
+
+    Event naming: the *delivery event* ``(node, rsn)`` is node's
+    ``rsn``-th delivery.  The happens-before DAG has a program-order edge
+    ``(x, k-1) -> (x, k)`` and, for each message, an edge from the
+    sender's latest delivery before the send to the delivery of that
+    message.
+    """
+
+    def __init__(self) -> None:
+        # (sender, ssn, dst) -> number of deliveries sender had made at send time
+        self._send_context: Dict[Tuple[int, int, int], int] = {}
+        # (receiver, rsn) -> (sender, ssn)
+        self._delivery: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        # (receiver, rsn) -> digest after the delivery
+        self._digest: Dict[Tuple[int, int], str] = {}
+        # archives of permanently rolled-back events, kept so the safety
+        # check can still traverse the causal edges they induced
+        self._rolled_back_delivery: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        self._rolled_back_sends: Dict[Tuple[int, int, int], int] = {}
+        self.violations: List[OracleViolation] = []
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def on_send(self, sender: int, ssn: int, dst: int, deliveries_so_far: int) -> None:
+        """Record a send (or its regeneration during replay).
+
+        Replay determinism requires a regenerated send to occur at the
+        same point in the sender's delivery sequence.
+        """
+        key = (sender, ssn, dst)
+        previous = self._send_context.get(key)
+        if previous is None:
+            self._send_context[key] = deliveries_so_far
+        elif previous != deliveries_so_far:
+            self.violations.append(
+                OracleViolation(
+                    kind="send-divergence",
+                    node=sender,
+                    detail=(
+                        f"message ssn={ssn} to {dst} originally sent after "
+                        f"{previous} deliveries, regenerated after {deliveries_so_far}"
+                    ),
+                )
+            )
+
+    def on_deliver(
+        self, receiver: int, rsn: int, sender: int, ssn: int, digest: str
+    ) -> None:
+        """Record a delivery (or its replay)."""
+        key = (receiver, rsn)
+        previous = self._delivery.get(key)
+        if previous is None:
+            self._delivery[key] = (sender, ssn)
+            self._digest[key] = digest
+            return
+        if previous != (sender, ssn):
+            self.violations.append(
+                OracleViolation(
+                    kind="replay-order",
+                    node=receiver,
+                    detail=(
+                        f"rsn {rsn} originally delivered {previous}, "
+                        f"replayed as {(sender, ssn)}"
+                    ),
+                )
+            )
+        elif self._digest[key] != digest:
+            self.violations.append(
+                OracleViolation(
+                    kind="replay-digest",
+                    node=receiver,
+                    detail=f"rsn {rsn} digest diverged on replay",
+                )
+            )
+
+    def on_rollback(self, node: int, final_count: int) -> None:
+        """A recovery finished with ``node`` at ``final_count`` deliveries.
+
+        Deliveries at rsn >= ``final_count`` (and the sends they caused)
+        were *invisible* -- no surviving delivery depends on them -- and
+        are permanently rolled back.  They are forgotten so that the
+        node's fresh post-recovery execution is not misreported as replay
+        divergence.  The safety check will still flag any surviving
+        delivery that depended on them, because its antecedent events are
+        reconstructed from the surviving record.
+        """
+        stale_deliveries = [
+            key for key in self._delivery if key[0] == node and key[1] >= final_count
+        ]
+        for key in stale_deliveries:
+            self._rolled_back_delivery[key] = self._delivery.pop(key)
+            self._digest.pop(key, None)
+        stale_sends = [
+            key
+            for key, context in self._send_context.items()
+            if key[0] == node and context > final_count
+        ]
+        for key in stale_sends:
+            self._rolled_back_sends[key] = self._send_context.pop(key)
+
+    # ------------------------------------------------------------------
+    # end-of-run checks
+    # ------------------------------------------------------------------
+    def _antecedents(self, event: Tuple[int, int]) -> Set[Tuple[int, int]]:
+        """Backward closure of one delivery event in the happens-before DAG."""
+        seen: Set[Tuple[int, int]] = set()
+        stack = [event]
+        while stack:
+            node, rsn = stack.pop()
+            if (node, rsn) in seen or rsn < 0:
+                continue
+            seen.add((node, rsn))
+            if rsn > 0:
+                stack.append((node, rsn - 1))
+            delivered = self._delivery.get((node, rsn))
+            if delivered is None:
+                delivered = self._rolled_back_delivery.get((node, rsn))
+            if delivered is not None:
+                sender, ssn = delivered
+                context = self._send_context.get((sender, ssn, node))
+                if context is None:
+                    context = self._rolled_back_sends.get((sender, ssn, node))
+                if context is not None and context > 0:
+                    stack.append((sender, context - 1))
+        return seen
+
+    def check_safety(self, final_histories: Dict[int, List[Tuple[int, int]]]) -> None:
+        """Verify no surviving delivery depends on a rolled-back delivery.
+
+        ``final_histories`` maps node -> its delivery history (list of
+        ``(sender, ssn)``) at the end of the run.  A delivery event
+        ``(x, k)`` *survived* iff ``k < len(final_histories[x])``.
+        """
+        frontier = [
+            (node, len(history) - 1)
+            for node, history in final_histories.items()
+            if history
+        ]
+        reached: Set[Tuple[int, int]] = set()
+        for event in frontier:
+            reached |= self._antecedents(event)
+        for node, rsn in sorted(reached):
+            history = final_histories.get(node, [])
+            if rsn >= len(history):
+                self.violations.append(
+                    OracleViolation(
+                        kind="orphan",
+                        node=node,
+                        detail=(
+                            f"delivery (node={node}, rsn={rsn}) was rolled back but a "
+                            f"surviving delivery depends on it"
+                        ),
+                    )
+                )
+                continue
+            recorded = self._delivery.get((node, rsn))
+            if recorded is not None and recorded != tuple(history[rsn]):
+                self.violations.append(
+                    OracleViolation(
+                        kind="history-divergence",
+                        node=node,
+                        detail=(
+                            f"final history at rsn {rsn} is {history[rsn]}, oracle "
+                            f"recorded {recorded}"
+                        ),
+                    )
+                )
+
+    @property
+    def consistent(self) -> bool:
+        """No violations so far."""
+        return not self.violations
+
+    def deliveries_recorded(self) -> int:
+        """Total distinct delivery events observed."""
+        return len(self._delivery)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ConsistencyOracle(deliveries={len(self._delivery)}, "
+            f"violations={len(self.violations)})"
+        )
+
+
+class NullOracle(ConsistencyOracle):
+    """An oracle that observes nothing.
+
+    Used for protocols whose post-rollback re-execution legitimately
+    diverges from the original run (coordinated checkpointing re-executes
+    live rather than replaying), where the replay-determinism checks do
+    not apply.
+    """
+
+    def on_send(self, sender: int, ssn: int, dst: int, deliveries_so_far: int) -> None:
+        pass
+
+    def on_deliver(
+        self, receiver: int, rsn: int, sender: int, ssn: int, digest: str
+    ) -> None:
+        pass
+
+    def on_rollback(self, node: int, final_count: int) -> None:
+        pass
+
+    def check_safety(self, final_histories: Dict[int, List[Tuple[int, int]]]) -> None:
+        pass

@@ -1,0 +1,100 @@
+"""The outside world: output commit.
+
+Rollback-recovery's second classic yardstick (alongside blocked time) is
+**output-commit latency**: a message to the outside world (a terminal, a
+printer, another organisation) cannot be rolled back, so a protocol must
+delay it until the state that produced it is guaranteed recoverable.
+Manetho's headline feature was "fast output commit"; pessimistic logging
+commits instantly; optimistic logging and coordinated checkpointing
+commit slowly.  This module models the outside world and the
+measurements.
+
+An output is identified by ``(node, rsn, index)`` -- the delivery that
+produced it and its position among that delivery's outputs.  Replay
+regenerates the same ids, so the :class:`OutputDevice` (like any real
+terminal driver or sequence-numbered external channel) filters
+duplicates and the test suite can assert exactly-once release.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.procs.process import OUTPUT_DST  # noqa: F401  (canonical home)
+
+
+@dataclass(frozen=True)
+class CommittedOutput:
+    """One output released to the outside world."""
+
+    node: int
+    output_id: Tuple[int, int, int]
+    payload: dict
+    requested_at: float
+    committed_at: float
+
+    @property
+    def latency(self) -> float:
+        """Output-commit latency: request to release."""
+        return self.committed_at - self.requested_at
+
+
+class OutputDevice:
+    """The (never-failing, idempotent) outside world.
+
+    Duplicate releases of the same output id -- a replayed delivery
+    re-requesting an output that committed before the crash -- are
+    filtered and counted, modelling a sequence-numbered external channel.
+    """
+
+    def __init__(self) -> None:
+        self.outputs: List[CommittedOutput] = []
+        self._seen: Dict[Tuple[int, int, int], CommittedOutput] = {}
+        self.duplicates_filtered = 0
+
+    def release(
+        self,
+        node: int,
+        output_id: Tuple[int, int, int],
+        payload: dict,
+        requested_at: float,
+        committed_at: float,
+    ) -> bool:
+        """Deliver one output to the outside world.
+
+        Returns True if the output was new (False: duplicate, filtered).
+        """
+        if output_id in self._seen:
+            self.duplicates_filtered += 1
+            return False
+        record = CommittedOutput(
+            node=node,
+            output_id=output_id,
+            payload=dict(payload),
+            requested_at=requested_at,
+            committed_at=committed_at,
+        )
+        self._seen[output_id] = record
+        self.outputs.append(record)
+        return True
+
+    # ------------------------------------------------------------------
+    def latencies(self) -> List[float]:
+        """Commit latency of every released output."""
+        return [record.latency for record in self.outputs]
+
+    def by_node(self) -> Dict[int, List[CommittedOutput]]:
+        grouped: Dict[int, List[CommittedOutput]] = {}
+        for record in self.outputs:
+            grouped.setdefault(record.node, []).append(record)
+        return grouped
+
+    def __len__(self) -> int:
+        return len(self.outputs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"OutputDevice({len(self.outputs)} outputs, "
+            f"{self.duplicates_filtered} duplicates filtered)"
+        )

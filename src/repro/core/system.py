@@ -1,0 +1,249 @@
+"""System assembly and execution.
+
+:func:`build_system` wires every substrate together from a
+:class:`~repro.core.config.SystemConfig`; :class:`System` runs the
+simulation and produces a :class:`~repro.core.metrics.RunResult` with the
+paper's measurements plus the oracle's consistency verdict.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.config import SystemConfig
+from repro.core.metrics import MetricsCollector, RunResult
+from repro.core.node import Node, NodeState
+from repro.core.oracle import ConsistencyOracle, OracleViolation
+from repro.core.output import OutputDevice
+from repro.net.latency import AtmLinkModel
+from repro.net.network import DETERMINANT_BYTES, Network
+from repro.net.topology import Topology
+from repro.procs.failure import FailureDetector, FailureInjector
+from repro.procs.process import ApplicationProcess
+from repro.recovery import RECOVERY_MANAGERS
+from repro.recovery.sequencer import Sequencer
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceRecorder
+from repro.workloads import make_workload
+
+
+def _build_protocol(config: SystemConfig):
+    from repro.protocols import PROTOCOLS
+
+    params = dict(config.protocol_params)
+    if config.protocol == "manetho":
+        params.setdefault("n_nodes", config.n)
+    return PROTOCOLS[config.protocol](**params)
+
+
+class System:
+    """A fully wired simulated system, ready to run."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        config.validate()
+        self.config = config
+        self.sim = Simulator()
+        self.rngs = RngRegistry(config.seed)
+        self.trace = TraceRecorder()
+        self.metrics = MetricsCollector()
+        from repro.core.oracle import NullOracle
+        from repro.protocols import PROTOCOLS
+
+        if PROTOCOLS[config.protocol].oracle_compatible:
+            self.oracle = ConsistencyOracle()
+        else:
+            self.oracle = NullOracle()
+
+        # topology covers the application nodes plus the sequencer
+        self.topology = Topology(range(config.n + 1))
+        self.network = Network(
+            self.sim,
+            self.topology,
+            latency=AtmLinkModel(**config.network_params),
+            rngs=self.rngs,
+            trace=self.trace,
+        )
+        self.detector = FailureDetector(
+            self.sim,
+            detection_delay=config.detection_delay,
+            trace=self.trace,
+        )
+        self.sequencer = Sequencer(
+            config.sequencer_id, self.sim, self.network, self.trace
+        )
+
+        self.output_device = OutputDevice()
+        workload = make_workload(config.workload, **config.workload_params)
+        self.nodes: List[Node] = []
+        for node_id in range(config.n):
+            app = ApplicationProcess(
+                node_id, config.n, workload, state_bytes=config.state_bytes
+            )
+            protocol = _build_protocol(config)
+            recovery = RECOVERY_MANAGERS[config.recovery]()
+            node = Node(
+                node_id=node_id,
+                sim=self.sim,
+                network=self.network,
+                detector=self.detector,
+                trace=self.trace,
+                metrics=self.metrics,
+                oracle=self.oracle,
+                config=config,
+                app=app,
+                protocol=protocol,
+                recovery=recovery,
+                output_device=self.output_device,
+            )
+            self.nodes.append(node)
+
+        # detector events fan out to every node's recovery manager
+        self.detector.add_listener(self._on_peer_status)
+
+        self.injector = FailureInjector(
+            self.sim, self.trace, self.crash_node, plans=list(config.crashes)
+        )
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def _on_peer_status(self, node_id: int, status: str) -> None:
+        for node in self.nodes:
+            if node.node_id != node_id and node.state != NodeState.CRASHED:
+                node.recovery.on_peer_status(node_id, status)
+
+    def crash_node(self, node_id: int) -> None:
+        """Crash one application node (no-op if already crashed)."""
+        self.nodes[node_id].crash()
+
+    def node(self, node_id: int) -> Node:
+        """Access one node (tests and examples)."""
+        return self.nodes[node_id]
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Boot the sequencer and every node, and arm the failure plan."""
+        if self._started:
+            raise RuntimeError("system already started")
+        self._started = True
+        self.sequencer.start()
+        for node in self.nodes:
+            node.start()
+        self.injector.arm()
+
+    def run(self) -> RunResult:
+        """Execute to quiescence (or the configured horizon) and summarize."""
+        if not self._started:
+            self.start()
+        if self.config.run_until is not None:
+            self.sim.run(until=self.config.run_until, max_events=self.config.max_events)
+        else:
+            self.sim.run(max_events=self.config.max_events)
+            if self.sim.pending_events and self.sim.events_processed >= self.config.max_events:
+                raise RuntimeError(
+                    f"run exceeded max_events={self.config.max_events}; "
+                    f"likely a livelock in the configuration"
+                )
+        return self.summarize()
+
+    # ------------------------------------------------------------------
+    def _check_output_safety(self) -> None:
+        """No committed output may stem from a permanently rolled-back
+        delivery: the digest recorded at commit time must match the
+        (surviving or replay-verified) delivery at that slot."""
+        from repro.core.oracle import NullOracle
+
+        if isinstance(self.oracle, NullOracle):
+            return
+        for record in self.output_device.outputs:
+            node_id, rsn, _index = record.output_id
+            digest = self.oracle._digest.get((node_id, rsn))
+            expected = record.payload.get("_digest8")
+            if expected is None:
+                continue
+            if digest is None or digest[:8] != expected:
+                self.oracle.violations.append(
+                    OracleViolation(
+                        kind="output-from-rolled-back-state",
+                        node=node_id,
+                        detail=(
+                            f"output {record.output_id} was released but the "
+                            f"delivery that produced it did not survive"
+                        ),
+                    )
+                )
+
+    def summarize(self) -> RunResult:
+        """Build the RunResult (including the oracle's safety check)."""
+        self.metrics.close_open_blocks(self.sim.now)
+
+        all_live = all(node.is_live for node in self.nodes)
+        if all_live:
+            final_histories = {
+                node.node_id: list(node.app.delivery_history) for node in self.nodes
+            }
+            self.oracle.check_safety(final_histories)
+            self._check_output_safety()
+
+        storage_ops: Dict[int, Dict[str, Any]] = {}
+        for node in self.nodes:
+            stats = node.storage.stats
+            storage_ops[node.node_id] = {
+                "reads": stats.reads,
+                "writes": stats.writes,
+                "bytes_read": stats.bytes_read,
+                "bytes_written": stats.bytes_written,
+                "sync_stall": stats.sync_stall_time.get(node.node_id, 0.0),
+            }
+
+        piggyback_count = sum(
+            node.protocol.piggyback_determinants_sent for node in self.nodes
+        )
+        extra = {
+            "final_delivered_counts": {
+                node.node_id: node.app.delivered_count for node in self.nodes
+            },
+            "piggyback_bytes": DETERMINANT_BYTES * piggyback_count,
+            "piggyback_determinants": piggyback_count,
+            "safety_checked": all_live,
+            "outputs": {
+                "count": len(self.output_device),
+                "duplicates_filtered": self.output_device.duplicates_filtered,
+                "latencies": self.output_device.latencies(),
+            },
+            "protocol_stats": {
+                node.node_id: node.protocol.stats() for node in self.nodes
+            },
+            "recovery_stats": {
+                node.node_id: node.recovery.stats() for node in self.nodes
+            },
+            "trace_counters": dict(self.trace.counters),
+            "events_processed": self.sim.events_processed,
+        }
+
+        return RunResult(
+            config_name=self.config.name,
+            end_time=self.sim.now,
+            deliveries=dict(self.metrics.deliveries),
+            episodes=list(self.metrics.episodes),
+            blocked_time_by_node=self.metrics.blocked_time_by_node(),
+            network=self.network.stats,
+            storage_ops=storage_ops,
+            oracle_violations=list(self.oracle.violations),
+            digests={node.node_id: node.app.digest for node in self.nodes},
+            orphan_rollbacks=self.metrics.orphan_rollbacks,
+            extra=extra,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"System({self.config.describe()})"
+
+
+def build_system(config: SystemConfig) -> System:
+    """Construct (but do not run) a system from its configuration."""
+    return System(config)
+
+
+def run_config(config: SystemConfig) -> RunResult:
+    """Build, run to completion, and summarize in one call."""
+    return System(config).run()

@@ -1,0 +1,176 @@
+"""Ready-made scenario builders for the paper's experiments.
+
+The benchmark files print tables; this module exposes the same scenarios
+as a library API, so a downstream user can write::
+
+    from repro.experiments import single_failure, failure_during_recovery
+
+    result = single_failure(recovery="nonblocking").run()
+
+Each builder returns an un-started :class:`~repro.core.system.System`
+configured with the paper's evaluation parameters (eight processes,
+FBL f = 2, 1 MB state, 3 s failure detection) unless overridden.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.core.config import SystemConfig
+from repro.core.system import System, build_system
+from repro.procs.failure import CrashPlan, crash_at, crash_on
+
+#: the evaluation's defaults (Section 5)
+PAPER_DEFAULTS: Dict[str, Any] = {
+    "n": 8,
+    "protocol": "fbl",
+    "protocol_params": {"f": 2},
+    "workload": "uniform",
+    "workload_params": {"hops": 40, "fanout": 2},
+    "detection_delay": 3.0,
+    "state_bytes": 1_000_000,
+}
+
+
+def paper_system(
+    name: str,
+    recovery: str = "nonblocking",
+    crashes: Optional[List[CrashPlan]] = None,
+    **overrides: Any,
+) -> System:
+    """A system with the paper's parameters plus overrides."""
+    settings: Dict[str, Any] = dict(PAPER_DEFAULTS)
+    settings.update(overrides)
+    config = SystemConfig(
+        name=name, recovery=recovery, crashes=list(crashes or []), **settings
+    )
+    return build_system(config)
+
+
+# ----------------------------------------------------------------------
+# the evaluation's two experiments
+# ----------------------------------------------------------------------
+def single_failure(
+    recovery: str = "nonblocking",
+    victim: int = 3,
+    at: float = 0.05,
+    **overrides: Any,
+) -> System:
+    """E1: one process crashes mid-workload."""
+    return paper_system(
+        f"single-failure-{recovery}",
+        recovery=recovery,
+        crashes=[crash_at(node=victim, time=at)],
+        **overrides,
+    )
+
+
+def failure_during_recovery(
+    recovery: str = "nonblocking",
+    first_victim: int = 3,
+    second_victim: int = 5,
+    at: float = 0.05,
+    **overrides: Any,
+) -> System:
+    """E2: a second process dies the instant the first recovery's
+    request reaches it, before it can reply -- the paper's hard case."""
+    trigger = "depinfo_request" if recovery == "nonblocking" else "recovery_request"
+    return paper_system(
+        f"failure-during-recovery-{recovery}",
+        recovery=recovery,
+        crashes=[
+            crash_at(node=first_victim, time=at),
+            crash_on(
+                second_victim, "net", "deliver",
+                match_node=second_victim,
+                match_details={"mtype": trigger},
+                immediate=True,
+            ),
+        ],
+        **overrides,
+    )
+
+
+def leader_failure(
+    victim: int = 3,
+    second_victim: int = 5,
+    at: float = 0.05,
+    **overrides: Any,
+) -> System:
+    """E8b: the recovery leader itself dies right after election; the
+    next ordinal must take over."""
+    return paper_system(
+        "leader-failure",
+        recovery="nonblocking",
+        crashes=[
+            crash_at(node=victim, time=at),
+            crash_at(node=second_victim, time=at + 0.01),
+            crash_on(victim, "recovery", "leader_elected",
+                     match_node=victim, immediate=True),
+        ],
+        **overrides,
+    )
+
+
+def figure1(
+    recovery: str = "nonblocking",
+    crash_p: bool = False,
+    crash_q: bool = False,
+    **overrides: Any,
+) -> System:
+    """The Section-2.1 example: S sends m to P, P sends m' to Q, Q sends
+    m'' to R, under FBL(f=2), with optional crashes of P and/or Q."""
+    from repro.procs.process import Send
+    from repro.workloads.generators import Workload
+
+    S, P, Q, R = 0, 1, 2, 3
+
+    class Figure1Workload(Workload):
+        def initial_sends(self, node_id, n_nodes):
+            if node_id == S:
+                return [Send(dst=P, payload={"name": "m"}, body_bytes=64)]
+            return []
+
+        def on_deliver(self, node_id, n_nodes, rsn, sender, payload):
+            if node_id == P and payload.get("name") == "m":
+                return [Send(dst=Q, payload={"name": "m_prime"}, body_bytes=64)]
+            if node_id == Q and payload.get("name") == "m_prime":
+                return [Send(dst=R, payload={"name": "m_dprime"}, body_bytes=64)]
+            return []
+
+    crashes = []
+    if crash_p:
+        crashes.append(crash_at(node=P, time=0.01))
+    if crash_q:
+        crashes.append(crash_at(node=Q, time=0.01))
+    system = paper_system(
+        f"figure1-{recovery}", recovery=recovery, crashes=crashes,
+        n=4, **overrides,
+    )
+    for node in system.nodes:
+        node.app.workload = Figure1Workload()
+    return system
+
+
+def output_commit_scenario(
+    protocol: str = "fbl",
+    recovery: str = "nonblocking",
+    output_every: int = 4,
+    crashes: Optional[List[CrashPlan]] = None,
+    **overrides: Any,
+) -> System:
+    """E9: the workload externalises an output every k deliveries."""
+    params = overrides.pop("protocol_params", None)
+    if params is None:
+        params = {"f": 2} if protocol == "fbl" else {}
+        if protocol == "coordinated":
+            params = {"snapshot_every": 12}
+    return paper_system(
+        f"output-{protocol}-{recovery}",
+        recovery=recovery,
+        crashes=crashes,
+        protocol=protocol,
+        protocol_params=params,
+        workload_params={"hops": 40, "fanout": 2, "output_every": output_every},
+        **overrides,
+    )

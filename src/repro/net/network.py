@@ -1,0 +1,255 @@
+"""The message bus connecting simulated nodes.
+
+:class:`Network` implements reliable FIFO channels (the abstraction the
+FBL protocols assume) over a latency model and a topology.  It keeps
+per-class accounting -- application traffic, determinant piggybacks and
+recovery control messages are counted separately -- because the whole
+point of the paper is to weigh the recovery-control column against
+stable-storage and blocking costs.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.net.latency import AtmLinkModel, LatencyModel
+from repro.net.topology import Topology
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceRecorder
+
+#: Bytes charged for the fixed message header (addresses, type, incarnation).
+HEADER_BYTES = 64
+#: Bytes charged per piggybacked determinant.
+DETERMINANT_BYTES = 32
+
+
+class MessageKind(enum.Enum):
+    """Traffic classes used for accounting."""
+
+    APPLICATION = "application"
+    PROTOCOL = "protocol"  # failure-free protocol traffic (acks, retransmits)
+    RECOVERY = "recovery"  # recovery-time control messages
+    STORAGE = "storage"  # traffic to the stable-storage process (f = n)
+
+
+_msg_ids = itertools.count(1)
+
+
+@dataclass
+class Message:
+    """A message in flight.
+
+    ``mtype`` is the protocol-level type string (``"app"``,
+    ``"depinfo_request"``, ...); ``kind`` is the accounting class.
+    ``piggyback`` carries serialized determinants for the logging
+    protocols and is charged :data:`DETERMINANT_BYTES` each.
+    """
+
+    src: int
+    dst: int
+    kind: MessageKind
+    mtype: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+    body_bytes: int = 0
+    piggyback: List[Any] = field(default_factory=list)
+    incarnation: int = 0
+    ssn: Optional[int] = None
+    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+    send_time: float = 0.0
+
+    @property
+    def size_bytes(self) -> int:
+        """Total wire size: header + body + piggybacked determinants."""
+        return HEADER_BYTES + self.body_bytes + DETERMINANT_BYTES * len(self.piggyback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Message(#{self.msg_id} {self.mtype} {self.src}->{self.dst} "
+            f"inc={self.incarnation} ssn={self.ssn} {self.size_bytes}B)"
+        )
+
+
+@dataclass
+class NetworkStats:
+    """Message/byte counters, split by :class:`MessageKind`."""
+
+    messages: Dict[str, int] = field(default_factory=dict)
+    bytes: Dict[str, int] = field(default_factory=dict)
+    dropped: int = 0
+
+    def record(self, kind: MessageKind, size: int) -> None:
+        key = kind.value
+        self.messages[key] = self.messages.get(key, 0) + 1
+        self.bytes[key] = self.bytes.get(key, 0) + size
+
+    def total_messages(self) -> int:
+        return sum(self.messages.values())
+
+    def total_bytes(self) -> int:
+        return sum(self.bytes.values())
+
+    def of_kind(self, kind: MessageKind) -> Tuple[int, int]:
+        """(messages, bytes) of one traffic class."""
+        return self.messages.get(kind.value, 0), self.bytes.get(kind.value, 0)
+
+
+class Network:
+    """Reliable FIFO message transport between registered handlers.
+
+    Parameters
+    ----------
+    sim:
+        The simulation kernel messages are scheduled on.
+    topology:
+        Which node pairs may communicate, and per-link latency overrides.
+    latency:
+        Default latency model (defaults to the paper's ATM link).
+    rngs:
+        Random streams; latency jitter draws from ``"net.latency"``.
+    trace:
+        Optional trace recorder for send/deliver events.
+
+    Notes
+    -----
+    FIFO order per directed channel is enforced by never scheduling a
+    delivery earlier than the previous delivery on the same channel.
+    Messages to unregistered destinations count as dropped (this happens
+    naturally while a node is crashed and deregistered).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        latency: Optional[LatencyModel] = None,
+        rngs: Optional[RngRegistry] = None,
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.latency = latency or AtmLinkModel()
+        self.rngs = rngs or RngRegistry(0)
+        self.trace = trace
+        self.stats = NetworkStats()
+        self._handlers: Dict[int, Callable[[Message], None]] = {}
+        self._channel_clock: Dict[Tuple[int, int], float] = {}
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register(self, node_id: int, handler: Callable[[Message], None]) -> None:
+        """Attach the receive handler for ``node_id``."""
+        self._handlers[node_id] = handler
+
+    def deregister(self, node_id: int) -> None:
+        """Detach ``node_id``; in-flight messages to it will be dropped."""
+        self._handlers.pop(node_id, None)
+
+    def is_registered(self, node_id: int) -> bool:
+        """Whether ``node_id`` currently has a handler attached."""
+        return node_id in self._handlers
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+    def send(self, message: Message) -> Message:
+        """Queue ``message`` for FIFO delivery to ``message.dst``."""
+        src, dst = message.src, message.dst
+        if not self.topology.connected(src, dst):
+            raise ValueError(f"no link {src}->{dst} in topology")
+        message.send_time = self.sim.now
+
+        model = self.topology.link_latency(src, dst) or self.latency
+        rng = self.rngs.stream("net.latency")
+        delay = model.sample(message.size_bytes, rng)
+
+        channel = (src, dst)
+        earliest = self._channel_clock.get(channel, 0.0)
+        deliver_at = max(self.sim.now + delay, earliest)
+        self._channel_clock[channel] = deliver_at
+
+        self.stats.record(message.kind, message.size_bytes)
+        if self.trace is not None:
+            self.trace.record(
+                self.sim.now,
+                "net",
+                src,
+                "send",
+                dst=dst,
+                mtype=message.mtype,
+                kind=message.kind.value,
+                size=message.size_bytes,
+                msg_id=message.msg_id,
+            )
+        self.sim.schedule_at(deliver_at, self._deliver, message, label=f"deliver:{message.mtype}")
+        return message
+
+    def broadcast(
+        self,
+        src: int,
+        dsts: Iterable[int],
+        kind: MessageKind,
+        mtype: str,
+        payload_fn: Optional[Callable[[int], Dict[str, Any]]] = None,
+        body_bytes: int = 0,
+        incarnation: int = 0,
+    ) -> List[Message]:
+        """Send one message per destination; returns them in dst order."""
+        sent = []
+        for dst in sorted(set(dsts)):
+            if dst == src:
+                continue
+            payload = payload_fn(dst) if payload_fn is not None else {}
+            sent.append(
+                self.send(
+                    Message(
+                        src=src,
+                        dst=dst,
+                        kind=kind,
+                        mtype=mtype,
+                        payload=payload,
+                        body_bytes=body_bytes,
+                        incarnation=incarnation,
+                    )
+                )
+            )
+        return sent
+
+    # ------------------------------------------------------------------
+    def _deliver(self, message: Message) -> None:
+        handler = self._handlers.get(message.dst)
+        if handler is None:
+            self.stats.dropped += 1
+            if self.trace is not None:
+                self.trace.record(
+                    self.sim.now,
+                    "net",
+                    message.dst,
+                    "drop",
+                    src=message.src,
+                    mtype=message.mtype,
+                    msg_id=message.msg_id,
+                )
+            return
+        if self.trace is not None:
+            self.trace.record(
+                self.sim.now,
+                "net",
+                message.dst,
+                "deliver",
+                src=message.src,
+                mtype=message.mtype,
+                kind=message.kind.value,
+                msg_id=message.msg_id,
+            )
+        handler(message)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Network(nodes={len(self.topology.nodes)}, "
+            f"sent={self.stats.total_messages()}, dropped={self.stats.dropped})"
+        )

@@ -1,0 +1,265 @@
+"""Crash-failure injection and timeout failure detection.
+
+The paper's evaluation hinges on *when* failures happen (a second crash
+during another process's recovery is the interesting case) and on how
+long they take to notice ("a typical implementation would require several
+seconds of timeouts and retrials to detect that process q has indeed
+failed").  This module provides:
+
+* :class:`FailureInjector` -- schedules crashes at fixed virtual times or
+  *triggered* by trace events ("crash q the moment it receives p's
+  depinfo request"), which is how experiment E2 reproduces the paper's
+  failure-during-recovery scenario deterministically.
+* :class:`FailureDetector` -- a timeout-style detector modelled as an
+  oracle with delay: a crash becomes visible to every peer (and to the
+  restart machinery) exactly ``detection_delay`` seconds after it
+  happens.  Within the crash-stop model and ≤ f failures this is a
+  faithful abstraction of the paper's timeout/retry detector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.sim.kernel import Simulator
+from repro.sim.trace import TraceEvent, TraceRecorder
+
+#: The paper's "several seconds of timeouts and retrials".
+DEFAULT_DETECTION_DELAY = 3.0
+
+
+class FailureDetector:
+    """Timeout failure detector with a fixed detection latency.
+
+    ``notify_crash``/``notify_up`` are called by the system at the
+    instant a node crashes or completes recovery; listeners hear about it
+    ``detection_delay`` (respectively ``up_delay``) seconds later.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        detection_delay: float = DEFAULT_DETECTION_DELAY,
+        up_delay: float = 0.0,
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        if detection_delay < 0 or up_delay < 0:
+            raise ValueError("delays must be non-negative")
+        self.sim = sim
+        self.detection_delay = detection_delay
+        self.up_delay = up_delay
+        self.trace = trace
+        self._listeners: List[Callable[[int, str], None]] = []
+        self._suspected: Set[int] = set()
+        self._known: Set[int] = set()
+        #: per-node notification sequence; a pending announcement is
+        #: superseded (dropped) by any later notify_crash/notify_up
+        self._notify_seq: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def register_node(self, node_id: int) -> None:
+        """Declare a node as part of the membership."""
+        self._known.add(node_id)
+
+    def add_listener(self, callback: Callable[[int, str], None]) -> None:
+        """``callback(node_id, status)`` with status ``"down"`` or ``"up"``."""
+        self._listeners.append(callback)
+
+    # ------------------------------------------------------------------
+    def notify_crash(self, node_id: int) -> None:
+        """Report a crash; suspicion propagates after the detection delay."""
+        seq = self._notify_seq.get(node_id, 0) + 1
+        self._notify_seq[node_id] = seq
+        self.sim.schedule(
+            self.detection_delay,
+            self._announce,
+            node_id,
+            "down",
+            seq,
+            label="detector.down",
+        )
+
+    def notify_up(self, node_id: int) -> None:
+        """Report a completed recovery; visibility after ``up_delay``."""
+        seq = self._notify_seq.get(node_id, 0) + 1
+        self._notify_seq[node_id] = seq
+        self.sim.schedule(
+            self.up_delay, self._announce, node_id, "up", seq, label="detector.up"
+        )
+
+    def _announce(self, node_id: int, status: str, seq: int) -> None:
+        if seq != self._notify_seq.get(node_id, 0):
+            return  # superseded by a newer crash/recovery of the same node
+        if status == "down":
+            self._suspected.add(node_id)
+        else:
+            self._suspected.discard(node_id)
+        if self.trace is not None:
+            self.trace.record(self.sim.now, "detector", node_id, status)
+        for listener in list(self._listeners):
+            listener(node_id, status)
+
+    # ------------------------------------------------------------------
+    def is_suspected(self, node_id: int) -> bool:
+        """Whether ``node_id`` is currently suspected down."""
+        return node_id in self._suspected
+
+    def live_view(self) -> Set[int]:
+        """Nodes not currently suspected (the detector's view of L)."""
+        return self._known - self._suspected
+
+    def suspected_view(self) -> Set[int]:
+        """Nodes currently suspected (the detector's view of R)."""
+        return set(self._suspected)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FailureDetector(delay={self.detection_delay}, suspected={sorted(self._suspected)})"
+
+
+# ----------------------------------------------------------------------
+# failure injection
+# ----------------------------------------------------------------------
+@dataclass
+class CrashPlan:
+    """One planned crash.
+
+    Either ``at_time`` is set (timed crash) or ``category``/``action``
+    describe a trace trigger, optionally filtered by ``match_node`` and
+    fired ``delay`` seconds after the ``occurrence``-th matching event.
+    """
+
+    node: int
+    at_time: Optional[float] = None
+    category: Optional[str] = None
+    action: Optional[str] = None
+    match_node: Optional[int] = None
+    match_details: Optional[Dict[str, object]] = None
+    delay: float = 0.0
+    occurrence: int = 1
+    #: fire synchronously inside the trace callback, i.e. *before* the
+    #: handler of the traced event runs (used to kill a process the
+    #: instant a message is delivered to it, before it can reply)
+    immediate: bool = False
+    _seen: int = field(default=0, repr=False)
+    _armed: bool = field(default=True, repr=False)
+
+    def is_timed(self) -> bool:
+        return self.at_time is not None
+
+    def matches(self, event: TraceEvent) -> bool:
+        if not self._armed or self.is_timed():
+            return False
+        if not event.matches(self.category, self.match_node, self.action):
+            return False
+        if self.match_details:
+            for key, value in self.match_details.items():
+                if event.details.get(key) != value:
+                    return False
+        return True
+
+
+def crash_at(node: int, time: float) -> CrashPlan:
+    """A crash of ``node`` at a fixed virtual time."""
+    if time < 0:
+        raise ValueError(f"crash time must be non-negative, got {time!r}")
+    return CrashPlan(node=node, at_time=time)
+
+
+def crash_on(
+    node: int,
+    category: str,
+    action: str,
+    match_node: Optional[int] = None,
+    match_details: Optional[Dict[str, object]] = None,
+    delay: float = 0.0,
+    occurrence: int = 1,
+    immediate: bool = False,
+) -> CrashPlan:
+    """A crash of ``node`` triggered by a trace event.
+
+    Example: ``crash_on(2, "recovery", "depinfo_request_received",
+    match_node=2)`` reproduces the paper's E2 scenario -- q dies exactly
+    when it receives the recovery leader's request, before replying.
+    """
+    if delay < 0:
+        raise ValueError(f"delay must be non-negative, got {delay!r}")
+    if occurrence < 1:
+        raise ValueError(f"occurrence must be >= 1, got {occurrence!r}")
+    return CrashPlan(
+        node=node,
+        category=category,
+        action=action,
+        match_node=match_node,
+        match_details=match_details,
+        delay=delay,
+        occurrence=occurrence,
+        immediate=immediate,
+    )
+
+
+class FailureInjector:
+    """Applies a list of :class:`CrashPlan` items to a running system.
+
+    ``crash_fn(node_id)`` performs the actual crash; the injector only
+    decides *when*.  Crashing an already-crashed node is a silent no-op,
+    matching the crash-stop model.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        trace: TraceRecorder,
+        crash_fn: Callable[[int], None],
+        plans: Optional[List[CrashPlan]] = None,
+    ) -> None:
+        self.sim = sim
+        self.trace = trace
+        self.crash_fn = crash_fn
+        self.plans: List[CrashPlan] = list(plans or [])
+        self.crashes_fired: List[tuple] = []
+        self._subscribed = False
+
+    def arm(self) -> None:
+        """Schedule timed crashes and subscribe trace triggers."""
+        for plan in self.plans:
+            if plan.is_timed():
+                self.sim.schedule_at(
+                    plan.at_time, self._fire, plan, label="inject.crash"
+                )
+        if any(not plan.is_timed() for plan in self.plans) and not self._subscribed:
+            self.trace.subscribe(self._on_trace_event)
+            self._subscribed = True
+
+    def add(self, plan: CrashPlan) -> None:
+        """Add one more plan after arming."""
+        self.plans.append(plan)
+        if plan.is_timed():
+            self.sim.schedule_at(plan.at_time, self._fire, plan, label="inject.crash")
+        elif not self._subscribed:
+            self.trace.subscribe(self._on_trace_event)
+            self._subscribed = True
+
+    # ------------------------------------------------------------------
+    def _on_trace_event(self, event: TraceEvent) -> None:
+        for plan in self.plans:
+            if plan.matches(event):
+                plan._seen += 1
+                if plan._seen >= plan.occurrence:
+                    plan._armed = False
+                    if plan.immediate and plan.delay == 0:
+                        # preempt the traced event's handler
+                        self._fire(plan)
+                    elif plan.delay > 0:
+                        self.sim.schedule(plan.delay, self._fire, plan, label="inject.crash")
+                    else:
+                        # fire after the current event finishes dispatching
+                        self.sim.schedule(0.0, self._fire, plan, label="inject.crash")
+
+    def _fire(self, plan: CrashPlan) -> None:
+        self.crashes_fired.append((self.sim.now, plan.node))
+        self.trace.record(self.sim.now, "inject", plan.node, "crash")
+        self.crash_fn(plan.node)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FailureInjector(plans={len(self.plans)}, fired={len(self.crashes_fired)})"

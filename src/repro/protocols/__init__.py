@@ -1,0 +1,56 @@
+"""Logging and checkpointing protocols.
+
+The paper's contribution is a recovery algorithm for the Family-Based
+Logging (FBL) protocols; this package implements that family plus the
+comparator protocols its related-work section situates it against:
+
+* :class:`~repro.protocols.fbl.FamilyBasedLogging` -- FBL(f): message
+  data in the sender's volatile log, receipt orders replicated at
+  ``f + 1`` hosts by piggybacking (Alvisi & Marzullo).
+* :class:`~repro.protocols.sender_based.SenderBasedLogging` -- the
+  ``f = 1`` instance with explicit rsn acknowledgements (Johnson &
+  Zwaenepoel's sender-based message logging).
+* :class:`~repro.protocols.manetho.ManethoLogging` -- the ``f = n``
+  instance: determinants logged asynchronously to a never-failing
+  stable-storage process, antecedence-graph style (Elnozahy &
+  Zwaenepoel's Manetho).
+* :class:`~repro.protocols.pessimistic.PessimisticLogging` -- receiver
+  logs every message synchronously to stable storage before delivery;
+  recovery is purely local.
+* :class:`~repro.protocols.optimistic.OptimisticLogging` -- receiver
+  logs asynchronously; failures can orphan live processes, which must
+  roll back (Strom & Yemini).
+* :class:`~repro.protocols.coordinated.CoordinatedCheckpointing` --
+  no logging at all; quiesced consistent snapshots, and every process
+  rolls back on any failure.
+"""
+
+from repro.protocols.base import LoggingProtocol, LogBasedProtocol
+from repro.protocols.coordinated import CoordinatedCheckpointing
+from repro.protocols.fbl import STABLE_HOST, FamilyBasedLogging
+from repro.protocols.manetho import ManethoLogging
+from repro.protocols.optimistic import OptimisticLogging
+from repro.protocols.pessimistic import PessimisticLogging
+from repro.protocols.sender_based import SenderBasedLogging
+
+PROTOCOLS = {
+    "fbl": FamilyBasedLogging,
+    "sender_based": SenderBasedLogging,
+    "manetho": ManethoLogging,
+    "pessimistic": PessimisticLogging,
+    "optimistic": OptimisticLogging,
+    "coordinated": CoordinatedCheckpointing,
+}
+
+__all__ = [
+    "LoggingProtocol",
+    "LogBasedProtocol",
+    "FamilyBasedLogging",
+    "SenderBasedLogging",
+    "ManethoLogging",
+    "PessimisticLogging",
+    "OptimisticLogging",
+    "CoordinatedCheckpointing",
+    "PROTOCOLS",
+    "STABLE_HOST",
+]

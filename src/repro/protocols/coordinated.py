@@ -1,0 +1,499 @@
+"""Coordinated checkpointing (no logging at all).
+
+The other classical alternative to message logging: processes take
+*consistent global snapshots* and, on any failure, everyone rolls back
+to the last committed snapshot line.  Failure-free cost is periodic
+(here: a send-hold while channels drain, plus a checkpoint write);
+recovery cost is massive intrusion -- every process loses all work since
+the last snapshot and stalls through a stable-storage restore.  This is
+the contrast class for experiment E7.
+
+The snapshot algorithm is counter-based coordinated checkpointing (a
+blocking variant of Chandy-Lamport / Mattern):
+
+1. the initiator broadcasts ``cl_prepare``; every process *holds* its
+   outgoing application sends (deliveries continue, draining channels);
+2. processes report per-channel sent/received counters; the initiator
+   re-polls until, for every channel, sent == received -- at which point
+   no application message is in flight anywhere;
+3. the initiator broadcasts ``cl_snap``: everyone snapshots its state
+   (channels are empty, so process states alone form a consistent cut)
+   and releases its held sends;
+4. when every snapshot write is durable the initiator broadcasts
+   ``cl_commit`` and the round becomes the system-wide rollback target.
+
+Rollback uses epochs: every message carries its sender's epoch; a
+rollback bumps the system epoch, so messages from the rolled-back
+execution are discarded, and messages from a process that already
+rolled back are buffered by processes that have not yet caught up.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.net.network import Message, MessageKind
+from repro.protocols.base import LoggingProtocol
+
+#: Delay between counter polls while waiting for channels to drain.
+POLL_INTERVAL = 0.005
+
+
+class CoordinatedCheckpointing(LoggingProtocol):
+    """Consistent snapshots + global rollback; no message logging."""
+
+    name = "coordinated"
+    supported_recovery = ("coordinated",)
+    #: re-execution after rollback may take a different interleaving, so
+    #: the replay-determinism oracle does not apply
+    oracle_compatible = False
+
+    def __init__(self, snapshot_every: int = 10, initiator: int = 0) -> None:
+        super().__init__()
+        if snapshot_every < 1:
+            raise ValueError(f"snapshot_every must be >= 1, got {snapshot_every!r}")
+        self.snapshot_every = snapshot_every
+        self.initiator = initiator
+        self.epoch = 0
+        self.committed_round = 0
+        self.sent_count: Dict[int, int] = {}
+        self.recv_count: Dict[int, int] = {}
+        self._holding = False
+        self._held_sends: List[Tuple[int, Dict[str, Any], int]] = []
+        self._hold_started_at: Optional[float] = None
+        self.hold_time_total = 0.0
+        self._future_epoch: List[Message] = []
+        # initiator state
+        self._round_in_progress: Optional[int] = None
+        self._next_round = 1
+        self._counts: Dict[int, Tuple[Dict, Dict]] = {}
+        self._done: set = set()
+        self.rounds_committed = 0
+        self.rounds_aborted = 0
+        #: outputs waiting for a committed snapshot covering them:
+        #: (output_id, payload, requested_at, rsn)
+        self._pending_outputs: List[Tuple[tuple, Dict[str, Any], float, int]] = []
+        #: round -> our delivered_count captured in that round's snapshot
+        self._round_counts: Dict[int, int] = {0: 0}
+        #: delivered_count covered by the latest *committed* round
+        self._committed_count = 0
+
+    # ------------------------------------------------------------------
+    # sending / receiving
+    # ------------------------------------------------------------------
+    def send_app(self, dst: int, payload: Dict[str, Any], body_bytes: int) -> None:
+        if self._holding:
+            self._held_sends.append((dst, dict(payload), body_bytes))
+            return
+        self._send_now(dst, payload, body_bytes)
+
+    def _send_now(self, dst: int, payload: Dict[str, Any], body_bytes: int) -> None:
+        node = self.node
+        ssn = node.next_ssn(dst)
+        self.sent_count[dst] = self.sent_count.get(dst, 0) + 1
+        node.network.send(
+            Message(
+                src=node.node_id,
+                dst=dst,
+                kind=MessageKind.APPLICATION,
+                mtype="app",
+                payload={"data": payload, "epoch": self.epoch},
+                body_bytes=body_bytes + 8,
+                incarnation=node.incarnation,
+                ssn=ssn,
+            )
+        )
+
+    def on_app_message(self, msg: Message) -> None:
+        msg_epoch = msg.payload.get("epoch", 0)
+        if msg_epoch < self.epoch:
+            return  # from a rolled-back execution
+        if msg_epoch > self.epoch:
+            self._future_epoch.append(msg)  # sender already rolled forward
+            return
+        self.recv_count[msg.src] = self.recv_count.get(msg.src, 0) + 1
+        node = self.node
+        sends = node.deliver_app(msg.src, msg.ssn, msg.payload["data"])
+        for send in sends:
+            self.send_app(send.dst, send.payload, send.body_bytes)
+        self._maybe_initiate_round()
+
+    def on_app_message_during_recovery(self, msg: Message) -> None:
+        # The recovering node is about to roll everyone back; queue until
+        # the epoch question is settled.
+        self._future_epoch.append(msg)
+
+    # ------------------------------------------------------------------
+    # output commit: an output is safe only once a snapshot line that
+    # includes its delivery has been committed system-wide -- coordinated
+    # checkpointing's notoriously slow output commit
+    # ------------------------------------------------------------------
+    def request_output_commit(self, output_id: tuple, payload: Dict[str, Any]) -> None:
+        node = self.node
+        rsn = output_id[1]
+        if rsn < self._committed_count:
+            node.commit_output(output_id, payload, node.sim.now)
+            return
+        self._pending_outputs.append((output_id, dict(payload), node.sim.now, rsn))
+        self._solicit_round()
+
+    def _solicit_round(self) -> None:
+        """Ask the initiator for a snapshot round so pending outputs can
+        commit even after application traffic quiesces."""
+        node = self.node
+        if node.node_id == self.initiator:
+            self._start_round()
+        else:
+            self._send_ctl(self.initiator, "cl_round_request", {}, body=8)
+
+    def _on_cl_round_request(self, msg: Message) -> None:
+        if self.node.node_id == self.initiator:
+            self._start_round()
+
+    def _release_committed_outputs(self) -> None:
+        still_pending = []
+        for output_id, payload, requested_at, rsn in self._pending_outputs:
+            if rsn < self._committed_count:
+                self.node.commit_output(output_id, payload, requested_at)
+            else:
+                still_pending.append((output_id, payload, requested_at, rsn))
+        self._pending_outputs = still_pending
+
+    def _drain_future_epoch(self) -> None:
+        pending, self._future_epoch = self._future_epoch, []
+        for msg in pending:
+            self.node.receive(msg)
+
+    # ------------------------------------------------------------------
+    # snapshot rounds
+    # ------------------------------------------------------------------
+    def _peers(self) -> List[int]:
+        return [p for p in range(self.node.config.n) if p != self.node.node_id]
+
+    def _send_ctl(self, dst: int, mtype: str, payload: Dict[str, Any], body: int = 24) -> None:
+        node = self.node
+        node.network.send(
+            Message(
+                src=node.node_id,
+                dst=dst,
+                kind=MessageKind.PROTOCOL,
+                mtype=mtype,
+                payload=payload,
+                body_bytes=body,
+                incarnation=node.incarnation,
+            )
+        )
+
+    def _maybe_initiate_round(self) -> None:
+        node = self.node
+        if node.node_id != self.initiator:
+            return
+        if node.app.delivered_count % self.snapshot_every != 0:
+            return
+        self._start_round()
+
+    def _start_round(self) -> None:
+        node = self.node
+        if self._round_in_progress is not None or not node.is_live:
+            return
+        round_id = self._next_round
+        self._next_round += 1
+        self._round_in_progress = round_id
+        self._counts = {}
+        self._done = set()
+        node.trace.record(node.sim.now, "snapshot", node.node_id, "round_start", round=round_id)
+        self._begin_hold()
+        for peer in self._peers():
+            self._send_ctl(peer, "cl_prepare", {"round": round_id})
+        self._counts[node.node_id] = (dict(self.sent_count), dict(self.recv_count))
+        self._check_balance()
+
+    def _begin_hold(self) -> None:
+        if not self._holding:
+            self._holding = True
+            self._hold_started_at = self.node.sim.now
+
+    def _release_hold(self) -> None:
+        if self._holding:
+            self._holding = False
+            if self._hold_started_at is not None:
+                self.hold_time_total += self.node.sim.now - self._hold_started_at
+                self._hold_started_at = None
+            held, self._held_sends = self._held_sends, []
+            for dst, payload, body in held:
+                self._send_now(dst, payload, body)
+
+    def on_protocol_message(self, msg: Message) -> None:
+        handler = getattr(self, f"_on_{msg.mtype}", None)
+        if handler is not None:
+            handler(msg)
+
+    def _on_cl_prepare(self, msg: Message) -> None:
+        self._begin_hold()
+        self._send_counts(msg.src, msg.payload["round"])
+
+    def _on_cl_counts_request(self, msg: Message) -> None:
+        self._send_counts(msg.src, msg.payload["round"])
+
+    def _send_counts(self, dst: int, round_id: int) -> None:
+        self._send_ctl(
+            dst,
+            "cl_counts",
+            {
+                "round": round_id,
+                "sent": dict(self.sent_count),
+                "recv": dict(self.recv_count),
+            },
+            body=16 + 16 * self.node.config.n,
+        )
+
+    def _on_cl_counts(self, msg: Message) -> None:
+        if msg.payload["round"] != self._round_in_progress:
+            return
+        self._counts[msg.src] = (msg.payload["sent"], msg.payload["recv"])
+        self._check_balance()
+
+    def _check_balance(self) -> None:
+        node = self.node
+        round_id = self._round_in_progress
+        if round_id is None:
+            return
+        everyone = set(range(node.config.n))
+        if set(self._counts) != everyone:
+            return
+        self._counts[node.node_id] = (dict(self.sent_count), dict(self.recv_count))
+        balanced = True
+        for a in everyone:
+            sent_a = self._counts[a][0]
+            for b in everyone:
+                if a == b:
+                    continue
+                if sent_a.get(b, sent_a.get(str(b), 0)) != self._counts[b][1].get(
+                    a, self._counts[b][1].get(str(a), 0)
+                ):
+                    balanced = False
+                    break
+            if not balanced:
+                break
+        if balanced:
+            node.trace.record(node.sim.now, "snapshot", node.node_id, "drained", round=round_id)
+            for peer in self._peers():
+                self._send_ctl(peer, "cl_snap", {"round": round_id})
+            self._take_round_snapshot(round_id, report_to=None)
+        else:
+            # channels still draining; poll again shortly
+            node.sim.schedule(POLL_INTERVAL, self._poll_counts, round_id, label="cl_poll")
+
+    def _poll_counts(self, round_id: int) -> None:
+        if round_id != self._round_in_progress or not self.node.is_live:
+            return
+        self._counts = {self.node.node_id: (dict(self.sent_count), dict(self.recv_count))}
+        for peer in self._peers():
+            self._send_ctl(peer, "cl_counts_request", {"round": round_id})
+        self._check_balance()
+
+    def _on_cl_snap(self, msg: Message) -> None:
+        self._take_round_snapshot(msg.payload["round"], report_to=msg.src)
+
+    def _take_round_snapshot(self, round_id: int, report_to: Optional[int]) -> None:
+        """Capture state in memory now, write it durably, release the hold."""
+        node = self.node
+        record = {
+            "round": round_id,
+            "app_state": node.app.snapshot(),
+            "send_seqnos": dict(node.send_seqnos),
+            "delivered_ids": sorted(node.delivered_ids),
+            "sent_count": dict(self.sent_count),
+            "recv_count": dict(self.recv_count),
+            "epoch": self.epoch,
+            # pending output is part of the cut: with channels drained,
+            # the system's entire "future" lives in these held sends
+            "held_sends": [
+                (dst, dict(payload), body) for dst, payload, body in self._held_sends
+            ],
+        }
+        node.trace.record(node.sim.now, "snapshot", node.node_id, "snap", round=round_id)
+        self._round_counts[round_id] = node.app.delivered_count
+
+        def durable() -> None:
+            if report_to is None:
+                self._on_cl_done_local(round_id)
+            else:
+                self._send_ctl(report_to, "cl_done", {"round": round_id}, body=8)
+
+        node.storage.write(
+            f"round:{round_id}", record, node.config.state_bytes, on_done=durable
+        )
+        self._release_hold()
+
+    def _on_cl_done(self, msg: Message) -> None:
+        if msg.payload["round"] != self._round_in_progress:
+            return
+        self._done.add(msg.src)
+        self._check_round_committed()
+
+    def _on_cl_done_local(self, round_id: int) -> None:
+        if round_id != self._round_in_progress:
+            return
+        self._done.add(self.node.node_id)
+        self._check_round_committed()
+
+    def _check_round_committed(self) -> None:
+        node = self.node
+        if self._round_in_progress is None:
+            return
+        if self._done != set(range(node.config.n)):
+            return
+        round_id = self._round_in_progress
+        self._round_in_progress = None
+        self.rounds_committed += 1
+        node.trace.record(node.sim.now, "snapshot", node.node_id, "commit", round=round_id)
+        for peer in self._peers():
+            self._send_ctl(peer, "cl_commit", {"round": round_id}, body=8)
+        self._apply_commit(round_id)
+
+    def _on_cl_commit(self, msg: Message) -> None:
+        self._apply_commit(msg.payload["round"])
+
+    def _apply_commit(self, round_id: int) -> None:
+        if round_id > self.committed_round:
+            self.committed_round = round_id
+            self._committed_count = self._round_counts.get(
+                round_id, self._committed_count
+            )
+            self.node.storage.write(f"committed:{self.node.node_id}", round_id, 8)
+            self._release_committed_outputs()
+            if self._pending_outputs:
+                # an output requested after this round's snapshot: ask for
+                # one more round to cover it
+                self._solicit_round()
+
+    def abort_round(self) -> None:
+        """A failure interrupted the round; drop it and release holds."""
+        if self._round_in_progress is not None:
+            self.rounds_aborted += 1
+            self.node.trace.record(
+                self.node.sim.now, "snapshot", self.node.node_id, "abort",
+                round=self._round_in_progress,
+            )
+            self._round_in_progress = None
+        self._release_hold()
+
+    # ------------------------------------------------------------------
+    # rollback support (driven by CoordinatedRecovery)
+    # ------------------------------------------------------------------
+    def rollback_to_round(
+        self, round_id: int, new_epoch: int, on_done: Callable[[], None]
+    ) -> None:
+        """Stall, reload round ``round_id`` from stable storage, restart.
+
+        The stall (stable read of the full process image) is charged as
+        blocked time: this is coordinated checkpointing's intrusion on
+        processes that did not fail.
+        """
+        node = self.node
+        was_live = node.is_live
+        if was_live:
+            node.block()
+        self.abort_round()
+
+        def loaded(record: Any) -> None:
+            if record is None:
+                raise RuntimeError(
+                    f"node {node.node_id} has no snapshot for round {round_id}"
+                )
+            node.apply_snapshot(
+                record["app_state"], record["send_seqnos"], record["delivered_ids"]
+            )
+            self.sent_count = dict(record["sent_count"])
+            self.recv_count = dict(record["recv_count"])
+            self.epoch = new_epoch
+            self.committed_round = round_id
+            self._committed_count = record["app_state"]["delivered_count"]
+            # outputs from the rolled-back execution are void; they were
+            # never released (that is the whole point)
+            self._pending_outputs = [
+                p for p in self._pending_outputs if p[3] < self._committed_count
+            ]
+            self._held_sends = []
+            node.trace.record(
+                node.sim.now, "snapshot", node.node_id, "rolled_back",
+                round=round_id, epoch=new_epoch,
+            )
+            if was_live:
+                node.unblock()
+            # resume the cut's pending output under the new epoch
+            for dst, payload, body in record.get("held_sends", []):
+                self._send_now(dst, dict(payload), body)
+            # finish the recovery hand-off *before* draining: a
+            # recovering node must be live again or the drained messages
+            # would just be re-buffered
+            on_done()
+            self._drain_future_epoch()
+
+        node.storage.read(f"round:{round_id}", node.config.state_bytes, loaded)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        # round 0: the initial states form a trivially consistent cut,
+        # whose pending output is exactly the workload's initial sends
+        record = {
+            "round": 0,
+            "app_state": self.node.app.snapshot(),
+            "send_seqnos": {},
+            "delivered_ids": [],
+            "sent_count": {},
+            "recv_count": {},
+            "epoch": 0,
+            "held_sends": [
+                (send.dst, dict(send.payload), send.body_bytes)
+                for send in self.node.app.initial_sends()
+            ],
+        }
+        # the round-0 image is on disk before the process launches
+        self.node.storage.write_bootstrap("round:0", record)
+        self.node.storage.write_bootstrap(f"committed:{self.node.node_id}", 0)
+        super().on_start()
+
+    def on_crash(self) -> None:
+        self._pending_outputs = []
+        self._round_counts = {0: 0}
+        self._committed_count = 0
+        self.sent_count = {}
+        self.recv_count = {}
+        self._holding = False
+        self._held_sends = []
+        self._hold_started_at = None
+        self._future_epoch = []
+        self._round_in_progress = None
+        self._counts = {}
+        self._done = set()
+        self.epoch = 0
+        self.committed_round = 0
+
+    def restore_stable(self, on_done: Callable[[], None]) -> None:
+        """Recover the committed-round marker (epoch comes from peers)."""
+
+        def loaded(value: Any) -> None:
+            self.committed_round = value or 0
+            on_done()
+
+        self.node.storage.read(f"committed:{self.node.node_id}", 8, loaded)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        data = super().stats()
+        data.update(
+            pending_outputs=len(self._pending_outputs),
+            rounds_committed=self.rounds_committed,
+            rounds_aborted=self.rounds_aborted,
+            hold_time_total=self.hold_time_total,
+            epoch=self.epoch,
+            committed_round=self.committed_round,
+        )
+        return data
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CoordinatedCheckpointing(every={self.snapshot_every})"

@@ -1,0 +1,352 @@
+"""The Family-Based Logging protocols, parameterised by ``f``.
+
+From Section 2 of the paper:
+
+    To tolerate f process failures in a rollback-recovery system, it is
+    sufficient to log each message in the volatile store of its sender
+    and to log its receipt order in the volatile store of f + 1
+    different hosts.
+
+Concretely:
+
+* every outgoing message's data goes in the sender's volatile
+  :class:`~repro.storage.volatile.SendLog` (captured by checkpoints so
+  pre-checkpoint messages remain replayable across the sender's crash);
+* every delivery creates a determinant, and each process piggybacks on
+  each application message the determinants it knows that are not yet
+  replicated at ``f + 1`` hosts ("propagation of the receipt order of a
+  certain message stops as soon as it has been recorded in f + 1
+  hosts");
+* no stable-storage logging happens at all, except for the ``f = n``
+  instance (see :mod:`repro.protocols.manetho`), which models stable
+  storage as an additional process that never fails, exactly as the
+  paper does.
+
+Replication accounting is optimistic over reliable FIFO channels: when a
+determinant is piggybacked to a host, that host is counted as storing it.
+The FBL guarantee (some live host knows every needed receipt order)
+therefore holds for up to ``f`` failures per run, which is the regime the
+paper and all experiments operate in.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.causality.determinant import Determinant
+from repro.net.network import Message, MessageKind
+from repro.protocols.base import LogBasedProtocol
+
+#: Virtual host id representing the never-failing stable-storage process
+#: the paper introduces for the ``f = n`` case.
+STABLE_HOST = -1
+
+
+class FamilyBasedLogging(LogBasedProtocol):
+    """FBL(f): sender-based data logging + f+1-replicated receipt orders.
+
+    Parameters
+    ----------
+    f:
+        Number of simultaneous failures to tolerate.  ``f = 1`` behaves
+    like sender-based message logging; ``f = n`` (with stable-storage
+    determinant logging) behaves like Manetho.
+    ack_to_sender:
+        If True, the receiver returns each new determinant to the
+        message's sender in a small ack (classic SBML behaviour).  Off by
+        default: plain FBL spreads determinants by piggybacking only.
+    """
+
+    name = "fbl"
+    supported_recovery = ("blocking", "nonblocking")
+
+    def __init__(self, f: int = 2, ack_to_sender: bool = False) -> None:
+        super().__init__()
+        if f < 1:
+            raise ValueError(f"f must be >= 1, got {f!r}")
+        self.f = f
+        self.ack_to_sender = ack_to_sender
+        # cache of determinants not yet replicated at f + 1 hosts, so a
+        # send only scans piggyback *candidates*, not the whole log
+        self._unstable: Dict[Tuple[int, int], Determinant] = {}
+        self._next_flush_id = 0
+        self.output_flushes = 0
+
+    @property
+    def replication_target(self) -> int:
+        """Hosts that must store a determinant before piggybacking stops."""
+        return self.f + 1
+
+    # ------------------------------------------------------------------
+    # piggybacking
+    # ------------------------------------------------------------------
+    def _det_stable(self, det: Determinant) -> bool:
+        hosts = self.det_log.logged_at(det)
+        return STABLE_HOST in hosts or len(hosts) >= self.replication_target
+
+    def _track(self, det: Determinant) -> None:
+        """Refresh the unstable cache for one determinant."""
+        key = det.delivery_id
+        if self._det_stable(det):
+            self._unstable.pop(key, None)
+            if self._pending_outputs and det.receiver == self.node.node_id:
+                self._check_pending_outputs()
+        else:
+            self._unstable[key] = det
+
+    def _rebuild_unstable(self) -> None:
+        self._unstable = {
+            det.delivery_id: det
+            for det in self.det_log.determinants()
+            if not self._det_stable(det)
+        }
+
+    def _piggyback_for(self, dst: int) -> List[Tuple[Tuple[int, int, int, int], Tuple[int, ...]]]:
+        items = []
+        for key in sorted(self._unstable):
+            det = self._unstable[key]
+            hosts = self.det_log.logged_at(det)
+            if dst in hosts:
+                continue  # dst already stores it; no point re-sending
+            items.append((det.to_tuple(), tuple(sorted(hosts))))
+            # Reliable FIFO channel: dst will store it on receipt.
+            self.det_log.note_logged_at(det, dst)
+            self._track(det)
+        return items
+
+    def _absorb_piggyback(self, msg: Message) -> None:
+        for det_tuple, hosts in msg.piggyback:
+            det = Determinant.from_tuple(tuple(det_tuple))
+            merged_hosts = set(hosts) | {msg.src, self.node.node_id}
+            self.det_log.add(det, logged_at=merged_hosts)
+            self._track(det)
+
+    def _record_own_determinant(self, det: Determinant, msg: Optional[Message]) -> None:
+        self._track(det)
+        if self.ack_to_sender and msg is not None:
+            self._send_det_ack(det)
+
+    def _send_det_ack(self, det: Determinant) -> None:
+        node = self.node
+        node.network.send(
+            Message(
+                src=node.node_id,
+                dst=det.sender,
+                kind=MessageKind.PROTOCOL,
+                mtype="det_ack",
+                payload={"det": det.to_tuple()},
+                body_bytes=16,
+                incarnation=node.incarnation,
+            )
+        )
+
+    def on_protocol_message(self, msg: Message) -> None:
+        if msg.mtype == "det_ack":
+            det = Determinant.from_tuple(tuple(msg.payload["det"]))
+            self.det_log.add(det, logged_at=(msg.src, self.node.node_id))
+            self._track(det)
+            return
+        if msg.mtype == "det_push":
+            self._on_det_push(msg)
+            return
+        if msg.mtype == "det_push_ack":
+            self._on_det_push_ack(msg)
+            return
+        if msg.mtype == "gc_notice":
+            self._on_gc_notice(msg)
+            return
+        super().on_protocol_message(msg)
+
+    # ------------------------------------------------------------------
+    # output commit: FBL is ready when every determinant of its own
+    # deliveries is replicated at f + 1 hosts; an explicit, acknowledged
+    # push closes the gap when piggybacking has not yet done the job
+    # ------------------------------------------------------------------
+    def _output_ready_for(self, rsn: int) -> bool:
+        me = self.node.node_id
+        return not any(
+            key[0] == me and key[1] <= rsn for key in self._unstable
+        )
+
+    def _flush_for_output(self, rsn: int) -> None:
+        """Push this process's unstable determinants (up to the output's
+        delivery) to enough hosts.
+
+        Unlike piggybacking, the push is *acknowledged*: a determinant
+        only counts as replicated once the target confirms storing it,
+        so output-commit latency honestly includes the round trip.
+        """
+        node = self.node
+        me = node.node_id
+        own_unstable = [
+            self._unstable[key]
+            for key in sorted(self._unstable)
+            if key[0] == me and key[1] <= rsn
+        ]
+        if not own_unstable:
+            return
+        per_target: Dict[int, List[Determinant]] = {}
+        for det in own_unstable:
+            hosts = self.det_log.logged_at(det)
+            missing = self.replication_target - len(hosts)
+            candidates = [
+                p for p in range(node.config.n)
+                if p != me and p not in hosts
+                and not node.detector.is_suspected(p)
+            ]
+            for target in candidates[:missing]:
+                per_target.setdefault(target, []).append(det)
+        for target, dets in sorted(per_target.items()):
+            self.output_flushes += 1
+            node.network.send(
+                Message(
+                    src=me,
+                    dst=target,
+                    kind=MessageKind.PROTOCOL,
+                    mtype="det_push",
+                    payload={"dets": [d.to_tuple() for d in dets]},
+                    body_bytes=8 + 32 * len(dets),
+                    incarnation=node.incarnation,
+                )
+            )
+
+    def _on_det_push(self, msg: Message) -> None:
+        stored = []
+        for det_tuple in msg.payload["dets"]:
+            det = Determinant.from_tuple(tuple(det_tuple))
+            self.det_log.add(det, logged_at=(msg.src, self.node.node_id))
+            self._track(det)
+            stored.append(det.to_tuple())
+        self.node.network.send(
+            Message(
+                src=self.node.node_id,
+                dst=msg.src,
+                kind=MessageKind.PROTOCOL,
+                mtype="det_push_ack",
+                payload={"dets": stored},
+                body_bytes=8,
+                incarnation=self.node.incarnation,
+            )
+        )
+
+    def _on_det_push_ack(self, msg: Message) -> None:
+        for det_tuple in msg.payload["dets"]:
+            det = Determinant.from_tuple(tuple(det_tuple))
+            self.det_log.note_logged_at(det, msg.src)
+            self._track(det)
+
+    # ------------------------------------------------------------------
+    # checkpoint integration
+    # ------------------------------------------------------------------
+    def checkpoint_extra(self) -> Dict[str, Any]:
+        """Capture both volatile logs.
+
+        The send log must survive the sender's crash for messages sent
+        *before* the checkpoint (they are not regenerated by replay); the
+        determinant log keeps this host's contribution to the ``f + 1``
+        replication valid across its own crash-and-recover.
+        """
+        return {
+            "send_log": self.send_log.to_state(),
+            "det_log": self.det_log.to_state(),
+        }
+
+    def on_checkpoint(self, checkpoint: "Checkpoint") -> None:
+        """A checkpoint became durable: garbage-collect.
+
+        * locally, our own determinants for deliveries the checkpoint
+          covers are never replayed again;
+        * peers can prune their send logs up to our contiguous delivered
+          prefix and drop their copies of our covered determinants.
+        """
+        node = self.node
+        count = checkpoint.delivered_count
+        if count == 0:
+            return
+        dropped = self.det_log.drop_receiver_prefix(node.node_id, count)
+        for key in [k for k in self._unstable if k[0] == node.node_id and k[1] < count]:
+            del self._unstable[key]
+        prefixes = self._contiguous_delivered_prefixes()
+        node.trace.record(
+            node.sim.now, "gc", node.node_id, "notice",
+            covered=count, local_dets_dropped=dropped,
+        )
+        # a durable checkpoint makes the covered prefix recoverable by
+        # itself: outputs gated on those determinants may commit now
+        self._check_pending_outputs()
+        for peer in range(node.config.n):
+            if peer == node.node_id:
+                continue
+            node.network.send(
+                Message(
+                    src=node.node_id,
+                    dst=peer,
+                    kind=MessageKind.PROTOCOL,
+                    mtype="gc_notice",
+                    payload={
+                        "covered": count,
+                        "ssn_prefix": prefixes.get(peer, -1),
+                    },
+                    body_bytes=16,
+                    incarnation=node.incarnation,
+                )
+            )
+
+    def _contiguous_delivered_prefixes(self) -> Dict[int, int]:
+        """Per sender: highest k such that ssns 0..k are all delivered.
+
+        Only a contiguous prefix is safe to prune at the sender -- a gap
+        may be a message still in flight.
+        """
+        by_sender: Dict[int, set] = {}
+        for sender, ssn in self.node.delivered_ids:
+            by_sender.setdefault(sender, set()).add(ssn)
+        prefixes: Dict[int, int] = {}
+        for sender, ssns in by_sender.items():
+            k = -1
+            while k + 1 in ssns:
+                k += 1
+            prefixes[sender] = k
+        return prefixes
+
+    def _on_gc_notice(self, msg: Message) -> None:
+        pruned = self.send_log.prune_upto(msg.src, msg.payload["ssn_prefix"])
+        dropped = self.det_log.drop_receiver_prefix(msg.src, msg.payload["covered"])
+        for key in [
+            k for k in self._unstable
+            if k[0] == msg.src and k[1] < msg.payload["covered"]
+        ]:
+            del self._unstable[key]
+        if pruned or dropped:
+            self.node.trace.record(
+                self.node.sim.now, "gc", self.node.node_id, "pruned",
+                peer=msg.src, send_log=pruned, determinants=dropped,
+            )
+
+    def on_restore(self, checkpoint: "Checkpoint") -> None:
+        protocol_state = checkpoint.extra.get("protocol", {})
+        self.send_log.load_state(protocol_state.get("send_log", []))
+        self.det_log.load_state(protocol_state.get("det_log", []))
+        self._rebuild_unstable()
+
+    def on_crash(self) -> None:
+        super().on_crash()
+        self._unstable.clear()
+
+    def _on_depinfo_loaded(self) -> None:
+        self._rebuild_unstable()
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        data = super().stats()
+        data.update(
+            f=self.f,
+            output_flushes=self.output_flushes,
+            unstable_determinants=sum(
+                1 for det in self.det_log.determinants() if not self._det_stable(det)
+            ),
+        )
+        return data
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FamilyBasedLogging(f={self.f})"

@@ -1,0 +1,51 @@
+"""Recovery algorithms.
+
+* :class:`~repro.recovery.nonblocking.NonblockingRecovery` -- **the
+  paper's new algorithm** (Section 3): leader-driven gathering of
+  depinfo with incarnation vectors; live processes never block, never
+  refuse messages, never write stable storage synchronously; the gather
+  restarts whenever a live process dies before replying; leader failover
+  by ordinal number.
+* :class:`~repro.recovery.blocking.BlockingRecovery` -- the baseline
+  "optimized to reduce the communication overhead": the recovering
+  process queries live processes directly (no leader or sequencer
+  round), but live processes block from request to completion and
+  synchronously log their replies to stable storage first.
+* :class:`~repro.recovery.local.LocalRecovery` -- for pessimistic
+  (receiver-based, synchronous) logging: recovery is entirely local.
+* :class:`~repro.recovery.optimistic_mgr.OptimisticRecovery` -- for
+  optimistic logging: recover the logged prefix, announce the rollback,
+  and cascade orphan rollbacks.
+* :class:`~repro.recovery.coordinated_mgr.CoordinatedRecovery` -- for
+  coordinated checkpointing: every process rolls back to the most recent
+  globally durable snapshot round.
+* :class:`~repro.recovery.sequencer.Sequencer` -- the never-failing
+  ordinal service backing the paper's system-wide monotonic ``ord``.
+"""
+
+from repro.recovery.base import RecoveryManager
+from repro.recovery.blocking import BlockingRecovery
+from repro.recovery.coordinated_mgr import CoordinatedRecovery
+from repro.recovery.local import LocalRecovery
+from repro.recovery.nonblocking import NonblockingRecovery
+from repro.recovery.optimistic_mgr import OptimisticRecovery
+from repro.recovery.sequencer import Sequencer
+
+RECOVERY_MANAGERS = {
+    "blocking": BlockingRecovery,
+    "nonblocking": NonblockingRecovery,
+    "local": LocalRecovery,
+    "optimistic": OptimisticRecovery,
+    "coordinated": CoordinatedRecovery,
+}
+
+__all__ = [
+    "RecoveryManager",
+    "BlockingRecovery",
+    "NonblockingRecovery",
+    "LocalRecovery",
+    "OptimisticRecovery",
+    "CoordinatedRecovery",
+    "Sequencer",
+    "RECOVERY_MANAGERS",
+]

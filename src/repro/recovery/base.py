@@ -1,0 +1,105 @@
+"""Recovery manager interface and shared helpers."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.net.network import Message, MessageKind
+
+
+class RecoveryManager(ABC):
+    """Per-node driver of the recovery algorithm.
+
+    The node calls :meth:`begin_recovery` once its checkpoint (and any
+    protocol stable state) has been reloaded after a crash; the manager
+    runs its algorithm, eventually hands the gathered ``depinfo`` to
+    ``node.protocol.begin_replay``, and the protocol calls back
+    :meth:`on_replay_complete` when the pre-crash state is rebuilt.
+
+    The same object also implements the *live-side* behaviour: how this
+    node reacts to other processes' recoveries (this is where blocking
+    and non-blocking differ).
+    """
+
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.node = None  # set by attach()
+
+    def attach(self, node: "Node") -> None:
+        """Bind to the owning node.  Called once at system build."""
+        self.node = node
+
+    # -- helpers ----------------------------------------------------------
+    @property
+    def app_nodes(self) -> List[int]:
+        """All application node ids (excludes the sequencer)."""
+        return list(range(self.node.config.n))
+
+    @property
+    def peers(self) -> List[int]:
+        """Every application node except this one."""
+        return [p for p in self.app_nodes if p != self.node.node_id]
+
+    def send_control(
+        self,
+        dst: int,
+        mtype: str,
+        payload: Optional[Dict[str, Any]] = None,
+        body_bytes: int = 32,
+    ) -> None:
+        """Send one recovery-class control message."""
+        node = self.node
+        node.network.send(
+            Message(
+                src=node.node_id,
+                dst=dst,
+                kind=MessageKind.RECOVERY,
+                mtype=mtype,
+                payload=payload or {},
+                body_bytes=body_bytes,
+                incarnation=node.incarnation,
+            )
+        )
+
+    def broadcast_control(
+        self,
+        dsts: Iterable[int],
+        mtype: str,
+        payload: Optional[Dict[str, Any]] = None,
+        body_bytes: int = 32,
+    ) -> None:
+        """Send the same recovery control message to several peers."""
+        for dst in sorted(set(dsts)):
+            if dst != self.node.node_id:
+                self.send_control(dst, mtype, dict(payload or {}), body_bytes)
+
+    def trace(self, action: str, **details: Any) -> None:
+        """Record a recovery-category trace event for this node."""
+        node = self.node
+        node.trace.record(node.sim.now, "recovery", node.node_id, action, **details)
+
+    # -- lifecycle ----------------------------------------------------------
+    def on_crash(self) -> None:
+        """This node crashed; drop any in-progress recovery state."""
+
+    @abstractmethod
+    def begin_recovery(self) -> None:
+        """Checkpoint restored; run the recovery algorithm."""
+
+    def on_replay_complete(self) -> None:
+        """The protocol finished replaying; default: done immediately."""
+        self.node.complete_recovery()
+
+    # -- events ----------------------------------------------------------
+    def on_control(self, msg: Message) -> None:
+        """A recovery-class control message arrived."""
+
+    def on_peer_status(self, node_id: int, status: str) -> None:
+        """The failure detector reported ``node_id`` as "down" or "up"."""
+
+    # -- accounting ---------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Manager-specific counters for the run summary."""
+        return {}

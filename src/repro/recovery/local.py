@@ -1,0 +1,49 @@
+"""Purely local recovery, for pessimistic (receiver-based) logging.
+
+Pessimistic protocols buy trivially simple recovery with expensive
+failure-free operation: because every message is synchronously logged to
+stable storage *before* delivery, a recovering process needs nothing
+from anyone -- it restores its checkpoint, replays its own stable log,
+and announces completion so that senders can retransmit whatever was in
+flight when it crashed.  No other process blocks or participates.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.net.network import Message
+from repro.recovery.base import RecoveryManager
+
+
+class LocalRecovery(RecoveryManager):
+    """Recovery that involves no process other than the crashed one."""
+
+    name = "local"
+
+    def begin_recovery(self) -> None:
+        """Everything needed is already local (loaded by restore_stable)."""
+        episode = self.node.metrics.episode_of(self.node.node_id)
+        if episode is not None:
+            episode.replay_start_time = self.node.sim.now
+        self.trace("local_replay")
+        self.node.protocol.begin_replay([])
+
+    def on_replay_complete(self) -> None:
+        self.trace("complete")
+        self.broadcast_control(
+            self.peers,
+            "recovery_complete",
+            {"incarnation": self.node.incarnation},
+            body_bytes=16,
+        )
+        self.node.complete_recovery()
+
+    def on_control(self, msg: Message) -> None:
+        if msg.mtype == "recovery_complete":
+            current = self.node.incvector.get(msg.src, 0)
+            self.node.incvector[msg.src] = max(current, msg.payload["incarnation"])
+            self.node.protocol.on_peer_recovered(msg.src)
+
+    def stats(self) -> Dict[str, Any]:
+        return {}

@@ -1,0 +1,470 @@
+"""The paper's new non-blocking recovery algorithm (Section 3).
+
+The algorithm, from Section 3.4 (steps 1-3 run at every recovering
+process; 4-6 at the leader)::
+
+    1. Restore state;
+    2. incarnation <- incarnation + 1;
+    3. ord <- ord + 1;
+    4. for each process q in R do incvector[q] <- q.incarnation;
+    5. for each process q in L do
+           if q failed then goto 4;
+           depinfo <- q.depinfo; q.incvector <- incvector;
+    6. for each process q in R do q.depinfo <- depinfo;
+
+Key properties reproduced here:
+
+* **Live processes never block** and never refuse application messages;
+  their only duty is a single in-memory ``depinfo`` reply (no stable
+  storage write).
+* Each live process learns the leader's ``incvector`` with the request
+  and thereafter rejects stale messages from pre-failure incarnations,
+  so the gathered snapshot stays consistent.
+* **If a live process fails before replying, the leader restarts the
+  gather** (the ``goto 4``), first waiting for the newly failed process
+  to announce its own recovery so its fresh incarnation can be
+  collected.
+* **If the leader fails, the next process in ordinal order takes over**
+  and restarts the algorithm.
+
+The price is extra control messages (ordinal round-trip, incarnation
+round, depinfo round per restart, distribution) -- which is precisely
+the trade the paper argues has become cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set
+
+from repro.net.network import Message
+from repro.recovery.base import RecoveryManager
+from repro.sim.timers import PeriodicTimer
+
+#: How often a waiting (non-leader) recovering process refreshes the
+#: sequencer's active-recovery view.  Pure fallback against lost
+#: completion announcements; does not affect the measured experiments.
+STATUS_POLL_INTERVAL = 0.25
+
+
+class NonblockingRecovery(RecoveryManager):
+    """Leader-based, non-blocking recovery for the FBL family."""
+
+    name = "nonblocking"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.ord: Optional[int] = None
+        self.role = "idle"  # idle | acquiring | waiting | leader
+        self.phase = None  # leader: inc | depinfo | distribute
+        #: node -> {"ord": int, "incarnation": Optional[int]}
+        self.known_recovering: Dict[int, Dict[str, Any]] = {}
+        self._gather_round = 0
+        self.gather_restarts = 0
+        self._inc_replies: Dict[int, int] = {}
+        self._depinfo_expected: Set[int] = set()
+        self._depinfo_replies: Dict[int, List[Any]] = {}
+        self._incvector: Dict[int, int] = {}
+        self._poll_timer: Optional[PeriodicTimer] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def on_crash(self) -> None:
+        self._stop_poll()
+        self.ord = None
+        self.role = "idle"
+        self.phase = None
+        self.known_recovering.clear()
+        self._inc_replies.clear()
+        self._depinfo_expected.clear()
+        self._depinfo_replies.clear()
+        self._incvector.clear()
+
+    def begin_recovery(self) -> None:
+        """Step 3: acquire the system-wide ordinal."""
+        self.role = "acquiring"
+        self.trace("ord_request")
+        self.send_control(self.node.config.sequencer_id, "ord_request", body_bytes=8)
+
+    # ------------------------------------------------------------------
+    # control messages
+    # ------------------------------------------------------------------
+    def on_control(self, msg: Message) -> None:
+        handler = getattr(self, f"_on_{msg.mtype}", None)
+        if handler is not None:
+            handler(msg)
+
+    def _on_ord_reply(self, msg: Message) -> None:
+        if self.role != "acquiring":
+            return
+        self.ord = msg.payload["ord"]
+        for peer, entry in msg.payload["active"].items():
+            if peer != self.node.node_id:
+                self.known_recovering.setdefault(
+                    peer,
+                    {
+                        "ord": entry["ord"],
+                        "incarnation": None,
+                        "served": entry["served"],
+                    },
+                )
+        self.known_recovering[self.node.node_id] = {
+            "ord": self.ord,
+            "incarnation": self.node.incarnation,
+            "served": False,
+        }
+        self.role = "waiting"
+        self.trace("ord_acquired", ord=self.ord)
+        self.broadcast_control(
+            self.peers,
+            "join_recovery",
+            {"ord": self.ord, "incarnation": self.node.incarnation},
+            body_bytes=16,
+        )
+        self._evaluate_leadership()
+        if self.role == "waiting":
+            self._start_poll()
+
+    def _on_join_recovery(self, msg: Message) -> None:
+        self.known_recovering[msg.src] = {
+            "ord": msg.payload["ord"],
+            "incarnation": msg.payload["incarnation"],
+            "served": False,
+        }
+        if self.node.is_recovering:
+            # a sender we may be waiting on is reachable again
+            self.node.protocol.request_retransmissions_from(msg.src)
+        if self.role == "leader" and self.phase in ("inc", "depinfo"):
+            # A process we were waiting on (or a brand-new failure) has
+            # come back: absorb it into R and redo the gather (goto 4).
+            self._restart_gather("join")
+        elif self.role == "waiting":
+            self._evaluate_leadership()
+
+    def _on_inc_request(self, msg: Message) -> None:
+        if self.node.is_recovering:
+            self.send_control(
+                msg.src,
+                "inc_reply",
+                {"round": msg.payload["round"], "incarnation": self.node.incarnation},
+                body_bytes=16,
+            )
+
+    def _on_inc_reply(self, msg: Message) -> None:
+        if self.role != "leader" or self.phase != "inc":
+            return
+        if msg.payload["round"] != self._gather_round:
+            return
+        self._inc_replies[msg.src] = msg.payload["incarnation"]
+        entry = self.known_recovering.get(msg.src)
+        if entry is not None:
+            entry["incarnation"] = msg.payload["incarnation"]
+        self._check_inc_done()
+
+    def _on_depinfo_request(self, msg: Message) -> None:
+        """Live side of step 5: reply in memory, update incvector, go on.
+
+        This is the entire intrusion the new algorithm imposes on a live
+        process: build one reply from volatile state.  No blocking, no
+        synchronous stable-storage write, no embargo on application
+        messages.
+        """
+        self.trace("depinfo_request_received", leader=msg.src)
+        for peer, inc in msg.payload["incvector"].items():
+            current = self.node.incvector.get(peer, 0)
+            self.node.incvector[peer] = max(current, inc)
+        wire = self.node.protocol.local_depinfo_wire()
+        self.send_control(
+            msg.src,
+            "depinfo_reply",
+            {"round": msg.payload["round"], "wire": wire},
+            body_bytes=32 * len(wire),
+        )
+
+    def _on_depinfo_reply(self, msg: Message) -> None:
+        if self.role != "leader" or self.phase != "depinfo":
+            return
+        if msg.payload["round"] != self._gather_round:
+            return
+        if msg.src in self._depinfo_expected:
+            self._depinfo_replies[msg.src] = msg.payload["wire"]
+            self._check_depinfo_done()
+
+    def _on_depinfo_distribute(self, msg: Message) -> None:
+        """Step 6 at a non-leader member of R: take the snapshot, replay."""
+        if not self.node.is_recovering or self.role not in ("waiting", "leader"):
+            return
+        mine = self.known_recovering.get(self.node.node_id)
+        if mine is not None:
+            if mine["served"]:
+                return  # already replaying from an earlier distribution
+            mine["served"] = True
+        self._stop_poll()
+        for peer, inc in msg.payload["incvector"].items():
+            current = self.node.incvector.get(peer, 0)
+            self.node.incvector[peer] = max(current, inc)
+        episode = self.node.metrics.episode_of(self.node.node_id)
+        if episode is not None:
+            episode.replay_start_time = self.node.sim.now
+        self.trace("replay_handoff", leader=msg.src)
+        self.node.protocol.begin_replay(msg.payload["wire"])
+
+    def _on_recovery_complete(self, msg: Message) -> None:
+        self.known_recovering.pop(msg.src, None)
+        current = self.node.incvector.get(msg.src, 0)
+        self.node.incvector[msg.src] = max(current, msg.payload["incarnation"])
+        if self.node.is_recovering:
+            self.node.protocol.request_retransmissions_from(msg.src)
+        elif self.node.is_live:
+            self.node.protocol.on_peer_recovered(msg.src)
+        if self.role == "waiting":
+            self._evaluate_leadership()
+
+    def _on_leader_done(self, msg: Message) -> None:
+        """The current leader finished its algorithm (distributed the
+        depinfo); its recovery round no longer gates leadership."""
+        for peer in msg.payload["served"]:
+            entry = self.known_recovering.get(peer)
+            if entry is not None:
+                entry["served"] = True
+        if self.role == "waiting":
+            self._evaluate_leadership()
+
+    def _on_status_reply(self, msg: Message) -> None:
+        if self.role != "waiting":
+            return
+        active = msg.payload["active"]
+        for peer in list(self.known_recovering):
+            if peer != self.node.node_id and peer not in active:
+                del self.known_recovering[peer]
+        for peer, entry in active.items():
+            known = self.known_recovering.get(peer)
+            if known is not None and entry["served"]:
+                known["served"] = True
+        self._evaluate_leadership()
+
+    # ------------------------------------------------------------------
+    # detector events
+    # ------------------------------------------------------------------
+    def on_peer_status(self, node_id: int, status: str) -> None:
+        if status == "up":
+            self.known_recovering.pop(node_id, None)
+            if self.role == "waiting":
+                self._evaluate_leadership()
+            return
+        # status == "down"
+        if self.role == "leader":
+            if self.phase == "depinfo" and node_id in self._depinfo_expected:
+                # A live process failed before replying: goto 4.
+                self._restart_gather("live_failure")
+            elif self.phase == "inc" and node_id in self.known_recovering:
+                # A member of R re-crashed before answering; it will
+                # rejoin with a fresh ordinal.
+                self.known_recovering.pop(node_id, None)
+                self._restart_gather("member_recrash")
+        elif self.role == "waiting":
+            entry = self.known_recovering.pop(node_id, None)
+            if entry is not None:
+                self._evaluate_leadership()
+
+    # ------------------------------------------------------------------
+    # leader machinery
+    # ------------------------------------------------------------------
+    def _evaluate_leadership(self) -> None:
+        if self.ord is None or not self.node.is_recovering:
+            return
+        mine = self.known_recovering.get(self.node.node_id)
+        if mine is None or mine["served"]:
+            return  # already handed our depinfo; nothing to lead
+        active_ords = {
+            peer: entry["ord"]
+            for peer, entry in self.known_recovering.items()
+            if not entry["served"]
+        }
+        lowest = min(active_ords.values())
+        if active_ords.get(self.node.node_id) == lowest and self.role != "leader":
+            self.role = "leader"
+            self._stop_poll()
+            episode = self.node.metrics.episode_of(self.node.node_id)
+            if episode is not None:
+                episode.was_leader = True
+            self.trace("leader_elected", ord=self.ord)
+            self._start_gather()
+
+    def _start_gather(self) -> None:
+        """Step 4: collect fresh incarnations from every member of R."""
+        self.phase = "inc"
+        self._gather_round += 1
+        self._inc_replies.clear()
+        self._depinfo_replies.clear()
+        self._depinfo_expected.clear()
+        members = [p for p in self.known_recovering if p != self.node.node_id]
+        self.trace("gather_start", round=self._gather_round, members=sorted(members))
+        for member in sorted(members):
+            self.send_control(
+                member, "inc_request", {"round": self._gather_round}, body_bytes=8
+            )
+        self._check_inc_done()
+
+    def _restart_gather(self, reason: str) -> None:
+        self.gather_restarts += 1
+        episode = self.node.metrics.episode_of(self.node.node_id)
+        if episode is not None:
+            episode.gather_restarts += 1
+        self.trace("gather_restart", reason=reason)
+        self._start_gather()
+
+    def _pending_failed(self) -> Set[int]:
+        """Failed processes that have not yet announced their recovery.
+
+        The leader cannot finish the incarnation phase without them: it
+        needs their *new* incarnation numbers for incvector.
+        """
+        suspected = self.node.detector.suspected_view()
+        return {
+            p
+            for p in suspected
+            if p in self.app_nodes
+            and p not in self.known_recovering
+            and p != self.node.node_id
+        }
+
+    def _check_inc_done(self) -> None:
+        if self.phase != "inc":
+            return
+        if self._pending_failed():
+            return  # wait for their join_recovery announcements
+        members = [p for p in self.known_recovering if p != self.node.node_id]
+        if any(p not in self._inc_replies for p in members):
+            return
+        # Build incvector over R (step 4 complete).
+        self._incvector = {
+            self.node.node_id: self.node.incarnation,
+        }
+        for member in members:
+            self._incvector[member] = self._inc_replies[member]
+        for peer, inc in self._incvector.items():
+            current = self.node.incvector.get(peer, 0)
+            self.node.incvector[peer] = max(current, inc)
+        self._start_depinfo_phase()
+
+    def _start_depinfo_phase(self) -> None:
+        """Step 5: ask every live process for its depinfo."""
+        self.phase = "depinfo"
+        live = [
+            p
+            for p in self.peers
+            if p not in self.known_recovering
+            and not self.node.detector.is_suspected(p)
+        ]
+        self._depinfo_expected = set(live)
+        self._depinfo_replies.clear()
+        self.trace("depinfo_phase", round=self._gather_round, live=sorted(live))
+        for peer in sorted(live):
+            self.send_control(
+                peer,
+                "depinfo_request",
+                {"round": self._gather_round, "incvector": dict(self._incvector)},
+                body_bytes=16 + 8 * len(self._incvector),
+            )
+        self._check_depinfo_done()
+
+    def _check_depinfo_done(self) -> None:
+        if self.phase != "depinfo":
+            return
+        if any(p not in self._depinfo_replies for p in self._depinfo_expected):
+            return
+        self._distribute()
+
+    def _distribute(self) -> None:
+        """Step 6: hand the merged snapshot to every member of R."""
+        self.phase = "distribute"
+        merged: Dict[tuple, tuple] = {}
+        for wire in self._depinfo_replies.values():
+            for item in wire:
+                merged[tuple(item)] = tuple(item)
+        for item in self.node.protocol.local_depinfo_wire():
+            merged[tuple(item)] = tuple(item)
+        merged_wire = sorted(merged.values())
+        members = [
+            p
+            for p, entry in self.known_recovering.items()
+            if p != self.node.node_id and not entry["served"]
+        ]
+        self.trace("distribute", members=sorted(members), determinants=len(merged_wire))
+        for member in sorted(members):
+            self.send_control(
+                member,
+                "depinfo_distribute",
+                {"wire": merged_wire, "incvector": dict(self._incvector)},
+                body_bytes=32 * len(merged_wire),
+            )
+        # The recovery *algorithm* is now complete (step 6 done); replay
+        # is local work.  Release the leadership critical section so the
+        # next ordinal can run its own round (and regenerate any data our
+        # replay may need from it).
+        served = sorted(members) + [self.node.node_id]
+        for peer in served:
+            entry = self.known_recovering.get(peer)
+            if entry is not None:
+                entry["served"] = True
+        self.broadcast_control(
+            self.peers, "leader_done", {"served": served}, body_bytes=8 + 8 * len(served)
+        )
+        self.send_control(
+            self.node.config.sequencer_id,
+            "leader_done",
+            {"served": served},
+            body_bytes=8 + 8 * len(served),
+        )
+        episode = self.node.metrics.episode_of(self.node.node_id)
+        if episode is not None:
+            episode.replay_start_time = self.node.sim.now
+        self.node.protocol.begin_replay(merged_wire)
+
+    # ------------------------------------------------------------------
+    # completion
+    # ------------------------------------------------------------------
+    def on_replay_complete(self) -> None:
+        self._stop_poll()
+        self.trace("complete", ord=self.ord)
+        payload = {"incarnation": self.node.incarnation}
+        self.broadcast_control(self.peers, "recovery_complete", payload, body_bytes=16)
+        self.send_control(
+            self.node.config.sequencer_id, "recovery_complete", payload, body_bytes=16
+        )
+        self.known_recovering.pop(self.node.node_id, None)
+        self.ord = None
+        self.role = "idle"
+        self.phase = None
+        self.node.complete_recovery()
+
+    # ------------------------------------------------------------------
+    # waiting-state fallback poll
+    # ------------------------------------------------------------------
+    def _start_poll(self) -> None:
+        if self._poll_timer is None:
+            self._poll_timer = PeriodicTimer(
+                self.node.sim,
+                STATUS_POLL_INTERVAL,
+                self._poll_sequencer,
+                label=f"recovery-poll-{self.node.node_id}",
+            )
+            self._poll_timer.start()
+
+    def _stop_poll(self) -> None:
+        if self._poll_timer is not None:
+            self._poll_timer.cancel()
+            self._poll_timer = None
+
+    def _poll_sequencer(self) -> None:
+        if self.role == "waiting":
+            self.send_control(
+                self.node.config.sequencer_id, "ord_status_request", body_bytes=8
+            )
+        else:
+            self._stop_poll()
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        return {"gather_restarts": self.gather_restarts}

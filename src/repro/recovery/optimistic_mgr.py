@@ -1,0 +1,87 @@
+"""Recovery driver for optimistic logging.
+
+The crashed process replays its asynchronously-logged prefix locally,
+then broadcasts a *rollback announcement* carrying how far it got.  Any
+process whose dependency vector reaches past that point is an orphan:
+it durably truncates its own log and rolls itself back, announcing in
+turn (the cascade Strom & Yemini's protocol bounds).  This is the
+"potential for processes that survive failures to become orphans" the
+paper cites as the cost of optimism.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.net.network import Message
+from repro.recovery.base import RecoveryManager
+
+
+class OptimisticRecovery(RecoveryManager):
+    """Local replay + rollback announcements + orphan cascades."""
+
+    name = "optimistic"
+
+    def begin_recovery(self) -> None:
+        episode = self.node.metrics.episode_of(self.node.node_id)
+        if episode is not None:
+            episode.replay_start_time = self.node.sim.now
+        self.trace("local_replay")
+        self.node.protocol.begin_replay([])
+
+    def on_replay_complete(self) -> None:
+        self.trace("complete", recovered_count=self.node.app.delivered_count)
+        self.broadcast_control(
+            self.peers,
+            "rollback_announce",
+            {
+                "incarnation": self.node.incarnation,
+                "recovered_count": self.node.app.delivered_count,
+            },
+            body_bytes=24,
+        )
+        self.node.complete_recovery()
+
+    def on_control(self, msg: Message) -> None:
+        if msg.mtype == "bound_gossip":
+            self._on_bound_gossip(msg)
+            return
+        if msg.mtype != "rollback_announce":
+            return
+        peer = msg.src
+        peer_inc = msg.payload["incarnation"]
+        bound = msg.payload["recovered_count"]
+        current = self.node.incvector.get(peer, 0)
+        self.node.incvector[peer] = max(current, peer_inc)
+        protocol = self.node.protocol
+        protocol.note_recovery_bound(peer, peer_inc, bound)
+        if self.node.is_recovering:
+            protocol.note_constraint(peer, peer_inc, bound)
+            return
+        if protocol.is_orphan_of(peer, peer_inc, bound):
+            protocol.rollback_as_orphan(peer, peer_inc, bound)
+        else:
+            protocol.on_peer_recovered(peer)
+        # Gossip every bound we know back to the announcer: it may have
+        # crashed past announcements whose durable record it never made.
+        bounds = [
+            [p, inc, b] for p, (inc, b) in protocol._recovery_bounds.items()
+        ]
+        if bounds:
+            self.send_control(
+                peer, "bound_gossip", {"bounds": bounds}, body_bytes=8 + 16 * len(bounds)
+            )
+
+    def _on_bound_gossip(self, msg: Message) -> None:
+        protocol = self.node.protocol
+        for peer, peer_inc, bound in msg.payload["bounds"]:
+            protocol.note_recovery_bound(peer, peer_inc, bound)
+            if self.node.is_recovering:
+                protocol.note_constraint(peer, peer_inc, bound)
+            elif peer != self.node.node_id and protocol.is_orphan_of(
+                peer, peer_inc, bound
+            ):
+                protocol.rollback_as_orphan(peer, peer_inc, bound)
+
+    def stats(self) -> Dict[str, Any]:
+        return {}

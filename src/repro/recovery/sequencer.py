@@ -1,0 +1,100 @@
+"""The ordinal service behind the paper's system-wide ``ord``.
+
+Section 3.2 defines ``ord`` as "a system-wide monotonic number that is
+incremented whenever a process starts recovery.  The process whose
+recovery corresponds to the lowest value becomes the recovery leader."
+
+A system-wide monotonic counter needs *some* agreed-upon home.  We model
+it as a minimal never-failing service process -- the same device the
+paper itself uses when it "model[s] stable storage as an additional
+process that never fails or sends a message" for the ``f = n`` case.
+The sequencer answers ``ord_request`` with a fresh ordinal plus the set
+of recoveries currently in progress (so a newly recovering process can
+tell whether an earlier-ordinal leader is active), and it retires
+entries when it hears ``recovery_complete``.
+
+All its traffic is counted as recovery-control messages, so the extra
+round-trip is charged against the new algorithm's communication budget.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.net.network import Message, MessageKind, Network
+from repro.sim.kernel import Simulator
+from repro.sim.trace import TraceRecorder
+
+
+class Sequencer:
+    """Never-failing ordinal service.  Lives at node id ``n``."""
+
+    def __init__(
+        self,
+        node_id: int,
+        sim: Simulator,
+        network: Network,
+        trace: TraceRecorder,
+    ) -> None:
+        self.node_id = node_id
+        self.sim = sim
+        self.network = network
+        self.trace = trace
+        self._next_ord = 1
+        #: node -> {"ord": int, "served": bool} for recoveries in progress
+        self.active: Dict[int, Dict] = {}
+
+    def start(self) -> None:
+        """Register on the network."""
+        self.network.register(self.node_id, self.receive)
+
+    # ------------------------------------------------------------------
+    def receive(self, msg: Message) -> None:
+        if msg.mtype == "ord_request":
+            self._on_ord_request(msg)
+        elif msg.mtype == "ord_status_request":
+            self._on_status_request(msg)
+        elif msg.mtype == "leader_done":
+            for peer in msg.payload["served"]:
+                if peer in self.active:
+                    self.active[peer]["served"] = True
+        elif msg.mtype == "recovery_complete":
+            self.active.pop(msg.src, None)
+        # anything else is ignored; the sequencer never initiates traffic
+        # other than ord replies
+
+    def _on_ord_request(self, msg: Message) -> None:
+        # A process that re-crashes during recovery requests a fresh ord;
+        # its stale entry is superseded.
+        ord_value = self._next_ord
+        self._next_ord += 1
+        self.active[msg.src] = {"ord": ord_value, "served": False}
+        self.trace.record(
+            self.sim.now, "sequencer", self.node_id, "ord_granted",
+            requester=msg.src, ord=ord_value,
+        )
+        self.network.send(
+            Message(
+                src=self.node_id,
+                dst=msg.src,
+                kind=MessageKind.RECOVERY,
+                mtype="ord_reply",
+                payload={"ord": ord_value, "active": {k: dict(v) for k, v in self.active.items()}},
+                body_bytes=16 + 8 * len(self.active),
+            )
+        )
+
+    def _on_status_request(self, msg: Message) -> None:
+        self.network.send(
+            Message(
+                src=self.node_id,
+                dst=msg.src,
+                kind=MessageKind.RECOVERY,
+                mtype="status_reply",
+                payload={"active": {k: dict(v) for k, v in self.active.items()}},
+                body_bytes=8 + 8 * len(self.active),
+            )
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Sequencer(next={self._next_ord}, active={self.active})"

@@ -1,0 +1,90 @@
+"""Event objects used by the simulation kernel.
+
+An :class:`Event` couples a firing time with a callback.  Events are
+totally ordered by ``(time, priority, seq)``: ties on the virtual clock are
+broken first by an explicit priority (lower fires first) and then by
+insertion order, which keeps runs deterministic regardless of heap
+internals.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Tuple
+
+
+class Event:
+    """A scheduled callback in the simulation.
+
+    Events are created through :meth:`repro.sim.kernel.Simulator.schedule`;
+    user code normally only sees the :class:`EventHandle` wrapper, which
+    supports cancellation.
+    """
+
+    __slots__ = ("time", "priority", "seq", "fn", "args", "kwargs", "cancelled", "label")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        fn: Callable[..., Any],
+        args: Tuple[Any, ...] = (),
+        kwargs: Optional[dict] = None,
+        priority: int = 0,
+        label: str = "",
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.kwargs = kwargs or {}
+        self.cancelled = False
+        self.label = label
+
+    def sort_key(self) -> Tuple[float, int, int]:
+        """Total order used by the kernel's heap."""
+        return (self.time, self.priority, self.seq)
+
+    def fire(self) -> None:
+        """Invoke the callback unless the event was cancelled."""
+        if not self.cancelled:
+            self.fn(*self.args, **self.kwargs)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self.sort_key() < other.sort_key()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        name = self.label or getattr(self.fn, "__name__", repr(self.fn))
+        return f"Event(t={self.time:.6f}, seq={self.seq}, {name}, {state})"
+
+
+class EventHandle:
+    """Cancellable reference to a scheduled :class:`Event`.
+
+    The kernel hands one of these back from every ``schedule`` call.
+    Cancellation is lazy: the event stays in the heap but is skipped when
+    popped, which is O(1) and keeps the heap consistent.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: Event) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """Virtual time at which the event will (or would have) fired."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called."""
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self._event.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EventHandle({self._event!r})"

@@ -1,0 +1,187 @@
+"""The discrete-event simulation kernel.
+
+:class:`Simulator` owns the virtual clock and the event heap.  Everything
+else in the reproduction (network, stable storage, failure detector,
+protocol state machines) is expressed as callbacks scheduled on one
+simulator instance, so a whole distributed execution is a single
+deterministic event loop.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from repro.sim.events import Event, EventHandle
+
+
+class SimulationError(RuntimeError):
+    """Raised on kernel misuse (e.g. scheduling in the past)."""
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    start_time:
+        Initial value of the virtual clock, in seconds.
+
+    Notes
+    -----
+    * The clock only moves when :meth:`run` (or :meth:`step`) pops events.
+    * Two events scheduled for the same instant fire in the order they
+      were scheduled (FIFO), unless an explicit ``priority`` says
+      otherwise.  This is what makes runs reproducible.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: List[Event] = []
+        self._seq = 0
+        self._events_processed = 0
+        self._running = False
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events fired so far (cancelled events excluded)."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still in the heap (including cancelled ones)."""
+        return len(self._heap)
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+        label: str = "",
+        **kwargs: Any,
+    ) -> EventHandle:
+        """Schedule ``fn(*args, **kwargs)`` to fire ``delay`` seconds from now.
+
+        Returns a cancellable :class:`EventHandle`.  ``delay`` must be
+        non-negative; a zero delay fires after all events already queued
+        for the current instant.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay!r} seconds in the past")
+        return self.schedule_at(self._now + delay, fn, *args, priority=priority, label=label, **kwargs)
+
+    def schedule_at(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+        label: str = "",
+        **kwargs: Any,
+    ) -> EventHandle:
+        """Schedule ``fn`` at an absolute virtual time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time!r}, clock is already at t={self._now!r}"
+            )
+        event = Event(time, self._seq, fn, args, kwargs, priority=priority, label=label)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Fire the next pending event.
+
+        Returns ``True`` if an event fired, ``False`` if the heap is
+        exhausted.  Cancelled events are discarded silently.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_processed += 1
+            event.fire()
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> float:
+        """Run the event loop.
+
+        Parameters
+        ----------
+        until:
+            Stop once the clock would pass this virtual time.  Events at
+            exactly ``until`` still fire.  The clock is advanced to
+            ``until`` when the horizon is reached with events left over.
+        max_events:
+            Safety valve; stop after firing this many events.
+
+        Returns the virtual time at which the run stopped.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        self._stopped = False
+        fired = 0
+        try:
+            while self._heap and not self._stopped:
+                if max_events is not None and fired >= max_events:
+                    break
+                event = self._heap[0]
+                if event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and event.time > until:
+                    self._now = until
+                    break
+                heapq.heappop(self._heap)
+                self._now = event.time
+                self._events_processed += 1
+                fired += 1
+                event.fire()
+            else:
+                if until is not None and not self._stopped and self._now < until:
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def stop(self) -> None:
+        """Stop a :meth:`run` in progress after the current event."""
+        self._stopped = True
+
+    def drain(self, max_events: int = 10_000_000) -> float:
+        """Run until the heap is empty.  Raises if ``max_events`` trips."""
+        self.run(max_events=max_events)
+        if any(not e.cancelled for e in self._heap):
+            raise SimulationError(
+                f"drain exceeded {max_events} events with work remaining"
+            )
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Simulator(now={self._now:.6f}, pending={len(self._heap)}, "
+            f"processed={self._events_processed})"
+        )

@@ -1,0 +1,66 @@
+"""Named deterministic random streams.
+
+Different parts of a simulation (network latency, workload decisions per
+node, failure schedule) draw from *independent* named streams derived from
+one root seed.  This way adding randomness to one component never perturbs
+another, and any run is reproducible from ``(root_seed, config)`` alone --
+a property the experiments rely on for paper-style comparisons where the
+same workload must be replayed under two recovery algorithms.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+
+def derive_seed(root_seed: int, name: str) -> int:
+    """Derive a 64-bit child seed for ``name`` from ``root_seed``.
+
+    Uses SHA-256 so that stream names cannot collide in practice and the
+    derivation is stable across Python versions and platforms (unlike
+    ``hash``, which is salted).
+    """
+    digest = hashlib.sha256(f"{root_seed}:{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class RngRegistry:
+    """Factory of named, independent ``random.Random`` streams.
+
+    Examples
+    --------
+    >>> rngs = RngRegistry(root_seed=42)
+    >>> a = rngs.stream("net.latency")
+    >>> b = rngs.stream("workload.node.3")
+    >>> a is rngs.stream("net.latency")
+    True
+    """
+
+    def __init__(self, root_seed: int = 0) -> None:
+        self.root_seed = int(root_seed)
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the stream for ``name``, creating it on first use."""
+        stream = self._streams.get(name)
+        if stream is None:
+            stream = random.Random(derive_seed(self.root_seed, name))
+            self._streams[name] = stream
+        return stream
+
+    def fork(self, name: str) -> "RngRegistry":
+        """A child registry whose streams are independent of this one's."""
+        return RngRegistry(derive_seed(self.root_seed, f"fork:{name}"))
+
+    def reset(self, name: str) -> None:
+        """Re-seed one stream back to its initial state."""
+        if name in self._streams:
+            self._streams[name].seed(derive_seed(self.root_seed, name))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._streams
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RngRegistry(root_seed={self.root_seed}, streams={sorted(self._streams)})"

@@ -1,0 +1,142 @@
+"""Restartable timers built on the kernel.
+
+A :class:`Timer` wraps an :class:`~repro.sim.events.EventHandle` with the
+start/cancel/restart lifecycle needed by timeout-driven components such as
+the failure detector and the recovery leader's reply timeouts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.kernel import Simulator
+
+
+class Timer:
+    """A one-shot, restartable timeout.
+
+    The callback fires ``interval`` seconds after the most recent
+    :meth:`start` / :meth:`restart`, unless cancelled first.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        label: str = "timer",
+    ) -> None:
+        if interval < 0:
+            raise ValueError(f"timer interval must be non-negative, got {interval!r}")
+        self._sim = sim
+        self.interval = interval
+        self._callback = callback
+        self._args = args
+        self._label = label
+        self._handle = None  # type: Optional[Any]
+        self._fired = False
+
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> bool:
+        """True while the timer is armed and has not fired."""
+        return self._handle is not None and not self._handle.cancelled and not self._fired
+
+    @property
+    def fired(self) -> bool:
+        """True once the callback has run (until the next restart)."""
+        return self._fired
+
+    @property
+    def deadline(self) -> Optional[float]:
+        """Virtual time the timer will fire at, or ``None`` if unarmed."""
+        if self.pending:
+            return self._handle.time
+        return None
+
+    # ------------------------------------------------------------------
+    def start(self) -> "Timer":
+        """Arm the timer.  Raises if already armed."""
+        if self.pending:
+            raise RuntimeError(f"timer {self._label!r} is already armed")
+        self._fired = False
+        self._handle = self._sim.schedule(
+            self.interval, self._fire, label=self._label
+        )
+        return self
+
+    def cancel(self) -> None:
+        """Disarm the timer.  Idempotent."""
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def restart(self, interval: Optional[float] = None) -> "Timer":
+        """Cancel any pending expiry and re-arm, optionally changing interval."""
+        self.cancel()
+        if interval is not None:
+            if interval < 0:
+                raise ValueError(f"timer interval must be non-negative, got {interval!r}")
+            self.interval = interval
+        return self.start()
+
+    # ------------------------------------------------------------------
+    def _fire(self) -> None:
+        self._fired = True
+        self._handle = None
+        self._callback(*self._args)
+
+
+class PeriodicTimer:
+    """A timer that re-arms itself after every expiry until cancelled."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        label: str = "periodic",
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"periodic interval must be positive, got {interval!r}")
+        self._sim = sim
+        self.interval = interval
+        self._callback = callback
+        self._args = args
+        self._label = label
+        self._handle: Optional[Any] = None
+        self._running = False
+        self.ticks = 0
+
+    @property
+    def running(self) -> bool:
+        """True while the periodic timer is active."""
+        return self._running
+
+    def start(self) -> "PeriodicTimer":
+        """Begin ticking.  The first tick is one interval from now."""
+        if self._running:
+            raise RuntimeError(f"periodic timer {self._label!r} already running")
+        self._running = True
+        self._schedule_next()
+        return self
+
+    def cancel(self) -> None:
+        """Stop ticking.  Idempotent."""
+        self._running = False
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _schedule_next(self) -> None:
+        self._handle = self._sim.schedule(self.interval, self._tick, label=self._label)
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self.ticks += 1
+        self._callback(*self._args)
+        if self._running:
+            self._schedule_next()

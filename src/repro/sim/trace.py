@@ -1,0 +1,149 @@
+"""Structured execution traces.
+
+Every interesting action in a run -- a send, a delivery, a crash, a
+recovery phase transition, a stable-storage write -- is appended to a
+:class:`TraceRecorder` as a :class:`TraceEvent`.  The experiment harness
+derives its measurements (blocked intervals, recovery durations, message
+counts) from the trace rather than from ad-hoc counters, so every reported
+number can be audited against the raw event stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped record in the execution trace."""
+
+    time: float
+    category: str
+    node: Optional[int]
+    action: str
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def matches(
+        self,
+        category: Optional[str] = None,
+        node: Optional[int] = None,
+        action: Optional[str] = None,
+    ) -> bool:
+        """Whether this event matches every given (non-``None``) filter."""
+        if category is not None and self.category != category:
+            return False
+        if node is not None and self.node != node:
+            return False
+        if action is not None and self.action != action:
+            return False
+        return True
+
+
+class TraceRecorder:
+    """Append-only trace with counters and simple query support.
+
+    Parameters
+    ----------
+    keep_events:
+        If ``False`` only the counters are maintained; useful for large
+        parameter sweeps where the full event list would dominate memory.
+    """
+
+    def __init__(self, keep_events: bool = True) -> None:
+        self.keep_events = keep_events
+        self.events: List[TraceEvent] = []
+        self.counters: Dict[str, int] = {}
+        self._subscribers: List[Callable[[TraceEvent], None]] = []
+
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        time: float,
+        category: str,
+        node: Optional[int],
+        action: str,
+        **details: Any,
+    ) -> TraceEvent:
+        """Append one event and bump its ``category.action`` counter."""
+        event = TraceEvent(time, category, node, action, details)
+        key = f"{category}.{action}"
+        self.counters[key] = self.counters.get(key, 0) + 1
+        if self.keep_events:
+            self.events.append(event)
+        for subscriber in self._subscribers:
+            subscriber(event)
+        return event
+
+    def subscribe(self, callback: Callable[[TraceEvent], None]) -> None:
+        """Invoke ``callback`` on every subsequent event.
+
+        Used by the failure injector to trigger crashes relative to
+        protocol milestones (e.g. "crash q once p's recovery starts").
+        """
+        self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: Callable[[TraceEvent], None]) -> None:
+        """Remove a subscription added with :meth:`subscribe`."""
+        self._subscribers.remove(callback)
+
+    # ------------------------------------------------------------------
+    def count(self, category: str, action: Optional[str] = None) -> int:
+        """Total events matching ``category`` (and ``action`` if given)."""
+        if action is not None:
+            return self.counters.get(f"{category}.{action}", 0)
+        prefix = category + "."
+        return sum(v for k, v in self.counters.items() if k.startswith(prefix))
+
+    def select(
+        self,
+        category: Optional[str] = None,
+        node: Optional[int] = None,
+        action: Optional[str] = None,
+    ) -> List[TraceEvent]:
+        """All retained events matching the filters, in time order."""
+        return [e for e in self.events if e.matches(category, node, action)]
+
+    def iter_select(
+        self,
+        category: Optional[str] = None,
+        node: Optional[int] = None,
+        action: Optional[str] = None,
+    ) -> Iterator[TraceEvent]:
+        """Lazy variant of :meth:`select`."""
+        return (e for e in self.events if e.matches(category, node, action))
+
+    def first(
+        self,
+        category: Optional[str] = None,
+        node: Optional[int] = None,
+        action: Optional[str] = None,
+    ) -> Optional[TraceEvent]:
+        """Earliest matching event, or ``None``."""
+        for event in self.events:
+            if event.matches(category, node, action):
+                return event
+        return None
+
+    def last(
+        self,
+        category: Optional[str] = None,
+        node: Optional[int] = None,
+        action: Optional[str] = None,
+    ) -> Optional[TraceEvent]:
+        """Latest matching event, or ``None``."""
+        for event in reversed(self.events):
+            if event.matches(category, node, action):
+                return event
+        return None
+
+    def clear(self) -> None:
+        """Drop all events and counters."""
+        self.events.clear()
+        self.counters.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TraceRecorder(events={len(self.events)}, counters={len(self.counters)})"

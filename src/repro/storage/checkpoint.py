@@ -1,0 +1,131 @@
+"""Checkpoints on stable storage.
+
+A :class:`Checkpoint` freezes the replayable part of a process: the
+application state, the delivery counter (rsn high-water mark), and the
+per-destination send sequence numbers.  :class:`CheckpointStore` persists
+checkpoints through the :class:`~repro.storage.stable.StableStorage`
+model, so saving and (crucially for the paper's argument) *restoring*
+them costs realistic stable-storage time -- the dominant term in the
+evaluation's measured ~5 s recovery.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.storage.stable import StableStorage
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """An immutable snapshot of a process's replayable state.
+
+    Attributes
+    ----------
+    node:
+        Owning node id.
+    delivered_count:
+        Number of messages delivered when the snapshot was taken; equals
+        the next rsn to be assigned.
+    app_state:
+        Opaque deep-copied application state.
+    send_seqnos:
+        Per-destination next send sequence number.
+    state_bytes:
+        Modelled size of the process image (the paper's processes were
+        "about one Mbyte").
+    """
+
+    node: int
+    delivered_count: int
+    app_state: Dict[str, Any]
+    send_seqnos: Dict[int, int]
+    state_bytes: int
+    checkpoint_id: int = 0
+    taken_at: float = 0.0
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+
+class CheckpointStore:
+    """Persists one node's checkpoints through the stable-storage model.
+
+    Only the latest checkpoint is retained (the FBL protocols never need
+    an earlier one: message logging replays everything after it).
+    """
+
+    def __init__(self, storage: StableStorage, node: int) -> None:
+        self.storage = storage
+        self.node = node
+        self._next_id = 1
+        self._latest_durable: Optional[Checkpoint] = None
+
+    # ------------------------------------------------------------------
+    def save(
+        self,
+        delivered_count: int,
+        app_state: Dict[str, Any],
+        send_seqnos: Dict[int, int],
+        state_bytes: int,
+        taken_at: float,
+        extra: Optional[Dict[str, Any]] = None,
+        on_done: Optional[Callable[[Checkpoint], None]] = None,
+        bootstrap: bool = False,
+    ) -> Checkpoint:
+        """Write a new checkpoint; ``on_done`` fires when it is durable.
+
+        ``bootstrap`` marks the time-zero checkpoint: the initial process
+        image already sits on stable storage before the process launches,
+        so it is durable immediately and costs no simulated I/O.
+        """
+        checkpoint = Checkpoint(
+            node=self.node,
+            delivered_count=delivered_count,
+            app_state=copy.deepcopy(app_state),
+            send_seqnos=dict(send_seqnos),
+            state_bytes=state_bytes,
+            checkpoint_id=self._next_id,
+            taken_at=taken_at,
+            extra=copy.deepcopy(extra) if extra else {},
+        )
+        self._next_id += 1
+
+        def done() -> None:
+            self._latest_durable = checkpoint
+            if on_done is not None:
+                on_done(checkpoint)
+
+        if bootstrap:
+            done()
+        else:
+            self.storage.write(
+                f"checkpoint:{self.node}", checkpoint, state_bytes, on_done=done
+            )
+        return checkpoint
+
+    def restore(self, on_done: Callable[[Optional[Checkpoint]], None]) -> float:
+        """Read the latest durable checkpoint back (full state transfer).
+
+        The read is charged the full ``state_bytes`` -- this is the
+        "restoring its state may take tens of seconds" cost from the
+        paper.  ``on_done(None)`` fires if no checkpoint was ever saved.
+        Returns the modelled completion time.
+        """
+        size = self._latest_durable.state_bytes if self._latest_durable else 0
+        durable = self._latest_durable
+
+        def done(_value: Any) -> None:
+            on_done(durable)
+
+        return self.storage.read(f"checkpoint:{self.node}", size, done)
+
+    # ------------------------------------------------------------------
+    @property
+    def latest(self) -> Optional[Checkpoint]:
+        """Latest durable checkpoint (zero-cost; for tests/assertions)."""
+        return self._latest_durable
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cid = self._latest_durable.checkpoint_id if self._latest_durable else None
+        return f"CheckpointStore(node={self.node}, latest={cid})"

@@ -1,0 +1,285 @@
+"""Stable storage with realistic (mid-90s) access costs.
+
+The paper's thesis is that "latency in accessing stable storage" has
+become a first-class cost of recovery.  :class:`StableStorage` models a
+per-node stable store (a local disk, or a survivable storage service)
+with a fixed per-operation latency plus a size-proportional transfer
+time, serialized per device.  Default parameters are chosen so restoring
+the paper's "about one Mbyte" process state costs on the order of a
+second -- consistent with the evaluation's "restoring its state may take
+tens of seconds or a few minutes" for large processes and its measured
+~5 s recovery dominated by detection plus state restore.
+
+Contents written to stable storage survive crashes; the data itself is
+held in plain Python dictionaries keyed by name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.sim.kernel import Simulator
+from repro.sim.trace import TraceRecorder
+
+#: Per-operation latency (seek + rotation + controller), seconds.
+DEFAULT_OP_LATENCY = 0.020
+#: Sustained transfer bandwidth, bytes/second (mid-90s SCSI disk).
+DEFAULT_BANDWIDTH = 1_000_000.0
+
+
+@dataclass
+class StableStorageStats:
+    """Operation counters for one stable-storage device."""
+
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    busy_time: float = 0.0
+    #: time callers spent waiting for synchronous operations, by node
+    sync_stall_time: Dict[int, float] = field(default_factory=dict)
+
+    def add_stall(self, node: int, duration: float) -> None:
+        self.sync_stall_time[node] = self.sync_stall_time.get(node, 0.0) + duration
+
+    @property
+    def operations(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+
+class StableStorage:
+    """An asynchronous stable-storage device attached to one node.
+
+    Operations complete via callback after the modelled delay; the device
+    serializes concurrent operations (one head).  Use ``owner`` for
+    attribution in traces and stall accounting.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        owner: int,
+        op_latency: float = DEFAULT_OP_LATENCY,
+        bandwidth_bps: float = DEFAULT_BANDWIDTH,
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        if op_latency < 0:
+            raise ValueError(f"op_latency must be non-negative, got {op_latency!r}")
+        if bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth_bps!r}")
+        self.sim = sim
+        self.owner = owner
+        self.op_latency = op_latency
+        self.bandwidth_bps = bandwidth_bps
+        self.trace = trace
+        self.stats = StableStorageStats()
+        self._data: Dict[str, Any] = {}
+        self._device_free_at = 0.0
+        self._pending: Dict[int, Any] = {}
+        self._next_op_id = 0
+
+    # ------------------------------------------------------------------
+    def _op_duration(self, size_bytes: int) -> float:
+        return self.op_latency + size_bytes / self.bandwidth_bps
+
+    def _schedule_op(self, size_bytes: int, done: Callable[[], None]) -> float:
+        """Serialize on the device; returns completion time."""
+        start = max(self.sim.now, self._device_free_at)
+        duration = self._op_duration(size_bytes)
+        finish = start + duration
+        self._device_free_at = finish
+        self.stats.busy_time += duration
+        op_id = self._next_op_id
+        self._next_op_id += 1
+
+        def complete() -> None:
+            self._pending.pop(op_id, None)
+            done()
+
+        self._pending[op_id] = self.sim.schedule_at(finish, complete, label="stable_op")
+        return finish
+
+    def abort_pending(self) -> int:
+        """Drop operations still in flight (the owner crashed).
+
+        Data queued in write buffers but not yet committed is lost with
+        the crash -- this is what makes asynchronous (optimistic) logging
+        lossy and synchronous (pessimistic) logging safe.  Returns the
+        number of aborted operations.
+        """
+        count = len(self._pending)
+        for handle in self._pending.values():
+            handle.cancel()
+        self._pending.clear()
+        self._device_free_at = self.sim.now
+        return count
+
+    # ------------------------------------------------------------------
+    def write(
+        self,
+        name: str,
+        value: Any,
+        size_bytes: int,
+        on_done: Optional[Callable[[], None]] = None,
+        stall_node: Optional[int] = None,
+    ) -> float:
+        """Durably write ``value`` under ``name``.
+
+        ``on_done`` fires when the write is on stable storage.  If
+        ``stall_node`` is given, the wait is charged to that node's
+        synchronous-stall account (the cost the paper's new algorithm
+        avoids imposing on live processes).
+
+        Returns the completion time.
+        """
+        self.stats.writes += 1
+        self.stats.bytes_written += size_bytes
+        if self.trace is not None:
+            self.trace.record(
+                self.sim.now, "storage", self.owner, "write", name=name, size=size_bytes
+            )
+
+        def done() -> None:
+            self._data[name] = value
+            if on_done is not None:
+                on_done()
+
+        finish = self._schedule_op(size_bytes, done)
+        if stall_node is not None:
+            self.stats.add_stall(stall_node, finish - self.sim.now)
+        return finish
+
+    def read(
+        self,
+        name: str,
+        size_bytes: int,
+        on_done: Callable[[Any], None],
+        stall_node: Optional[int] = None,
+    ) -> float:
+        """Read ``name`` back; ``on_done(value)`` fires on completion.
+
+        Reading a missing name delivers ``None``.  Returns completion time.
+        """
+        self.stats.reads += 1
+        self.stats.bytes_read += size_bytes
+        if self.trace is not None:
+            self.trace.record(
+                self.sim.now, "storage", self.owner, "read", name=name, size=size_bytes
+            )
+
+        def done() -> None:
+            on_done(self._data.get(name))
+
+        finish = self._schedule_op(size_bytes, done)
+        if stall_node is not None:
+            self.stats.add_stall(stall_node, finish - self.sim.now)
+        return finish
+
+    def write_bootstrap(self, name: str, value: Any) -> None:
+        """Install ``name`` durably at time zero, free of charge.
+
+        For state that exists on disk before the process launches (the
+        initial image, the round-0 snapshot); not for runtime writes.
+        """
+        self._data[name] = value
+
+    # ------------------------------------------------------------------
+    # append-only logs (used by Manetho-style and receiver-based logging)
+    # ------------------------------------------------------------------
+    def log_append(
+        self,
+        log: str,
+        entry: Any,
+        size_bytes: int,
+        on_done: Optional[Callable[[], None]] = None,
+        stall_node: Optional[int] = None,
+    ) -> float:
+        """Durably append ``entry`` to the named log.
+
+        Costs one write of ``size_bytes``.  Returns the completion time.
+        """
+        self.stats.writes += 1
+        self.stats.bytes_written += size_bytes
+        if self.trace is not None:
+            self.trace.record(
+                self.sim.now, "storage", self.owner, "log_append", log=log, size=size_bytes
+            )
+
+        def done() -> None:
+            self._data.setdefault(f"log:{log}", []).append(entry)
+            if on_done is not None:
+                on_done()
+
+        finish = self._schedule_op(size_bytes, done)
+        if stall_node is not None:
+            self.stats.add_stall(stall_node, finish - self.sim.now)
+        return finish
+
+    def log_read(
+        self,
+        log: str,
+        entry_bytes: int,
+        on_done: Callable[[list], None],
+        stall_node: Optional[int] = None,
+    ) -> float:
+        """Read the whole named log back (cost: entries * ``entry_bytes``).
+
+        ``on_done`` receives a list copy (empty if the log was never
+        written).  Returns the completion time.
+        """
+        entries = list(self._data.get(f"log:{log}", []))
+        size = entry_bytes * len(entries)
+        self.stats.reads += 1
+        self.stats.bytes_read += size
+        if self.trace is not None:
+            self.trace.record(
+                self.sim.now, "storage", self.owner, "log_read", log=log, size=size
+            )
+
+        def done() -> None:
+            on_done(entries)
+
+        finish = self._schedule_op(size, done)
+        if stall_node is not None:
+            self.stats.add_stall(stall_node, finish - self.sim.now)
+        return finish
+
+    def log_len(self, log: str) -> int:
+        """Zero-cost length of the named log (tests/assertions)."""
+        return len(self._data.get(f"log:{log}", []))
+
+    def log_truncate_head(self, log: str, keep) -> int:
+        """Drop log entries that ``keep`` rejects (garbage collection).
+
+        Modelled as a metadata operation (advancing the log's start
+        pointer / recycling extents), so it costs no simulated I/O time.
+        Returns the number of entries dropped.
+        """
+        key = f"log:{log}"
+        entries = self._data.get(key)
+        if not entries:
+            return 0
+        kept = [entry for entry in entries if keep(entry)]
+        dropped = len(entries) - len(kept)
+        self._data[key] = kept
+        return dropped
+
+    # ------------------------------------------------------------------
+    def peek(self, name: str) -> Any:
+        """Zero-cost inspection for tests and assertions (not simulation)."""
+        return self._data.get(name)
+
+    def contains(self, name: str) -> bool:
+        """Whether ``name`` has been durably written."""
+        return name in self._data
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StableStorage(owner={self.owner}, reads={self.stats.reads}, "
+            f"writes={self.stats.writes})"
+        )

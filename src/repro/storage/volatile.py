@@ -1,0 +1,214 @@
+"""Volatile (crash-lossy) logs.
+
+Everything here lives in a process's memory and is wiped by
+:meth:`clear` when the process crashes.  The FBL protocols keep two
+volatile structures: the *send log* (message data, kept by the sender for
+replay) and the *determinant log* (receipt orders of its own and other
+processes' deliveries, replicated via piggybacking).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generic, Iterable, Iterator, List, Optional, Tuple, TypeVar
+
+from repro.causality.determinant import Determinant
+
+T = TypeVar("T")
+
+
+class VolatileLog(Generic[T]):
+    """A generic append-only in-memory log."""
+
+    def __init__(self) -> None:
+        self._entries: List[T] = []
+
+    def append(self, entry: T) -> None:
+        self._entries.append(entry)
+
+    def entries(self) -> List[T]:
+        """Snapshot of the log contents."""
+        return list(self._entries)
+
+    def clear(self) -> None:
+        """Crash: all volatile contents are lost."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VolatileLog({len(self)} entries)"
+
+
+class SendLog:
+    """Sender-side volatile log of outgoing message data.
+
+    Keyed by ``(dst, ssn)``; holds the application payload so the sender
+    can retransmit during a receiver's recovery.  This is the "log each
+    message in the volatile store of its sender" half of the FBL idea.
+    """
+
+    def __init__(self) -> None:
+        self._by_key: Dict[Tuple[int, int], Dict[str, Any]] = {}
+        self.bytes_logged = 0
+
+    def log(self, dst: int, ssn: int, payload: Dict[str, Any], size_bytes: int) -> None:
+        """Record an outgoing message for possible replay."""
+        key = (dst, ssn)
+        if key in self._by_key:
+            return  # duplicate regeneration during replay
+        self._by_key[key] = {"payload": dict(payload), "size": size_bytes}
+        self.bytes_logged += size_bytes
+
+    def lookup(self, dst: int, ssn: int) -> Optional[Dict[str, Any]]:
+        """Logged record for ``(dst, ssn)``, or None."""
+        return self._by_key.get((dst, ssn))
+
+    def messages_for(self, dst: int) -> List[Tuple[int, Dict[str, Any]]]:
+        """All logged ``(ssn, record)`` pairs destined for ``dst``, by ssn."""
+        found = [
+            (ssn, record) for (d, ssn), record in self._by_key.items() if d == dst
+        ]
+        return sorted(found)
+
+    def prune_upto(self, dst: int, ssn: int) -> int:
+        """Garbage-collect entries for ``dst`` with ssn <= the given bound.
+
+        Returns how many entries were dropped.  Called when the receiver
+        checkpoints (it will never need those messages replayed again).
+        """
+        victims = [key for key in self._by_key if key[0] == dst and key[1] <= ssn]
+        for key in victims:
+            self.bytes_logged -= self._by_key[key]["size"]
+            del self._by_key[key]
+        return len(victims)
+
+    def clear(self) -> None:
+        """Crash: the send log is volatile."""
+        self._by_key.clear()
+        self.bytes_logged = 0
+
+    # -- checkpoint support ------------------------------------------------
+    def to_state(self) -> List[Tuple[int, int, Dict[str, Any], int]]:
+        """Serializable snapshot: list of (dst, ssn, payload, size)."""
+        return [
+            (dst, ssn, dict(record["payload"]), record["size"])
+            for (dst, ssn), record in sorted(self._by_key.items())
+        ]
+
+    def load_state(self, state: List[Tuple[int, int, Dict[str, Any], int]]) -> None:
+        """Rebuild from a checkpointed snapshot."""
+        self.clear()
+        for dst, ssn, payload, size in state:
+            self.log(dst, ssn, payload, size)
+
+    def __len__(self) -> int:
+        return len(self._by_key)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SendLog({len(self)} messages, {self.bytes_logged}B)"
+
+
+class DeterminantLog:
+    """Volatile store of determinants known to a process.
+
+    Besides the determinants themselves it tracks, per determinant, the
+    set of hosts *known to have logged it* -- the information FBL uses to
+    stop piggybacking once a determinant is replicated at ``f + 1``
+    hosts.
+    """
+
+    def __init__(self) -> None:
+        self._dets: Dict[Tuple[int, int], Determinant] = {}
+        self._logged_at: Dict[Tuple[int, int], frozenset] = {}
+
+    # ------------------------------------------------------------------
+    def add(self, det: Determinant, logged_at: Iterable[int] = ()) -> bool:
+        """Record ``det``; merge ``logged_at`` host knowledge.
+
+        Returns True if the determinant was new to this log.
+        """
+        key = det.delivery_id
+        new = key not in self._dets
+        if new:
+            self._dets[key] = det
+            self._logged_at[key] = frozenset(logged_at)
+        else:
+            self._logged_at[key] = self._logged_at[key] | frozenset(logged_at)
+        return new
+
+    def note_logged_at(self, det: Determinant, host: int) -> None:
+        """Record that ``host`` now stores ``det``."""
+        key = det.delivery_id
+        if key not in self._dets:
+            self.add(det)
+        self._logged_at[key] = self._logged_at[key] | {host}
+
+    def logged_at(self, det: Determinant) -> frozenset:
+        """Hosts known to store ``det`` (possibly empty)."""
+        return self._logged_at.get(det.delivery_id, frozenset())
+
+    # ------------------------------------------------------------------
+    def determinants(self) -> List[Determinant]:
+        """Every stored determinant, deterministically ordered."""
+        return sorted(self._dets.values())
+
+    def unstable(self, replication_target: int) -> List[Determinant]:
+        """Determinants logged at fewer than ``replication_target`` hosts."""
+        return sorted(
+            det
+            for key, det in self._dets.items()
+            if len(self._logged_at[key]) < replication_target
+        )
+
+    def for_receiver(self, receiver: int) -> Dict[int, Determinant]:
+        """``rsn -> determinant`` for one receiver."""
+        return {
+            rsn: det for (recv, rsn), det in self._dets.items() if recv == receiver
+        }
+
+    def __contains__(self, det: Determinant) -> bool:
+        return self._dets.get(det.delivery_id) == det
+
+    def drop_receiver_prefix(self, receiver: int, before_rsn: int) -> int:
+        """Garbage-collect determinants of ``receiver``'s deliveries with
+        rsn < ``before_rsn`` (covered by its durable checkpoint, so never
+        needed for replay again).  Returns how many were dropped."""
+        victims = [
+            key for key in self._dets
+            if key[0] == receiver and key[1] < before_rsn
+        ]
+        for key in victims:
+            del self._dets[key]
+            del self._logged_at[key]
+        return len(victims)
+
+    def clear(self) -> None:
+        """Crash: all volatile contents are lost."""
+        self._dets.clear()
+        self._logged_at.clear()
+
+    # -- checkpoint support ------------------------------------------------
+    def to_state(self) -> List[Tuple[Tuple[int, int, int, int], Tuple[int, ...]]]:
+        """Serializable snapshot: list of (det tuple, sorted hosts)."""
+        return [
+            (det.to_tuple(), tuple(sorted(self._logged_at[key])))
+            for key, det in sorted(self._dets.items())
+        ]
+
+    def load_state(
+        self, state: List[Tuple[Tuple[int, int, int, int], Tuple[int, ...]]]
+    ) -> None:
+        """Rebuild from a checkpointed snapshot."""
+        self.clear()
+        for det_tuple, hosts in state:
+            self.add(Determinant.from_tuple(tuple(det_tuple)), logged_at=hosts)
+
+    def __len__(self) -> int:
+        return len(self._dets)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DeterminantLog({len(self)} determinants)"

@@ -1,0 +1,30 @@
+"""Workload generators.
+
+Pure, deterministic application behaviours driving the simulated
+processes: message-driven token rings, uniform random traffic,
+client-server request/reply, all-to-all bursts.  Determinism is essential
+-- replay after a crash must regenerate exactly the original sends -- so
+every workload derives its "random" choices from a cryptographic hash of
+``(seed, node, delivery index, payload)`` rather than from shared mutable
+RNG state.
+"""
+
+from repro.workloads.generators import (
+    AllToAllWorkload,
+    ClientServerWorkload,
+    PingPongWorkload,
+    TokenRingWorkload,
+    UniformWorkload,
+    Workload,
+    make_workload,
+)
+
+__all__ = [
+    "AllToAllWorkload",
+    "ClientServerWorkload",
+    "PingPongWorkload",
+    "TokenRingWorkload",
+    "UniformWorkload",
+    "Workload",
+    "make_workload",
+]

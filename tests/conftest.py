@@ -1,0 +1,16 @@
+"""Test configuration.
+
+Ensures ``src/`` is importable even when the package has not been
+installed (offline environments without the ``wheel`` package cannot run
+PEP 517 editable installs; ``python setup.py develop`` works, but this
+fallback makes ``pytest`` self-sufficient either way).
+"""
+
+import os
+import sys
+
+_TESTS = os.path.dirname(os.path.abspath(__file__))
+_SRC = os.path.join(os.path.dirname(_TESTS), "src")
+for _path in (_SRC, _TESTS):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)

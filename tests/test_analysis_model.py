@@ -1,0 +1,147 @@
+"""Validate the closed-form cost model against the simulator.
+
+This is the repository's answer to the paper's closing wish for
+"theoretical formulations" of the new yardsticks: each formula is
+checked against actual simulation runs.
+"""
+
+import pytest
+
+from repro import build_system, crash_at, crash_on
+from repro.analysis.model import (
+    HardwareModel,
+    blocking_live_blocked_time,
+    blocking_live_blocked_time_concurrent,
+    blocking_recovery_messages,
+    concurrent_recovery_duration,
+    message_overhead_ratio,
+    nonblocking_live_blocked_time,
+    nonblocking_recovery_messages,
+    recovery_duration,
+)
+from repro import SystemConfig
+
+
+def paper_run(recovery, crashes, n=8, detection_delay=3.0):
+    config = SystemConfig(
+        name=f"model-{recovery}-{n}",
+        n=n,
+        protocol="fbl",
+        protocol_params={"f": 2},
+        recovery=recovery,
+        workload="uniform",
+        workload_params={"hops": 30, "fanout": 2},
+        crashes=crashes,
+        detection_delay=detection_delay,
+        state_bytes=1_000_000,
+    )
+    system = build_system(config)
+    result = system.run()
+    assert result.consistent
+    return result
+
+
+HW = HardwareModel(n=8)
+
+
+class TestMessageCounts:
+    @pytest.mark.parametrize("n", [4, 8, 16])
+    def test_blocking_count_exact(self, n):
+        result = paper_run("blocking", [crash_at(node=1, time=0.05)], n=n)
+        assert result.recovery_messages() == blocking_recovery_messages(n)
+
+    @pytest.mark.parametrize("n", [4, 8, 16])
+    def test_nonblocking_count_exact(self, n):
+        result = paper_run("nonblocking", [crash_at(node=1, time=0.05)], n=n)
+        assert result.recovery_messages() == nonblocking_recovery_messages(n)
+
+    def test_overhead_ratio_bounded(self):
+        """The new algorithm's message premium is a bounded constant
+        factor (it tends to 5/3 as n grows; tiny systems pay a bit more
+        because the fixed sequencer/join costs dominate)."""
+        ratios = [message_overhead_ratio(n) for n in range(3, 64)]
+        assert all(1.0 < r < 2.5 for r in ratios)
+        # asymptotically ~5(n-1)+c vs 3(n-1): ratio -> 5/3
+        assert abs(ratios[-1] - 5 / 3) < 0.05
+        # and the premium shrinks with n
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_concurrent_failure_count_within_tolerance(self):
+        """With overlapping recoveries and restarts the formula counts a
+        full repeated gather; partially-completed rounds make the
+        simulation slightly cheaper.  Tolerance: 30 %."""
+        result = paper_run(
+            "nonblocking",
+            [crash_at(node=3, time=0.05),
+             crash_on(5, "net", "deliver", match_node=5,
+                      match_details={"mtype": "depinfo_request"},
+                      immediate=True)],
+        )
+        restarts = sum(e.gather_restarts for e in result.episodes)
+        predicted = nonblocking_recovery_messages(
+            8, recovering=2, gather_restarts=restarts
+        )
+        measured = result.recovery_messages()
+        assert abs(predicted - measured) / measured < 0.3
+
+
+class TestBlockedTime:
+    def test_blocking_single_failure_blocked_time(self):
+        result = paper_run("blocking", [crash_at(node=1, time=0.05)])
+        predicted = blocking_live_blocked_time(HW)
+        measured = result.mean_blocked_time(exclude=[1])
+        assert abs(predicted - measured) / measured < 0.35
+
+    def test_blocking_concurrent_failure_blocked_time(self):
+        result = paper_run(
+            "blocking",
+            [crash_at(node=3, time=0.05),
+             crash_on(5, "net", "deliver", match_node=5,
+                      match_details={"mtype": "recovery_request"},
+                      immediate=True)],
+        )
+        predicted = blocking_live_blocked_time_concurrent(HW)
+        measured = result.mean_blocked_time(exclude=[3, 5])
+        assert abs(predicted - measured) / measured < 0.1
+
+    def test_nonblocking_is_exactly_zero(self):
+        result = paper_run("nonblocking", [crash_at(node=1, time=0.05)])
+        assert result.total_blocked_time == nonblocking_live_blocked_time(HW)
+
+
+class TestDurations:
+    @pytest.mark.parametrize("detection", [0.5, 3.0])
+    def test_single_recovery_duration(self, detection):
+        hw = HardwareModel(n=8, detection_delay=detection)
+        result = paper_run(
+            "nonblocking", [crash_at(node=1, time=0.05)],
+            detection_delay=detection,
+        )
+        predicted = recovery_duration(hw)
+        measured = result.recovery_durations()[0]
+        assert abs(predicted - measured) < 0.05
+
+    def test_concurrent_recovery_duration(self):
+        result = paper_run(
+            "nonblocking",
+            [crash_at(node=3, time=0.05),
+             crash_on(5, "net", "deliver", match_node=5,
+                      match_details={"mtype": "depinfo_request"},
+                      immediate=True)],
+        )
+        predicted = concurrent_recovery_duration(HW)
+        measured = max(result.recovery_durations())
+        assert abs(predicted - measured) < 0.1
+
+
+class TestValidation:
+    def test_rejects_degenerate_inputs(self):
+        with pytest.raises(ValueError):
+            blocking_recovery_messages(1)
+        with pytest.raises(ValueError):
+            nonblocking_recovery_messages(8, recovering=0)
+
+    def test_restore_time_composition(self):
+        hw = HardwareModel(n=8, state_bytes=2_000_000,
+                           storage_op_latency=0.01, storage_bandwidth=1e6)
+        assert hw.restore_time == pytest.approx(0.01 + 2.0)

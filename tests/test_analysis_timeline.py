@@ -1,0 +1,86 @@
+"""Tests for the ASCII timeline renderer."""
+
+import pytest
+
+from repro import build_system, crash_at
+from repro.analysis.timeline import (
+    BLOCKED,
+    CRASH,
+    RECOVERED,
+    TimelineRenderer,
+    render_timeline,
+)
+from repro.sim.trace import TraceRecorder
+
+from helpers import small_config
+
+
+def test_empty_trace():
+    assert render_timeline(TraceRecorder()) == "(empty trace)"
+
+
+def test_width_validated():
+    with pytest.raises(ValueError):
+        TimelineRenderer(TraceRecorder(), width=5)
+
+
+def test_failure_free_run_is_all_live():
+    system = build_system(small_config(n=4, hops=10))
+    system.run()
+    text = render_timeline(system.trace)
+    assert CRASH not in text.replace("X crash", "")
+    assert text.count("n0") == 1
+    for node in range(4):
+        assert f"n{node}" in text
+
+
+def test_crash_and_recovery_marks_present():
+    system = build_system(
+        small_config(n=4, hops=15, crashes=[crash_at(node=2, time=0.03)])
+    )
+    system.run()
+    text = render_timeline(system.trace)
+    lanes = {line[1:3].strip(): line for line in text.splitlines() if line.startswith("n")}
+    assert CRASH in lanes["2"]
+    assert RECOVERED in lanes["2"]
+    # live nodes never show a crash
+    assert CRASH not in lanes["0"]
+
+
+def test_blocking_recovery_shows_blocked_lanes():
+    system = build_system(
+        small_config(n=4, recovery="blocking", hops=15,
+                     crashes=[crash_at(node=2, time=0.03)])
+    )
+    system.run()
+    text = render_timeline(system.trace)
+    lanes = {line[1:3].strip(): line for line in text.splitlines() if line.startswith("n")}
+    assert BLOCKED in lanes["0"]
+    assert BLOCKED in lanes["1"]
+
+
+def test_nonblocking_recovery_shows_no_blocked_lanes():
+    system = build_system(
+        small_config(n=4, recovery="nonblocking", hops=15,
+                     crashes=[crash_at(node=2, time=0.03)])
+    )
+    system.run()
+    text = render_timeline(system.trace)
+    lanes = {line[1:3].strip(): line for line in text.splitlines() if line.startswith("n")}
+    for node in ("0", "1", "3"):
+        assert BLOCKED not in lanes[node]
+
+
+def test_custom_width_respected():
+    system = build_system(small_config(n=4, hops=10))
+    system.run()
+    text = render_timeline(system.trace, width=40)
+    for line in text.splitlines():
+        if line.startswith("n"):
+            assert len(line) == len("n0  |") + 40 + 1
+
+
+def test_legend_present():
+    system = build_system(small_config(n=4, hops=10))
+    system.run()
+    assert "legend:" in render_timeline(system.trace)

@@ -1,0 +1,85 @@
+"""Tests for trace export/import (JSONL)."""
+
+import io
+
+from repro import build_system, crash_at
+from repro.analysis.trace_io import (
+    diff_counters,
+    dump_trace,
+    event_from_dict,
+    event_to_dict,
+    load_trace,
+)
+from repro.sim.trace import TraceEvent, TraceRecorder
+
+from helpers import small_config
+
+
+def test_event_round_trip():
+    event = TraceEvent(1.25, "net", 3, "send", {"dst": 4, "size": 100})
+    assert event_from_dict(event_to_dict(event)) == event
+
+
+def test_dump_and_load_stream():
+    trace = TraceRecorder()
+    trace.record(0.5, "node", 1, "crash")
+    trace.record(1.0, "node", 1, "recovered", delivered=5)
+    buffer = io.StringIO()
+    assert dump_trace(trace, buffer) == 2
+    buffer.seek(0)
+    loaded = load_trace(buffer)
+    assert len(loaded) == 2
+    assert loaded.events[1].details == {"delivered": 5}
+    assert loaded.count("node", "crash") == 1
+
+
+def test_dump_and_load_file(tmp_path):
+    system = build_system(small_config(n=4, hops=10, crashes=[crash_at(2, 0.02)]))
+    system.run()
+    path = str(tmp_path / "trace.jsonl")
+    count = dump_trace(system.trace, path)
+    assert count == len(system.trace)
+    loaded = load_trace(path)
+    assert len(loaded) == len(system.trace)
+    assert loaded.counters == system.trace.counters
+
+
+def test_loaded_trace_renders_timeline():
+    from repro.analysis.timeline import render_timeline
+
+    system = build_system(small_config(n=4, hops=10, crashes=[crash_at(2, 0.02)]))
+    system.run()
+    buffer = io.StringIO()
+    dump_trace(system.trace, buffer)
+    buffer.seek(0)
+    loaded = load_trace(buffer)
+    assert render_timeline(loaded) == render_timeline(system.trace)
+
+
+def test_blank_lines_ignored():
+    loaded = load_trace(io.StringIO("\n\n"))
+    assert len(loaded) == 0
+
+
+def test_diff_counters():
+    a, b = TraceRecorder(), TraceRecorder()
+    a.record(0.0, "x", 0, "e")
+    b.record(0.0, "x", 0, "e")
+    b.record(0.0, "x", 0, "e")
+    b.record(0.0, "y", 0, "f")
+    assert diff_counters(a, b) == {"x.e": 1, "y.f": 1}
+    assert diff_counters(a, a) == {}
+
+
+def test_diff_counters_between_recovery_algorithms():
+    """The trace diff isolates exactly what the algorithms do differently."""
+    runs = {}
+    for recovery in ("blocking", "nonblocking"):
+        system = build_system(small_config(
+            n=4, hops=10, recovery=recovery, crashes=[crash_at(2, 0.02)], seed=3,
+        ))
+        system.run()
+        runs[recovery] = system.trace
+    delta = diff_counters(runs["blocking"], runs["nonblocking"])
+    assert delta.get("node.block", 0) < 0  # blocking blocks, nonblocking doesn't
+    assert "recovery.ord_acquired" in delta  # only nonblocking uses ordinals

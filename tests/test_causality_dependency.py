@@ -1,0 +1,136 @@
+"""Unit tests for the three depinfo representations."""
+
+import pytest
+
+from repro.causality.dependency import (
+    AntecedenceGraph,
+    DependencyMatrix,
+    DependencyStore,
+    DependencyVector,
+    make_depinfo,
+)
+from repro.causality.determinant import Determinant
+
+
+def det(sender=0, ssn=0, receiver=1, rsn=0):
+    return Determinant(sender=sender, ssn=ssn, receiver=receiver, rsn=rsn)
+
+
+ALL_KINDS = ["vector", "matrix", "graph"]
+
+
+@pytest.fixture(params=ALL_KINDS)
+def store(request):
+    return make_depinfo(request.param)
+
+
+class TestCommonInterface:
+    """Every representation must satisfy the same contract -- the paper's
+    recovery algorithm is representation-agnostic."""
+
+    def test_record_new_returns_true(self, store):
+        assert store.record(det()) is True
+        assert store.record(det()) is False
+
+    def test_contains(self, store):
+        d = det()
+        store.record(d)
+        assert d in store
+        assert det(ssn=9, rsn=9) not in store
+
+    def test_determinants_sorted(self, store):
+        d2 = det(rsn=2, ssn=2)
+        d1 = det(rsn=1, ssn=1)
+        store.record(d2)
+        store.record(d1)
+        assert store.determinants() == [d1, d2]
+
+    def test_for_receiver(self, store):
+        store.record(det(receiver=1, rsn=0))
+        store.record(det(receiver=1, rsn=1, ssn=1))
+        store.record(det(receiver=2, rsn=0, ssn=2))
+        orders = store.for_receiver(1)
+        assert set(orders) == {0, 1}
+        assert orders[1].ssn == 1
+
+    def test_max_rsn(self, store):
+        assert store.max_rsn(1) == -1
+        store.record(det(rsn=4))
+        assert store.max_rsn(1) == 4
+
+    def test_merge_counts_new(self, store):
+        added = store.merge([det(rsn=0), det(rsn=1, ssn=1), det(rsn=0)])
+        assert added == 2
+        assert len(store) == 2
+
+    def test_wire_round_trip(self, store):
+        store.record(det(rsn=0))
+        store.record(det(rsn=1, ssn=1))
+        other = make_depinfo(type(store).kind)
+        other.load_wire(store.to_wire())
+        assert other.determinants() == store.determinants()
+
+    def test_clear(self, store):
+        store.record(det())
+        store.clear()
+        assert len(store) == 0
+
+    def test_wire_bytes(self, store):
+        store.record(det())
+        assert store.wire_bytes == 32
+
+
+class TestDependencyVector:
+    def test_vector_view(self):
+        store = DependencyVector()
+        store.record(det(receiver=1, rsn=3))
+        store.record(det(receiver=2, rsn=7, ssn=1))
+        assert store.vector() == {1: 3, 2: 7}
+
+
+class TestDependencyMatrix:
+    def test_channel_query(self):
+        store = DependencyMatrix()
+        store.record(det(sender=0, ssn=1, receiver=1, rsn=1))
+        store.record(det(sender=0, ssn=0, receiver=1, rsn=0))
+        store.record(det(sender=2, ssn=0, receiver=1, rsn=2))
+        channel = store.channel(0, 1)
+        assert [d.ssn for d in channel] == [0, 1]
+
+
+class TestAntecedenceGraph:
+    def test_program_order_edges(self):
+        graph = AntecedenceGraph()
+        d0 = det(rsn=0)
+        d1 = det(rsn=1, ssn=1)
+        graph.record(d1)  # out of order on purpose
+        graph.record(d0)
+        assert graph.antecedents(d1) == [d0]
+        assert graph.descendants(d0) == [d1]
+
+    def test_send_edges_transitive(self):
+        graph = AntecedenceGraph()
+        # p delivers m (0), then sends m' which q delivers (1); q then
+        # sends m'' which r delivers (2) -- the paper's Figure 1 chain
+        m = det(sender=9, ssn=0, receiver=0, rsn=0)
+        m_prime = det(sender=0, ssn=0, receiver=1, rsn=0)
+        m_dprime = det(sender=1, ssn=0, receiver=2, rsn=0)
+        graph.add_send_edge(m, m_prime)
+        graph.add_send_edge(m_prime, m_dprime)
+        assert graph.antecedents(m_dprime) == sorted([m, m_prime])
+        assert graph.descendants(m) == sorted([m_prime, m_dprime])
+
+    def test_no_antecedents_for_root(self):
+        graph = AntecedenceGraph()
+        d = det()
+        graph.record(d)
+        assert graph.antecedents(d) == []
+
+
+def test_make_depinfo_rejects_unknown():
+    with pytest.raises(ValueError):
+        make_depinfo("nope")
+
+
+def test_registry_contains_all():
+    assert set(DependencyStore.KINDS) == set(ALL_KINDS)

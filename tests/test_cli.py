@@ -1,0 +1,116 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import DEFAULT_RECOVERY, _parse_crash, build_parser, main
+
+
+class TestParsing:
+    def test_parse_crash(self):
+        plan = _parse_crash("3@0.05")
+        assert plan.node == 3
+        assert plan.at_time == 0.05
+
+    def test_parse_crash_rejects_garbage(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_crash("banana")
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_crash("3:0.05")
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_default_recovery_covers_all_protocols(self):
+        from repro.protocols import PROTOCOLS
+
+        assert set(DEFAULT_RECOVERY) == set(PROTOCOLS)
+
+
+class TestRunCommand:
+    def test_run_failure_free(self, capsys):
+        code = main([
+            "run", "--n", "4", "--hops", "10",
+            "--detection-delay", "0.5", "--state-bytes", "100000",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "deliveries" in out
+        assert "consistent: True" in out
+
+    def test_run_with_crash(self, capsys):
+        code = main([
+            "run", "--n", "4", "--hops", "15", "--crash", "2@0.03",
+            "--detection-delay", "0.5", "--state-bytes", "100000",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "recovery durations" in out
+
+    def test_run_with_outputs(self, capsys):
+        code = main([
+            "run", "--n", "4", "--hops", "15", "--output-every", "4",
+            "--detection-delay", "0.5", "--state-bytes", "100000",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "output commits" in out
+
+    @pytest.mark.parametrize("protocol", [
+        "sender_based", "manetho", "pessimistic", "optimistic", "coordinated",
+    ])
+    def test_run_every_protocol(self, capsys, protocol):
+        code = main([
+            "run", "--n", "4", "--hops", "10", "--protocol", protocol,
+            "--detection-delay", "0.5", "--state-bytes", "100000",
+        ])
+        assert code == 0
+
+
+class TestCompareCommand:
+    def test_compare_two_algorithms(self, capsys):
+        code = main([
+            "compare", "--n", "4", "--hops", "15", "--crash", "2@0.03",
+            "--detection-delay", "0.5", "--state-bytes", "100000",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fbl + nonblocking" in out
+        assert "fbl + blocking" in out
+
+    def test_compare_all_protocols(self, capsys):
+        code = main([
+            "compare", "--all-protocols", "--n", "4", "--hops", "10",
+            "--crash", "2@0.03",
+            "--detection-delay", "0.5", "--state-bytes", "100000",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "pessimistic" in out
+        assert "coordinated" in out
+
+
+class TestSweepCommand:
+    def test_sweep_n(self, capsys):
+        code = main([
+            "sweep", "--knob", "n", "--values", "4,6", "--hops", "10",
+            "--crash", "1@0.03",
+            "--detection-delay", "0.5", "--state-bytes", "100000",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "sweep over n" in out
+
+    def test_sweep_detection(self, capsys):
+        code = main([
+            "sweep", "--knob", "detection", "--values", "0.3,0.6",
+            "--n", "4", "--hops", "10", "--crash", "1@0.03",
+            "--state-bytes", "100000",
+        ])
+        assert code == 0
+
+    def test_sweep_rejects_unknown_knob(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--knob", "bogus", "--values", "1,2"])

@@ -1,0 +1,103 @@
+"""Unit tests for SystemConfig validation and the metrics collector."""
+
+import pytest
+
+from repro import SystemConfig, crash_at
+from repro.core.metrics import MetricsCollector, RecoveryEpisode
+from repro.net.network import MessageKind, NetworkStats
+
+
+class TestConfigValidation:
+    def test_default_is_valid(self):
+        SystemConfig().validate()
+
+    def test_rejects_tiny_system(self):
+        with pytest.raises(ValueError):
+            SystemConfig(n=1).validate()
+
+    def test_rejects_unknown_protocol(self):
+        with pytest.raises(ValueError):
+            SystemConfig(protocol="nope").validate()
+
+    def test_rejects_unknown_recovery(self):
+        with pytest.raises(ValueError):
+            SystemConfig(recovery="nope").validate()
+
+    def test_rejects_incompatible_pairing(self):
+        with pytest.raises(ValueError):
+            SystemConfig(protocol="fbl", recovery="local").validate()
+        with pytest.raises(ValueError):
+            SystemConfig(protocol="pessimistic", recovery="nonblocking").validate()
+        with pytest.raises(ValueError):
+            SystemConfig(protocol="coordinated", recovery="blocking").validate()
+
+    def test_rejects_crash_of_unknown_node(self):
+        with pytest.raises(ValueError):
+            SystemConfig(n=4, crashes=[crash_at(9, 1.0)]).validate()
+
+    def test_rejects_bad_hardware(self):
+        with pytest.raises(ValueError):
+            SystemConfig(detection_delay=-1).validate()
+        with pytest.raises(ValueError):
+            SystemConfig(state_bytes=0).validate()
+
+    def test_sequencer_id_is_n(self):
+        assert SystemConfig(n=8).sequencer_id == 8
+
+    def test_describe_mentions_key_facts(self):
+        config = SystemConfig(n=8, protocol="fbl", protocol_params={"f": 2})
+        text = config.describe()
+        assert "n=8" in text and "fbl(f=2)" in text
+
+
+class TestMetricsCollector:
+    def test_episode_lifecycle(self):
+        metrics = MetricsCollector()
+        episode = metrics.start_episode(3, 1.0)
+        assert metrics.episode_of(3) is episode
+        episode.restart_time = 4.0
+        episode.restored_time = 5.0
+        metrics.finish_episode(3, 6.0)
+        assert metrics.episode_of(3) is None
+        assert episode.total_duration == 5.0
+        assert episode.detection_duration == 3.0
+        assert episode.restore_duration == 1.0
+
+    def test_incomplete_episode_has_none_duration(self):
+        episode = RecoveryEpisode(node=0, crash_time=1.0)
+        assert episode.total_duration is None
+        assert not episode.complete
+
+    def test_block_intervals_accumulate(self):
+        metrics = MetricsCollector()
+        metrics.block_start(1, 1.0)
+        metrics.block_end(1, 3.0)
+        metrics.block_start(1, 5.0)
+        metrics.block_end(1, 6.0)
+        assert metrics.blocked_time(1) == 3.0
+        assert metrics.blocked_time_by_node() == {1: 3.0}
+
+    def test_double_block_start_ignored(self):
+        metrics = MetricsCollector()
+        metrics.block_start(1, 1.0)
+        metrics.block_start(1, 2.0)
+        metrics.block_end(1, 3.0)
+        assert metrics.blocked_time(1) == 2.0
+
+    def test_close_open_blocks(self):
+        metrics = MetricsCollector()
+        metrics.block_start(1, 1.0)
+        metrics.close_open_blocks(4.0)
+        assert metrics.blocked_time(1) == 3.0
+
+    def test_delivery_counting(self):
+        metrics = MetricsCollector()
+        metrics.count_delivery(0, during_replay=False)
+        metrics.count_delivery(0, during_replay=True)
+        assert metrics.deliveries[0] == 2
+        assert metrics.replayed[0] == 1
+
+
+class TestNetworkStatsHelpers:
+    def test_of_kind_empty(self):
+        assert NetworkStats().of_kind(MessageKind.RECOVERY) == (0, 0)

@@ -1,0 +1,158 @@
+"""Node lifecycle tests (crash semantics, blocking, checkpoints)."""
+
+import pytest
+
+from repro import build_system, crash_at
+from repro.core.node import NodeState
+
+from helpers import small_config
+
+
+def build(crashes=(), **kw):
+    return build_system(small_config(crashes=list(crashes), **kw))
+
+
+def test_start_makes_nodes_live_with_bootstrap_checkpoint():
+    system = build()
+    system.start()
+    for node in system.nodes:
+        assert node.is_live
+        assert node.checkpoints.latest is not None
+        assert node.checkpoints.latest.delivered_count == 0
+
+
+def test_crash_wipes_volatile_state():
+    system = build()
+    system.start()
+    system.sim.run(until=0.05)
+    node = system.nodes[2]
+    assert node.app.delivered_count > 0
+    node.crash()
+    assert node.state == NodeState.CRASHED
+    assert node.app.delivered_count == 0
+    assert node.delivered_ids == set()
+    assert len(node.protocol.det_log) == 0
+    assert len(node.protocol.send_log) == 0
+
+
+def test_crash_is_idempotent():
+    system = build()
+    system.start()
+    node = system.nodes[2]
+    node.crash()
+    count = node.crash_count
+    node.crash()
+    assert node.crash_count == count
+
+
+def test_crashed_node_receives_nothing():
+    system = build()
+    system.start()
+    system.nodes[2].crash()
+    assert not system.network.is_registered(2)
+
+
+def test_restart_scheduled_after_detection_delay():
+    config = small_config(crashes=[crash_at(node=2, time=0.02)])
+    system = build_system(config)
+    system.start()
+    system.sim.run(until=0.02 + config.detection_delay - 0.001)
+    assert system.nodes[2].state == NodeState.CRASHED
+    system.sim.run(until=0.02 + config.detection_delay + 0.001)
+    assert system.nodes[2].state == NodeState.RESTORING
+    system.sim.run()
+
+
+def test_incarnation_survives_repeated_crashes():
+    system = build(crashes=[crash_at(2, 0.02), crash_at(2, 3.0)])
+    result = system.run()
+    assert system.nodes[2].incarnation == 2
+
+
+def test_stale_incarnation_messages_rejected():
+    system = build()
+    system.start()
+    node = system.nodes[0]
+    node.incvector[3] = 5
+    from repro.net.network import Message, MessageKind
+
+    before = node.app.delivered_count
+    node.receive(
+        Message(src=3, dst=0, kind=MessageKind.APPLICATION, mtype="app",
+                payload={"data": {"hops": 0}}, incarnation=4, ssn=999)
+    )
+    assert node.app.delivered_count == before
+    assert system.trace.count("node", "reject_stale") == 1
+
+
+def test_block_queues_and_unblock_drains():
+    system = build()
+    system.start()
+    node = system.nodes[0]
+    node.block()
+    from repro.net.network import Message, MessageKind
+
+    before = node.app.delivered_count
+    node.receive(
+        Message(src=1, dst=0, kind=MessageKind.APPLICATION, mtype="app",
+                payload={"data": {"hops": 0}}, incarnation=0, ssn=901)
+    )
+    assert node.app.delivered_count == before
+    node.unblock()
+    assert node.app.delivered_count == before + 1
+
+
+def test_blocked_time_recorded():
+    system = build()
+    system.start()
+    node = system.nodes[0]
+    node.block()
+    system.sim.run(until=0.25)
+    node.unblock()
+    system.sim.run()
+    assert system.metrics.blocked_time(0) == pytest.approx(0.25, abs=0.01)
+
+
+def test_block_on_crashed_node_is_noop():
+    system = build()
+    system.start()
+    node = system.nodes[0]
+    node.crash()
+    node.block()
+    assert not node.blocked
+
+
+def test_periodic_checkpoints_taken():
+    system = build_system(small_config(checkpoint_every=5, hops=25))
+    result = system.run()
+    checkpoints = system.trace.count("node", "checkpoint")
+    assert checkpoints > system.config.n  # more than just the bootstraps
+
+
+def test_periodic_checkpoint_shortens_replay():
+    """A node that checkpointed at delivery k replays only from k."""
+    config_a = small_config(checkpoint_every=0, hops=30,
+                            crashes=[crash_at(node=2, time=0.04)], seed=9)
+    config_b = small_config(checkpoint_every=3, hops=30,
+                            crashes=[crash_at(node=2, time=0.04)], seed=9)
+    ra = build_system(config_a).run()
+    rb = build_system(config_b).run()
+    assert ra.consistent and rb.consistent
+    replayed_a = ra.episodes[0].replayed_deliveries
+    replayed_b = rb.episodes[0].replayed_deliveries
+    assert replayed_b <= replayed_a
+
+
+def test_voluntary_rollback_restarts_immediately():
+    config = small_config()
+    system = build_system(config)
+    system.start()
+    system.sim.run(until=0.05)
+    node = system.nodes[2]
+    node.voluntary_rollback()
+    assert node.state == NodeState.CRASHED
+    # restart begins immediately, far sooner than detection_delay
+    system.sim.run(until=0.051)
+    assert node.state in (NodeState.RESTORING, NodeState.RECOVERING)
+    system.sim.run()
+    assert node.is_live

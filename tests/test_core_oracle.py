@@ -1,0 +1,120 @@
+"""Unit tests for the consistency oracle."""
+
+from repro.core.oracle import ConsistencyOracle, NullOracle, OracleViolation
+
+
+def test_clean_run_is_consistent():
+    oracle = ConsistencyOracle()
+    oracle.on_send(0, 0, 1, 0)
+    oracle.on_deliver(1, 0, 0, 0, "d1")
+    assert oracle.consistent
+    oracle.check_safety({0: [], 1: [(0, 0)]})
+    assert oracle.consistent
+
+
+def test_replay_matching_original_is_clean():
+    oracle = ConsistencyOracle()
+    oracle.on_send(0, 0, 1, 0)
+    oracle.on_deliver(1, 0, 0, 0, "d1")
+    # replay: identical send and delivery
+    oracle.on_send(0, 0, 1, 0)
+    oracle.on_deliver(1, 0, 0, 0, "d1")
+    assert oracle.consistent
+
+
+def test_replay_order_divergence_detected():
+    oracle = ConsistencyOracle()
+    oracle.on_deliver(1, 0, 0, 0, "d1")
+    oracle.on_deliver(1, 0, 2, 5, "d1")  # same rsn, different message
+    assert not oracle.consistent
+    assert oracle.violations[0].kind == "replay-order"
+
+
+def test_replay_digest_divergence_detected():
+    oracle = ConsistencyOracle()
+    oracle.on_deliver(1, 0, 0, 0, "d1")
+    oracle.on_deliver(1, 0, 0, 0, "DIFFERENT")
+    assert not oracle.consistent
+    assert oracle.violations[0].kind == "replay-digest"
+
+
+def test_send_divergence_detected():
+    oracle = ConsistencyOracle()
+    oracle.on_send(0, 3, 1, 5)
+    oracle.on_send(0, 3, 1, 9)  # regenerated at a different point
+    assert not oracle.consistent
+    assert oracle.violations[0].kind == "send-divergence"
+
+
+def test_orphan_detected():
+    """A surviving delivery depending on a rolled-back delivery."""
+    oracle = ConsistencyOracle()
+    # p delivers m at rsn 0, then sends to q, which delivers it
+    oracle.on_deliver(0, 0, 9, 0, "p-digest")
+    oracle.on_send(0, 0, 1, 1)  # p's send happened after 1 delivery
+    oracle.on_deliver(1, 0, 0, 0, "q-digest")
+    # p's delivery was rolled back (final history empty), q's survived
+    oracle.check_safety({0: [], 1: [(0, 0)], 9: []})
+    assert not oracle.consistent
+    assert any(v.kind == "orphan" for v in oracle.violations)
+
+
+def test_rollback_forgets_invisible_suffix():
+    """Rolled-back deliveries do not trigger false replay divergence."""
+    oracle = ConsistencyOracle()
+    oracle.on_deliver(1, 0, 0, 0, "a")
+    oracle.on_deliver(1, 1, 2, 0, "b")  # this one will be rolled back
+    oracle.on_rollback(1, 1)
+    oracle.on_deliver(1, 1, 3, 0, "c")  # fresh execution takes rsn 1
+    assert oracle.consistent
+
+
+def test_rollback_archives_sends():
+    oracle = ConsistencyOracle()
+    oracle.on_send(0, 5, 1, 10)  # sent after 10 deliveries
+    oracle.on_rollback(0, 4)  # rolled back to 4 deliveries
+    oracle.on_send(0, 5, 1, 6)  # ssn reused by the new execution
+    assert oracle.consistent
+
+
+def test_orphan_still_detected_after_rollback_archiving():
+    """Archived events keep their causal edges for the safety check."""
+    oracle = ConsistencyOracle()
+    oracle.on_deliver(0, 0, 9, 0, "p")
+    oracle.on_send(0, 0, 1, 1)
+    oracle.on_deliver(1, 0, 0, 0, "q")
+    oracle.on_rollback(0, 0)  # p rolled back to zero deliveries
+    oracle.check_safety({0: [], 1: [(0, 0)], 9: []})
+    assert any(v.kind == "orphan" for v in oracle.violations)
+
+
+def test_history_divergence_detected():
+    oracle = ConsistencyOracle()
+    oracle.on_deliver(1, 0, 0, 0, "a")
+    oracle.check_safety({1: [(9, 9)]})
+    assert any(v.kind == "history-divergence" for v in oracle.violations)
+
+
+def test_violation_str():
+    violation = OracleViolation(kind="orphan", node=3, detail="boom")
+    assert "orphan" in str(violation)
+    assert "3" in str(violation)
+
+
+def test_deliveries_recorded_counts_unique():
+    oracle = ConsistencyOracle()
+    oracle.on_deliver(1, 0, 0, 0, "a")
+    oracle.on_deliver(1, 0, 0, 0, "a")
+    oracle.on_deliver(1, 1, 0, 1, "b")
+    assert oracle.deliveries_recorded() == 2
+
+
+def test_null_oracle_observes_nothing():
+    oracle = NullOracle()
+    oracle.on_send(0, 0, 1, 0)
+    oracle.on_deliver(1, 0, 0, 99, "x")
+    oracle.on_deliver(1, 0, 5, 5, "y")  # would be a violation normally
+    oracle.on_rollback(1, 0)
+    oracle.check_safety({1: [(9, 9)]})
+    assert oracle.consistent
+    assert oracle.deliveries_recorded() == 0

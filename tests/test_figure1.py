@@ -1,0 +1,133 @@
+"""The paper's Figure 1 scenario, reproduced literally.
+
+Three processes p, q, r.  Process p receives a message m, then sends m'
+to q, which sends m'' to r.  Under FBL with f = 2:
+
+* m' is a descendent of m; m'' a descendent of m';
+* the receipt order of m is piggybacked on m' and on m'' and therefore
+  recorded at q and r -- so "the receipt order of m need not be
+  propagated further than r for f = 2";
+* if p fails, the receipt order of m is available at q or r, and the
+  data of m at its sender: p can recover;
+* if p and q both fail, r still knows the receipt orders of m and m',
+  and deterministic replay regenerates m' "for the benefit of the
+  recovery of process q".
+"""
+
+import pytest
+
+from repro import SystemConfig, build_system, crash_at
+from repro.procs.process import Send
+from repro.workloads.generators import Workload
+
+# node ids for readability
+S, P, Q, R = 0, 1, 2, 3  # S is the (unshown) sender of m
+
+
+class Figure1Workload(Workload):
+    """Exactly the paper's chain: S sends m to P; P sends m' to Q;
+    Q sends m'' to R."""
+
+    def initial_sends(self, node_id, n_nodes):
+        if node_id == S:
+            return [Send(dst=P, payload={"name": "m"}, body_bytes=64)]
+        return []
+
+    def on_deliver(self, node_id, n_nodes, rsn, sender, payload):
+        if node_id == P and payload.get("name") == "m":
+            return [Send(dst=Q, payload={"name": "m_prime"}, body_bytes=64)]
+        if node_id == Q and payload.get("name") == "m_prime":
+            return [Send(dst=R, payload={"name": "m_dprime"}, body_bytes=64)]
+        return []
+
+
+def figure1_config(crashes=(), recovery="nonblocking", f=2):
+    config = SystemConfig(
+        n=4,
+        name="figure1",
+        protocol="fbl",
+        protocol_params={"f": f},
+        recovery=recovery,
+        crashes=list(crashes),
+        detection_delay=0.5,
+        state_bytes=100_000,
+    )
+    return config
+
+
+def build_figure1(crashes=(), recovery="nonblocking", f=2):
+    config = figure1_config(crashes, recovery, f)
+    system = build_system(config)
+    # swap in the literal Figure-1 workload
+    for node in system.nodes:
+        node.app.workload = Figure1Workload()
+    return system
+
+
+def test_chain_executes():
+    system = build_figure1()
+    result = system.run()
+    assert system.nodes[P].app.delivery_history == [(S, 0)]
+    assert system.nodes[Q].app.delivery_history == [(P, 0)]
+    assert system.nodes[R].app.delivery_history == [(Q, 0)]
+
+
+def test_receipt_order_of_m_propagates_to_q_and_r():
+    """The piggybacking example of Section 2.1."""
+    system = build_figure1()
+    system.run()
+    det_m = system.nodes[P].protocol.det_log.for_receiver(P)[0]
+    assert det_m in system.nodes[Q].protocol.det_log
+    assert det_m in system.nodes[R].protocol.det_log
+
+
+def test_propagation_stops_at_r_for_f_2():
+    """m's determinant is at 3 = f + 1 hosts (p, q, r); it is stable and
+    will not be piggybacked further."""
+    system = build_figure1()
+    system.run()
+    protocol_r = system.nodes[R].protocol
+    det_m = protocol_r.det_log.for_receiver(P)[0]
+    assert protocol_r._det_stable(det_m)
+
+
+def test_p_recovers_from_single_failure():
+    """Section 2.1: "process p has the necessary information to recover"."""
+    system = build_figure1(crashes=[crash_at(P, 0.01)])
+    result = system.run()
+    assert result.consistent
+    assert system.nodes[P].app.delivery_history == [(S, 0)]
+    assert system.nodes[P].is_live
+
+
+def test_p_and_q_recover_from_double_failure():
+    """Section 2.1: with p and q failed, r supplies the receipt orders
+    and p's deterministic replay regenerates m' for q."""
+    system = build_figure1(crashes=[crash_at(P, 0.01), crash_at(Q, 0.01)])
+    result = system.run()
+    assert result.consistent
+    assert system.nodes[P].app.delivery_history == [(S, 0)]
+    assert system.nodes[Q].app.delivery_history == [(P, 0)]
+    assert all(node.is_live for node in system.nodes)
+
+
+def test_double_failure_under_blocking_baseline_too():
+    system = build_figure1(
+        crashes=[crash_at(P, 0.01), crash_at(Q, 0.01)], recovery="blocking"
+    )
+    result = system.run()
+    assert result.consistent
+    assert system.nodes[Q].app.delivery_history == [(P, 0)]
+
+
+def test_digests_match_original_execution():
+    """Replay must reproduce the exact pre-crash states (liveness)."""
+    baseline = build_figure1()
+    baseline.run()
+    expected = {i: baseline.nodes[i].app.digest for i in (P, Q, R)}
+
+    crashed = build_figure1(crashes=[crash_at(P, 0.01), crash_at(Q, 0.01)])
+    result = crashed.run()
+    assert result.consistent
+    for i in (P, Q, R):
+        assert crashed.nodes[i].app.digest == expected[i]

@@ -1,0 +1,137 @@
+"""Garbage-collection tests: logs must not grow without bound.
+
+Periodic checkpoints let the protocols discard what replay can never
+need again: senders prune their send logs up to the receiver's durable
+contiguous prefix, determinant copies for covered deliveries are
+dropped everywhere, and the stable logs of pessimistic/Manetho logging
+are compacted.  Correctness must be unaffected -- including crashes
+landing right after a round of GC.
+"""
+
+import pytest
+
+from repro import build_system, crash_at
+
+from helpers import small_config
+
+
+def gc_config(protocol="fbl", recovery="nonblocking", checkpoint_every=5, **kw):
+    params = kw.pop("protocol_params", {"f": 2} if protocol == "fbl" else {})
+    return small_config(
+        protocol=protocol,
+        recovery=recovery,
+        protocol_params=params,
+        checkpoint_every=checkpoint_every,
+        workload="uniform",
+        workload_params={"hops": 40, "fanout": 2},
+        **kw,
+    )
+
+
+class TestSendLogPruning:
+    def test_send_logs_shrink_with_checkpoints(self):
+        without = build_system(gc_config(checkpoint_every=0, seed=4))
+        without.run()
+        with_gc = build_system(gc_config(checkpoint_every=5, seed=4))
+        with_gc.run()
+        size_without = sum(len(n.protocol.send_log) for n in without.nodes)
+        size_with = sum(len(n.protocol.send_log) for n in with_gc.nodes)
+        assert size_with < size_without
+
+    def test_gc_notices_are_sent(self):
+        system = build_system(gc_config())
+        system.run()
+        assert system.trace.count("gc", "notice") > 0
+        assert system.trace.count("gc", "pruned") > 0
+
+    def test_no_gc_without_periodic_checkpoints(self):
+        system = build_system(gc_config(checkpoint_every=0))
+        system.run()
+        assert system.trace.count("gc", "notice") == 0
+
+
+class TestDeterminantGC:
+    def test_determinant_logs_shrink(self):
+        without = build_system(gc_config(checkpoint_every=0, seed=4))
+        without.run()
+        with_gc = build_system(gc_config(checkpoint_every=5, seed=4))
+        with_gc.run()
+        dets_without = sum(len(n.protocol.det_log) for n in without.nodes)
+        dets_with = sum(len(n.protocol.det_log) for n in with_gc.nodes)
+        assert dets_with < dets_without
+
+    def test_only_covered_prefix_dropped(self):
+        system = build_system(gc_config())
+        system.run()
+        for node in system.nodes:
+            covered = node.checkpoints.latest.delivered_count
+            own = node.protocol.det_log.for_receiver(node.node_id)
+            assert all(rsn >= covered for rsn in own)
+
+
+class TestStableLogCompaction:
+    def test_pessimistic_log_compacts(self):
+        without = build_system(
+            gc_config(protocol="pessimistic", recovery="local", checkpoint_every=0,
+                      seed=4)
+        )
+        without.run()
+        with_gc = build_system(
+            gc_config(protocol="pessimistic", recovery="local", checkpoint_every=5,
+                      seed=4)
+        )
+        with_gc.run()
+        len_without = sum(
+            n.storage.log_len(f"msglog:{n.node_id}") for n in without.nodes
+        )
+        len_with = sum(
+            n.storage.log_len(f"msglog:{n.node_id}") for n in with_gc.nodes
+        )
+        assert len_with < len_without
+
+    def test_manetho_log_compacts(self):
+        with_gc = build_system(
+            gc_config(protocol="manetho", checkpoint_every=5)
+        )
+        with_gc.run()
+        assert with_gc.trace.count("gc", "log_compacted") > 0
+
+
+class TestCorrectnessWithGC:
+    @pytest.mark.parametrize("protocol,recovery", [
+        ("fbl", "nonblocking"),
+        ("fbl", "blocking"),
+        ("sender_based", "nonblocking"),
+        ("manetho", "nonblocking"),
+        ("pessimistic", "local"),
+    ])
+    def test_recovery_after_gc_is_consistent(self, protocol, recovery):
+        """Crash long enough into the run that GC has already pruned."""
+        system = build_system(gc_config(
+            protocol=protocol, recovery=recovery, checkpoint_every=4,
+            crashes=[crash_at(node=2, time=0.06)],
+        ))
+        result = system.run()
+        assert result.consistent, result.oracle_violations[:3]
+        assert all(node.is_live for node in system.nodes)
+
+    def test_two_failures_after_gc(self):
+        system = build_system(gc_config(
+            checkpoint_every=4,
+            crashes=[crash_at(node=1, time=0.05), crash_at(node=3, time=0.06)],
+        ))
+        result = system.run()
+        assert result.consistent
+        assert len(result.recovery_durations()) == 2
+
+    def test_replay_starts_from_latest_durable_checkpoint(self):
+        system = build_system(gc_config(
+            checkpoint_every=4,
+            crashes=[crash_at(node=2, time=0.08)],
+        ))
+        result = system.run()
+        assert result.consistent
+        episode = result.episodes[0]
+        # with periodic checkpoints the replay is strictly shorter than
+        # the pre-crash delivery count would require from scratch
+        assert episode.complete

@@ -1,0 +1,159 @@
+"""Integration matrix: every protocol x recovery pairing, with and
+without failures, across workloads, must run to quiescence consistently."""
+
+import pytest
+
+from repro import build_system, crash_at
+
+from helpers import small_config
+
+PAIRINGS = [
+    ("fbl", "nonblocking"),
+    ("fbl", "blocking"),
+    ("sender_based", "nonblocking"),
+    ("sender_based", "blocking"),
+    ("manetho", "nonblocking"),
+    ("manetho", "blocking"),
+    ("pessimistic", "local"),
+    ("optimistic", "optimistic"),
+    ("coordinated", "coordinated"),
+]
+
+WORKLOADS = [
+    ("uniform", {"hops": 20, "fanout": 2}),
+    ("token_ring", {"hops": 30, "tokens": 2}),
+    ("client_server", {"requests": 6}),
+    ("all_to_all", {"hops": 6}),
+]
+
+
+def make(protocol, recovery, workload="uniform", workload_params=None, crashes=(), **kw):
+    params = {}
+    if protocol == "fbl":
+        params = {"f": 2}
+    elif protocol == "coordinated":
+        params = {"snapshot_every": 8}
+    return small_config(
+        protocol=protocol,
+        recovery=recovery,
+        protocol_params=params,
+        workload=workload,
+        workload_params=workload_params or {"hops": 20, "fanout": 2},
+        crashes=list(crashes),
+        **kw,
+    )
+
+
+@pytest.mark.parametrize("protocol,recovery", PAIRINGS)
+def test_failure_free_quiesces_consistently(protocol, recovery):
+    system = build_system(make(protocol, recovery))
+    result = system.run()
+    assert result.consistent
+    assert result.final_progress > 0
+    assert all(node.is_live for node in system.nodes)
+
+
+@pytest.mark.parametrize("protocol,recovery", PAIRINGS)
+def test_single_failure_recovers(protocol, recovery):
+    system = build_system(
+        make(protocol, recovery, crashes=[crash_at(node=2, time=0.03)])
+    )
+    result = system.run()
+    assert result.consistent
+    assert len(result.recovery_durations()) >= 1
+    assert all(node.is_live for node in system.nodes)
+
+
+@pytest.mark.parametrize("protocol,recovery", [
+    ("fbl", "nonblocking"),
+    ("fbl", "blocking"),
+    ("manetho", "nonblocking"),
+    ("pessimistic", "local"),
+    ("optimistic", "optimistic"),
+    ("coordinated", "coordinated"),
+])
+def test_two_failures_recover(protocol, recovery):
+    system = build_system(
+        make(
+            protocol,
+            recovery,
+            crashes=[crash_at(node=1, time=0.03), crash_at(node=3, time=0.04)],
+        )
+    )
+    result = system.run()
+    assert result.consistent
+    assert all(node.is_live for node in system.nodes)
+
+
+@pytest.mark.parametrize("workload,params", WORKLOADS)
+def test_workloads_under_failure_fbl_nonblocking(workload, params):
+    system = build_system(
+        make(
+            "fbl",
+            "nonblocking",
+            workload=workload,
+            workload_params=params,
+            crashes=[crash_at(node=2, time=0.02)],
+        )
+    )
+    result = system.run()
+    assert result.consistent
+    assert all(node.is_live for node in system.nodes)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_seeds_do_not_break_consistency(seed):
+    system = build_system(
+        make("fbl", "nonblocking", crashes=[crash_at(node=2, time=0.03)], seed=seed)
+    )
+    result = system.run()
+    assert result.consistent
+
+
+def test_identical_seeds_identical_runs():
+    """Full determinism: same config + seed => identical digests and
+    identical message counts."""
+    a = build_system(make("fbl", "nonblocking", crashes=[crash_at(2, 0.03)], seed=7))
+    b = build_system(make("fbl", "nonblocking", crashes=[crash_at(2, 0.03)], seed=7))
+    ra, rb = a.run(), b.run()
+    assert ra.digests == rb.digests
+    assert ra.network.messages == rb.network.messages
+    assert ra.end_time == rb.end_time
+
+
+def test_different_seeds_differ():
+    a = build_system(make("fbl", "nonblocking", seed=1)).run()
+    b = build_system(make("fbl", "nonblocking", seed=2)).run()
+    # latency jitter differs, so at minimum timing differs
+    assert a.end_time != b.end_time
+
+
+def test_crash_of_every_node_position():
+    """No node id is special (except in the workload's topology)."""
+    for victim in range(5):
+        system = build_system(
+            make("fbl", "nonblocking", n=5, crashes=[crash_at(victim, 0.03)])
+        )
+        result = system.run()
+        assert result.consistent, f"victim {victim} broke consistency"
+        assert all(node.is_live for node in system.nodes)
+
+
+def test_crash_during_replay_of_other_recovery():
+    """Third-order scenario: a node crashes while another node's replay
+    is still in flight."""
+    from repro import crash_on
+
+    system = build_system(
+        make(
+            "fbl",
+            "nonblocking",
+            crashes=[
+                crash_at(node=1, time=0.03),
+                crash_on(3, "replay", "start", match_node=1, immediate=True),
+            ],
+        )
+    )
+    result = system.run()
+    assert result.consistent
+    assert all(node.is_live for node in system.nodes)

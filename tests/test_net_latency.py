@@ -1,0 +1,90 @@
+"""Unit tests for latency models."""
+
+import random
+
+import pytest
+
+from repro.net.latency import (
+    AtmLinkModel,
+    BandwidthLatency,
+    ConstantLatency,
+    ExponentialLatency,
+    UniformLatency,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(1)
+
+
+def test_constant_latency(rng):
+    model = ConstantLatency(0.01)
+    assert model.sample(0, rng) == 0.01
+    assert model.sample(10_000, rng) == 0.01
+
+
+def test_constant_latency_rejects_negative():
+    with pytest.raises(ValueError):
+        ConstantLatency(-1.0)
+
+
+def test_uniform_latency_in_range(rng):
+    model = UniformLatency(0.001, 0.002)
+    for _ in range(100):
+        assert 0.001 <= model.sample(100, rng) <= 0.002
+
+
+def test_uniform_latency_rejects_bad_bounds():
+    with pytest.raises(ValueError):
+        UniformLatency(0.5, 0.1)
+
+
+def test_exponential_latency_at_least_base(rng):
+    model = ExponentialLatency(base=0.01, mean_extra=0.005)
+    for _ in range(100):
+        assert model.sample(100, rng) >= 0.01
+
+
+def test_exponential_latency_zero_extra(rng):
+    model = ExponentialLatency(base=0.01, mean_extra=0.0)
+    assert model.sample(100, rng) == 0.01
+
+
+def test_bandwidth_latency_scales_with_size(rng):
+    model = BandwidthLatency(bandwidth_bps=8e6, propagation=0.001)
+    small = model.sample(1_000, rng)
+    large = model.sample(1_000_000, rng)
+    assert large > small
+    # 1 MB over 8 Mb/s = 1 second of transmission
+    assert large == pytest.approx(0.001 + 1.0)
+
+
+def test_bandwidth_latency_jitter_bounded(rng):
+    model = BandwidthLatency(bandwidth_bps=8e6, propagation=0.001, jitter_fraction=0.5)
+    base = 0.001 + 1_000 * 8 / 8e6
+    for _ in range(100):
+        value = model.sample(1_000, rng)
+        assert base <= value <= base * 1.5 + 1e-12
+
+
+def test_bandwidth_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        BandwidthLatency(bandwidth_bps=0)
+
+
+def test_atm_model_small_message_sub_millisecond(rng):
+    model = AtmLinkModel()
+    # control messages must be cheap relative to storage/detection: the
+    # paper's "about milliseconds" claim rests on this
+    for _ in range(50):
+        assert model.sample(200, rng) < 0.002
+
+
+def test_atm_model_bandwidth_is_155mbps():
+    assert AtmLinkModel().bandwidth_bps == 155e6
+
+
+def test_model_is_callable(rng):
+    model = ConstantLatency(0.5)
+    assert model(123, rng) == 0.5

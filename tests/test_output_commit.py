@@ -1,0 +1,186 @@
+"""Output-commit tests: the second classic yardstick.
+
+An output to the outside world cannot be rolled back, so each protocol
+must hold it until the producing state is recoverable.  The tests check
+per-protocol gating semantics, exactly-once release across crashes and
+replays, and that no output ever escapes from a state that was later
+rolled back.
+"""
+
+import pytest
+
+from repro import build_system, crash_at
+from repro.analysis.stats import summarize
+from repro.core.output import OutputDevice
+
+from helpers import small_config
+
+
+def output_config(protocol, recovery, protocol_params=None, crashes=(), **kw):
+    return small_config(
+        protocol=protocol,
+        recovery=recovery,
+        protocol_params=protocol_params or {},
+        workload="uniform",
+        workload_params={"hops": 25, "fanout": 2, "output_every": 4},
+        crashes=list(crashes),
+        **kw,
+    )
+
+
+ALL_STACKS = [
+    ("fbl", "nonblocking", {"f": 2}),
+    ("fbl", "blocking", {"f": 2}),
+    ("sender_based", "nonblocking", {}),
+    ("manetho", "nonblocking", {}),
+    ("pessimistic", "local", {}),
+    ("optimistic", "optimistic", {}),
+    ("coordinated", "coordinated", {"snapshot_every": 8}),
+]
+
+
+class TestOutputDevice:
+    def test_release_and_latency(self):
+        device = OutputDevice()
+        assert device.release(0, (0, 1, 0), {"x": 1}, 1.0, 1.5)
+        assert device.latencies() == [0.5]
+
+    def test_duplicates_filtered(self):
+        device = OutputDevice()
+        device.release(0, (0, 1, 0), {}, 1.0, 1.5)
+        assert not device.release(0, (0, 1, 0), {}, 2.0, 2.5)
+        assert len(device) == 1
+        assert device.duplicates_filtered == 1
+
+    def test_by_node_groups(self):
+        device = OutputDevice()
+        device.release(0, (0, 1, 0), {}, 1.0, 1.5)
+        device.release(2, (2, 1, 0), {}, 1.0, 1.5)
+        grouped = device.by_node()
+        assert set(grouped) == {0, 2}
+
+
+class TestFailureFreeGating:
+    @pytest.mark.parametrize("protocol,recovery,params", ALL_STACKS)
+    def test_every_output_eventually_commits(self, protocol, recovery, params):
+        system = build_system(output_config(protocol, recovery, params))
+        result = system.run()
+        assert result.consistent
+        pending = sum(
+            len(getattr(node.protocol, "_pending_outputs", []))
+            for node in system.nodes
+        )
+        assert pending == 0
+        assert result.outputs_committed > 0
+
+    def test_pessimistic_commits_instantly(self):
+        """Everything is on stable storage before the app runs: zero
+        commit latency, the classic pessimistic-logging advantage."""
+        result = build_system(
+            output_config("pessimistic", "local")
+        ).run()
+        assert max(result.output_latencies()) == 0.0
+
+    def test_fbl_commits_within_a_push_round_trip(self):
+        """FBL's acknowledged determinant push: ~1 network RTT."""
+        result = build_system(
+            output_config("fbl", "nonblocking", {"f": 2})
+        ).run()
+        assert summarize(result.output_latencies()).p50 < 0.01
+
+    def test_manetho_commit_is_storage_bound(self):
+        """f = n: an output waits for its determinants' stable writes."""
+        result = build_system(output_config("manetho", "nonblocking")).run()
+        stats = summarize(result.output_latencies())
+        assert stats.p50 > 0.01  # slower than a network round trip
+
+    def test_coordinated_commit_waits_for_a_round(self):
+        result = build_system(
+            output_config("coordinated", "coordinated", {"snapshot_every": 8})
+        ).run()
+        stats = summarize(result.output_latencies())
+        # at least one full snapshot round (two broadcast phases + a
+        # checkpoint write) stands between request and release
+        assert stats.p50 > 0.05
+
+    def test_latency_ordering_matches_the_literature(self):
+        """pessimistic < FBL(f<n) < {manetho, optimistic, coordinated}."""
+        lat = {}
+        for protocol, recovery, params in [
+            ("pessimistic", "local", {}),
+            ("fbl", "nonblocking", {"f": 2}),
+            ("manetho", "nonblocking", {}),
+            ("optimistic", "optimistic", {}),
+            ("coordinated", "coordinated", {"snapshot_every": 8}),
+        ]:
+            result = build_system(output_config(protocol, recovery, params)).run()
+            lat[protocol] = summarize(result.output_latencies()).p50
+        assert lat["pessimistic"] <= lat["fbl"]
+        assert lat["fbl"] < lat["manetho"]
+        assert lat["fbl"] < lat["optimistic"]
+        assert lat["fbl"] < lat["coordinated"]
+
+
+class TestOutputSafetyUnderFailures:
+    @pytest.mark.parametrize("protocol,recovery,params", ALL_STACKS)
+    def test_no_output_from_rolled_back_state(self, protocol, recovery, params):
+        system = build_system(
+            output_config(
+                protocol, recovery, params, crashes=[crash_at(node=2, time=0.03)]
+            )
+        )
+        result = system.run()
+        assert result.consistent, result.oracle_violations[:3]
+        assert not any(
+            v.kind == "output-from-rolled-back-state"
+            for v in result.oracle_violations
+        )
+
+    def test_replayed_outputs_are_deduplicated(self):
+        """Outputs committed before a crash are re-requested by replay
+        and must be filtered as duplicates, not re-released."""
+        system = build_system(
+            output_config(
+                "fbl", "nonblocking", {"f": 2},
+                crashes=[crash_at(node=2, time=0.03)],
+            )
+        )
+        result = system.run()
+        assert result.consistent
+        # with outputs every 4 deliveries and a crash mid-run, some
+        # duplicates are inevitable -- and they must all be filtered
+        assert result.output_duplicates_filtered >= 0
+        ids = [record.output_id for record in system.output_device.outputs]
+        assert len(ids) == len(set(ids))
+
+    def test_uncommitted_outputs_survive_via_replay(self):
+        """Outputs pending (not yet stable) at crash time are lost with
+        the process but re-requested and committed during replay."""
+        system = build_system(
+            output_config(
+                "manetho", "nonblocking",
+                crashes=[crash_at(node=2, time=0.03)],
+            )
+        )
+        result = system.run()
+        assert result.consistent
+        # node 2 produced outputs both before and after its crash
+        by_node = system.output_device.by_node()
+        assert by_node.get(2), "crashed node never committed any output"
+
+    def test_optimistic_orphan_outputs_never_escape(self):
+        """The very scenario output commit exists for: deliveries that
+        will be rolled back as orphans must not have externalised."""
+        system = build_system(
+            output_config(
+                "optimistic", "optimistic",
+                crashes=[crash_at(node=2, time=0.03)],
+                storage_op_latency=0.1,  # slow log => long orphan window
+            )
+        )
+        result = system.run()
+        assert result.consistent
+        assert not any(
+            v.kind == "output-from-rolled-back-state"
+            for v in result.oracle_violations
+        )

@@ -1,0 +1,178 @@
+"""Unit tests for failure detection and injection."""
+
+import pytest
+
+from repro.procs.failure import (
+    CrashPlan,
+    FailureDetector,
+    FailureInjector,
+    crash_at,
+    crash_on,
+)
+from repro.sim.kernel import Simulator
+from repro.sim.trace import TraceRecorder
+
+
+class TestFailureDetector:
+    def test_down_announced_after_delay(self):
+        sim = Simulator()
+        detector = FailureDetector(sim, detection_delay=3.0)
+        detector.register_node(1)
+        events = []
+        detector.add_listener(lambda n, s: events.append((sim.now, n, s)))
+        detector.notify_crash(1)
+        sim.run()
+        assert events == [(3.0, 1, "down")]
+        assert detector.is_suspected(1)
+
+    def test_up_clears_suspicion(self):
+        sim = Simulator()
+        detector = FailureDetector(sim, detection_delay=1.0)
+        detector.register_node(1)
+        detector.notify_crash(1)
+        sim.run()
+        detector.notify_up(1)
+        sim.run()
+        assert not detector.is_suspected(1)
+
+    def test_fast_recovery_supersedes_pending_down(self):
+        """A voluntary rollback completing before detection never shows
+        up as a suspicion."""
+        sim = Simulator()
+        detector = FailureDetector(sim, detection_delay=3.0)
+        detector.register_node(1)
+        events = []
+        detector.add_listener(lambda n, s: events.append((n, s)))
+        detector.notify_crash(1)
+        sim.schedule(0.5, detector.notify_up, 1)
+        sim.run()
+        assert ("1", "down") not in events and (1, "down") not in events
+        assert not detector.is_suspected(1)
+
+    def test_live_and_suspected_views(self):
+        sim = Simulator()
+        detector = FailureDetector(sim, detection_delay=0.1)
+        for node in range(3):
+            detector.register_node(node)
+        detector.notify_crash(2)
+        sim.run()
+        assert detector.live_view() == {0, 1}
+        assert detector.suspected_view() == {2}
+
+    def test_recrash_during_recovery_keeps_suspicion(self):
+        sim = Simulator()
+        detector = FailureDetector(sim, detection_delay=1.0)
+        detector.register_node(1)
+        detector.notify_crash(1)
+        sim.run()
+        # second crash before any recovery: still suspected afterwards
+        detector.notify_crash(1)
+        sim.run()
+        assert detector.is_suspected(1)
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            FailureDetector(Simulator(), detection_delay=-1)
+
+
+class TestCrashPlans:
+    def test_crash_at_validates(self):
+        with pytest.raises(ValueError):
+            crash_at(0, -1.0)
+        assert crash_at(0, 5.0).is_timed()
+
+    def test_crash_on_validates(self):
+        with pytest.raises(ValueError):
+            crash_on(0, "x", "y", delay=-1)
+        with pytest.raises(ValueError):
+            crash_on(0, "x", "y", occurrence=0)
+
+    def test_match_details_filters(self):
+        from repro.sim.trace import TraceEvent
+
+        plan = crash_on(0, "net", "deliver", match_details={"mtype": "req"})
+        hit = TraceEvent(0.0, "net", 0, "deliver", {"mtype": "req"})
+        miss = TraceEvent(0.0, "net", 0, "deliver", {"mtype": "other"})
+        assert plan.matches(hit)
+        assert not plan.matches(miss)
+
+
+class TestFailureInjector:
+    def make(self, plans):
+        sim = Simulator()
+        trace = TraceRecorder()
+        crashed = []
+        injector = FailureInjector(sim, trace, crashed.append, plans=plans)
+        injector.arm()
+        return sim, trace, crashed, injector
+
+    def test_timed_crash_fires(self):
+        sim, trace, crashed, injector = self.make([crash_at(2, 1.5)])
+        sim.run()
+        assert crashed == [2]
+        assert sim.now == 1.5
+
+    def test_triggered_crash_fires_on_event(self):
+        sim, trace, crashed, injector = self.make(
+            [crash_on(1, "recovery", "start", match_node=1)]
+        )
+        sim.schedule(1.0, trace.record, 1.0, "recovery", 1, "start")
+        sim.run()
+        assert crashed == [1]
+
+    def test_trigger_respects_node_filter(self):
+        sim, trace, crashed, injector = self.make(
+            [crash_on(1, "recovery", "start", match_node=1)]
+        )
+        sim.schedule(1.0, trace.record, 1.0, "recovery", 2, "start")
+        sim.run()
+        assert crashed == []
+
+    def test_trigger_fires_once(self):
+        sim, trace, crashed, injector = self.make([crash_on(1, "x", "y")])
+        sim.schedule(1.0, trace.record, 1.0, "x", 0, "y")
+        sim.schedule(2.0, trace.record, 2.0, "x", 0, "y")
+        sim.run()
+        assert crashed == [1]
+
+    def test_occurrence_counts(self):
+        sim, trace, crashed, injector = self.make(
+            [crash_on(1, "x", "y", occurrence=3)]
+        )
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t, trace.record, t, "x", 0, "y")
+        sim.run()
+        assert crashed == [1]
+        fired_at = injector.crashes_fired[0][0]
+        assert fired_at == pytest.approx(3.0)
+
+    def test_delay_after_trigger(self):
+        sim, trace, crashed, injector = self.make([crash_on(1, "x", "y", delay=0.5)])
+        sim.schedule(1.0, trace.record, 1.0, "x", 0, "y")
+        sim.run()
+        assert injector.crashes_fired[0][0] == pytest.approx(1.5)
+
+    def test_immediate_fires_synchronously(self):
+        sim = Simulator()
+        trace = TraceRecorder()
+        order = []
+        injector = FailureInjector(
+            sim, trace, lambda n: order.append(("crash", n)),
+            plans=[crash_on(1, "x", "y", immediate=True)],
+        )
+        injector.arm()
+
+        def traced_event():
+            trace.record(sim.now, "x", 0, "y")
+            order.append(("handler", None))  # runs after the crash
+
+        sim.schedule(1.0, traced_event)
+        sim.run()
+        assert order[0] == ("crash", 1)
+        assert order[1] == ("handler", None)
+
+    def test_add_plan_after_arm(self):
+        sim, trace, crashed, injector = self.make([])
+        injector.add(crash_at(4, 2.0))
+        sim.run()
+        assert crashed == [4]

@@ -1,0 +1,85 @@
+"""Unit tests for the deterministic application process."""
+
+from repro.procs.process import ApplicationProcess, Send
+from repro.workloads import make_workload
+
+
+def make(node_id=0, n=4, workload=None):
+    return ApplicationProcess(node_id, n, workload or make_workload("uniform", hops=4))
+
+
+def test_initial_digest_depends_on_identity():
+    assert make(0).digest != make(1).digest
+    assert make(0).digest == make(0).digest
+
+
+def test_deliver_advances_count_and_history():
+    app = make()
+    app.deliver(1, 0, {"hops": 0})
+    app.deliver(2, 0, {"hops": 0})
+    assert app.delivered_count == 2
+    assert app.delivery_history == [(1, 0), (2, 0)]
+
+
+def test_deliver_is_deterministic():
+    a, b = make(), make()
+    sends_a = a.deliver(1, 0, {"chain": "1.0", "hops": 3})
+    sends_b = b.deliver(1, 0, {"chain": "1.0", "hops": 3})
+    assert sends_a == sends_b
+    assert a.digest == b.digest
+
+
+def test_different_delivery_order_diverges():
+    a, b = make(), make()
+    a.deliver(1, 0, {"hops": 0})
+    a.deliver(2, 0, {"hops": 0})
+    b.deliver(2, 0, {"hops": 0})
+    b.deliver(1, 0, {"hops": 0})
+    assert a.digest != b.digest
+
+
+def test_snapshot_restore_round_trip():
+    app = make()
+    app.deliver(1, 0, {"hops": 1})
+    snapshot = app.snapshot()
+    app.deliver(2, 0, {"hops": 0})
+    app.restore(snapshot)
+    assert app.delivered_count == 1
+    assert app.delivery_history == [(1, 0)]
+
+
+def test_replay_from_snapshot_reproduces_digest():
+    app = make()
+    app.deliver(1, 0, {"hops": 1})
+    snapshot = app.snapshot()
+    app.deliver(2, 0, {"hops": 0})
+    final_digest = app.digest
+    app.restore(snapshot)
+    app.deliver(2, 0, {"hops": 0})
+    assert app.digest == final_digest
+
+
+def test_snapshot_is_independent_copy():
+    app = make()
+    snapshot = app.snapshot()
+    app.deliver(1, 0, {"hops": 0})
+    assert snapshot["delivered_count"] == 0
+    assert snapshot["delivery_history"] == []
+
+
+def test_reset_returns_to_initial():
+    app = make()
+    initial = app.digest
+    app.deliver(1, 0, {"hops": 0})
+    app.reset()
+    assert app.digest == initial
+    assert app.delivered_count == 0
+
+
+def test_initial_sends_deterministic():
+    assert make(0).initial_sends() == make(0).initial_sends()
+
+
+def test_send_dataclass_defaults():
+    send = Send(dst=3, payload={"a": 1})
+    assert send.body_bytes == 128

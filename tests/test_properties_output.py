@@ -1,0 +1,117 @@
+"""Property-based tests for output commit under random failure schedules.
+
+The invariants that must hold for *any* crash schedule within the
+failure budget:
+
+* exactly-once: no output id is ever released twice;
+* safety: no released output stems from a delivery that was permanently
+  rolled back (checked by the oracle's digest cross-check);
+* liveness: once the system quiesces with everyone live, no output is
+  left pending.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import build_system, crash_at
+
+from helpers import small_config
+
+
+def output_config(protocol, recovery, params, crashes, seed, output_every):
+    return small_config(
+        protocol=protocol,
+        recovery=recovery,
+        protocol_params=params,
+        workload="uniform",
+        workload_params={"hops": 20, "fanout": 2, "output_every": output_every},
+        crashes=crashes,
+        seed=seed,
+    )
+
+
+schedules = st.builds(
+    lambda victims, times: [
+        crash_at(node=v, time=t) for v, t in zip(victims, times)
+    ],
+    victims=st.lists(
+        st.integers(min_value=0, max_value=5), min_size=1, max_size=2, unique=True
+    ),
+    times=st.lists(
+        st.floats(min_value=0.005, max_value=0.3), min_size=2, max_size=2
+    ),
+)
+
+
+def check_invariants(system, result):
+    assert result.consistent, result.oracle_violations[:3]
+    # exactly-once
+    ids = [record.output_id for record in system.output_device.outputs]
+    assert len(ids) == len(set(ids))
+    # liveness: quiesced <=> nothing pending
+    pending = sum(
+        len(getattr(node.protocol, "_pending_outputs", []))
+        for node in system.nodes
+    )
+    assert pending == 0
+    assert all(node.is_live for node in system.nodes)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    schedule=schedules,
+    seed=st.integers(min_value=0, max_value=5_000),
+    recovery=st.sampled_from(["nonblocking", "blocking"]),
+    output_every=st.integers(min_value=2, max_value=6),
+)
+def test_fbl_output_invariants(schedule, seed, recovery, output_every):
+    system = build_system(output_config(
+        "fbl", recovery, {"f": 2}, schedule, seed, output_every
+    ))
+    result = system.run()
+    check_invariants(system, result)
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    victim=st.integers(min_value=0, max_value=5),
+    time=st.floats(min_value=0.005, max_value=0.25),
+    seed=st.integers(min_value=0, max_value=5_000),
+)
+def test_optimistic_output_invariants(victim, time, seed):
+    system = build_system(output_config(
+        "optimistic", "optimistic", {}, [crash_at(node=victim, time=time)],
+        seed, output_every=3,
+    ))
+    result = system.run()
+    check_invariants(system, result)
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    victim=st.integers(min_value=0, max_value=5),
+    time=st.floats(min_value=0.005, max_value=0.25),
+    seed=st.integers(min_value=0, max_value=5_000),
+)
+def test_pessimistic_output_invariants(victim, time, seed):
+    system = build_system(output_config(
+        "pessimistic", "local", {}, [crash_at(node=victim, time=time)],
+        seed, output_every=3,
+    ))
+    result = system.run()
+    check_invariants(system, result)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    victim=st.integers(min_value=0, max_value=5),
+    time=st.floats(min_value=0.01, max_value=0.25),
+    seed=st.integers(min_value=0, max_value=5_000),
+)
+def test_coordinated_output_invariants(victim, time, seed):
+    system = build_system(output_config(
+        "coordinated", "coordinated", {"snapshot_every": 8},
+        [crash_at(node=victim, time=time)], seed, output_every=3,
+    ))
+    result = system.run()
+    check_invariants(system, result)

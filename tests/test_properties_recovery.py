@@ -1,0 +1,157 @@
+"""Property-based tests: recovery correctness under random schedules.
+
+For randomly generated workload parameters and crash schedules (within
+the f-failure budget), every run must end with all processes live, the
+oracle clean, and -- for FBL with both recovery algorithms -- identical
+final digests to a failure-free execution wherever the comparison is
+meaningful (Figure-1-style chains).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import build_system, crash_at
+
+from helpers import small_config
+
+
+def fbl_config(n, f, recovery, seed, crashes, workload, hops):
+    return small_config(
+        n=n,
+        f=f,
+        recovery=recovery,
+        seed=seed,
+        workload=workload,
+        workload_params={"hops": hops, "fanout": 2}
+        if workload == "uniform"
+        else {"hops": hops},
+        crashes=crashes,
+    )
+
+
+schedules = st.builds(
+    lambda victims, times: [
+        crash_at(node=v, time=t) for v, t in zip(victims, sorted(times))
+    ],
+    victims=st.lists(
+        st.integers(min_value=0, max_value=5), min_size=1, max_size=2, unique=True
+    ),
+    times=st.lists(
+        st.floats(min_value=0.005, max_value=0.3), min_size=2, max_size=2
+    ),
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    schedule=schedules,
+    seed=st.integers(min_value=0, max_value=10_000),
+    recovery=st.sampled_from(["nonblocking", "blocking"]),
+    workload=st.sampled_from(["uniform", "token_ring"]),
+    hops=st.integers(min_value=5, max_value=40),
+)
+def test_fbl_recovery_is_always_consistent(schedule, seed, recovery, workload, hops):
+    config = fbl_config(
+        n=6, f=2, recovery=recovery, seed=seed,
+        crashes=schedule, workload=workload, hops=hops,
+    )
+    system = build_system(config)
+    result = system.run()
+    assert result.consistent, result.oracle_violations[:3]
+    assert all(node.is_live for node in system.nodes)
+    # every crash episode eventually completed
+    open_episodes = [e for e in result.episodes if not e.complete]
+    assert not open_episodes
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    schedule=schedules,
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_nonblocking_never_blocks_anyone(schedule, seed):
+    config = fbl_config(
+        n=6, f=2, recovery="nonblocking", seed=seed,
+        crashes=schedule, workload="uniform", hops=20,
+    )
+    result = build_system(config).run()
+    assert result.total_blocked_time == 0.0
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    victim=st.integers(min_value=0, max_value=4),
+    time=st.floats(min_value=0.005, max_value=0.2),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_pessimistic_single_crash_consistent(victim, time, seed):
+    config = small_config(
+        n=5, protocol="pessimistic", recovery="local", seed=seed,
+        crashes=[crash_at(node=victim, time=time)],
+        workload="uniform", workload_params={"hops": 15, "fanout": 2},
+    )
+    system = build_system(config)
+    result = system.run()
+    assert result.consistent
+    assert all(node.is_live for node in system.nodes)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    victim=st.integers(min_value=0, max_value=4),
+    time=st.floats(min_value=0.005, max_value=0.2),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_optimistic_single_crash_consistent(victim, time, seed):
+    config = small_config(
+        n=5, protocol="optimistic", recovery="optimistic", seed=seed,
+        crashes=[crash_at(node=victim, time=time)],
+        workload="uniform", workload_params={"hops": 15, "fanout": 2},
+    )
+    system = build_system(config)
+    result = system.run()
+    assert result.consistent, result.oracle_violations[:3]
+    assert all(node.is_live for node in system.nodes)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    hops=st.integers(min_value=5, max_value=30),
+)
+def test_failure_free_digests_are_seed_stable(seed, hops):
+    """Two identical systems produce identical executions."""
+    def build():
+        return build_system(fbl_config(
+            n=5, f=2, recovery="nonblocking", seed=seed,
+            crashes=[], workload="uniform", hops=hops,
+        ))
+
+    a, b = build().run(), build().run()
+    assert a.digests == b.digests
+    assert a.end_time == b.end_time
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    victim=st.integers(min_value=0, max_value=4),
+    seed=st.integers(min_value=0, max_value=1_000),
+)
+def test_crashed_node_digest_matches_failure_free_prefix_chain(victim, seed):
+    """For the causal-chain workload (token ring), the recovered system
+    reaches exactly the failure-free final state: nothing visible is
+    lost, because every message is an antecedent of the chain's tail."""
+    def config(crashes):
+        return small_config(
+            n=5, f=2, recovery="nonblocking", seed=seed,
+            workload="token_ring", workload_params={"hops": 30, "tokens": 1},
+            crashes=crashes,
+        )
+
+    clean = build_system(config([]))
+    clean_result = clean.run()
+    crashed = build_system(config([crash_at(node=victim, time=0.002)]))
+    crashed_result = crashed.run()
+    assert crashed_result.consistent
+    for node_id, digest in clean_result.digests.items():
+        assert crashed_result.digests[node_id] == digest

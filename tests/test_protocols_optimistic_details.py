@@ -1,0 +1,141 @@
+"""Detailed unit tests for optimistic logging's trickier machinery:
+incarnation-tagged dependency vectors, orphan-message filtering, the
+incarnation end table, and durable truncate markers."""
+
+import pytest
+
+from repro import build_system, crash_at, crash_on
+
+from helpers import small_config
+
+
+def optimistic_config(**kw):
+    kw.setdefault("workload", "uniform")
+    kw.setdefault("workload_params", {"hops": 25, "fanout": 2})
+    return small_config(protocol="optimistic", recovery="optimistic", **kw)
+
+
+class TestDependencyTracking:
+    def test_dep_entries_carry_incarnations(self):
+        system = build_system(optimistic_config())
+        system.run()
+        for node in system.nodes:
+            for peer, interval in node.protocol.dep.items():
+                assert isinstance(interval, tuple) and len(interval) == 2
+                inc, idx = interval
+                assert inc >= 0 and idx >= 0
+
+    def test_dep_history_aligned_with_deliveries(self):
+        system = build_system(optimistic_config())
+        system.run()
+        for node in system.nodes:
+            assert len(node.protocol._dep_history) == node.app.delivered_count
+
+    def test_dep_monotone_over_history(self):
+        system = build_system(optimistic_config())
+        system.run()
+        node = max(system.nodes, key=lambda n: n.app.delivered_count)
+        history = node.protocol._dep_history
+        for earlier, later in zip(history, history[1:]):
+            for peer, interval in earlier.items():
+                assert later.get(peer, (-1, -1)) >= interval
+
+
+class TestViolationPredicate:
+    def test_violates_only_older_incarnations(self):
+        from repro.protocols.optimistic import OptimisticLogging
+
+        violates = OptimisticLogging._violates
+        # dep on old incarnation beyond the bound: orphaned
+        assert violates((0, 10), peer_inc=1, bound=5)
+        # dep within the recovered prefix: fine
+        assert not violates((0, 5), peer_inc=1, bound=5)
+        # dep on the new incarnation: always fine
+        assert not violates((1, 10), peer_inc=1, bound=5)
+        assert not violates(None, peer_inc=1, bound=5)
+
+
+class TestEndTable:
+    def test_end_table_filled_by_announcements(self):
+        system = build_system(optimistic_config(crashes=[crash_at(2, 0.03)]))
+        system.run()
+        inc = system.nodes[2].incarnation
+        for node in system.nodes:
+            if node.node_id != 2:
+                ends = node.protocol._incarnation_ends.get(2, {})
+                assert inc in ends
+
+    def test_own_ends_persisted_across_second_crash(self):
+        system = build_system(optimistic_config(
+            crashes=[crash_at(2, 0.03), crash_at(2, 2.0)],
+            workload_params={"hops": 60, "fanout": 2},
+        ))
+        result = system.run()
+        assert result.consistent
+        ends = system.nodes[2].protocol._own_ends
+        # both recoveries recorded, reloaded from the stable log
+        assert set(ends) == {1, 2}
+
+    def test_dep_interval_stability_rules(self):
+        system = build_system(optimistic_config())
+        system.start()
+        protocol = system.nodes[0].protocol
+        protocol._peer_stable[1] = (0, 10)
+        # same incarnation, within durable prefix
+        assert protocol._dep_interval_stable(1, 0, 10)
+        assert not protocol._dep_interval_stable(1, 0, 11)
+        # ahead of our knowledge
+        assert not protocol._dep_interval_stable(1, 1, 0)
+        # older incarnation: needs the end table
+        protocol._peer_stable[1] = (2, 10)
+        assert not protocol._dep_interval_stable(1, 0, 3)  # bounds unknown
+        protocol._incarnation_ends[1] = {1: 5, 2: 8}
+        assert protocol._dep_interval_stable(1, 0, 5)
+        assert not protocol._dep_interval_stable(1, 0, 6)
+        system.sim.run()
+
+
+class TestOrphanMessageFiltering:
+    def test_stale_dependency_messages_discarded(self):
+        """Messages whose dep vectors reach rolled-back intervals are
+        dropped instead of re-orphaning the receiver."""
+        system = build_system(optimistic_config(
+            crashes=[crash_at(2, 0.03)],
+            storage_op_latency=0.05,
+        ))
+        result = system.run()
+        assert result.consistent
+        # at least the machinery is exercised in cascade scenarios
+        discarded = sum(
+            node.protocol.orphan_messages_discarded for node in system.nodes
+        )
+        assert discarded >= 0  # presence depends on timing; consistency is the law
+
+    def test_rollback_writes_truncate_marker_before_crash(self):
+        system = build_system(optimistic_config(
+            crashes=[crash_at(2, 0.03)],
+            storage_op_latency=0.05,
+        ))
+        result = system.run()
+        orphan_events = system.trace.select(category="recovery", action="orphan_rollback")
+        if not orphan_events:
+            pytest.skip("no orphan in this schedule")
+        for event in orphan_events:
+            node = system.nodes[event.node]
+            entries = node.storage._data.get(f"log:optlog:{event.node}", [])
+            assert any(entry[0] == "truncate" for entry in entries)
+
+
+class TestCascadeTermination:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_cascades_terminate_quickly(self, seed):
+        system = build_system(optimistic_config(
+            crashes=[crash_at(1, 0.03)],
+            storage_op_latency=0.2,
+            seed=seed,
+        ))
+        result = system.run()
+        assert result.consistent
+        # bounded rollbacks: no livelock (each node rolls back a handful
+        # of times at most in a 6-node system)
+        assert result.orphan_rollbacks < 30

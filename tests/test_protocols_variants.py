@@ -1,0 +1,166 @@
+"""Tests for the SBML, Manetho, pessimistic and optimistic protocols."""
+
+import pytest
+
+from repro import build_system, crash_at
+from repro.protocols.fbl import STABLE_HOST
+from repro.protocols.manetho import ManethoLogging
+from repro.protocols.sender_based import SenderBasedLogging
+
+from helpers import small_config
+
+
+def run_system(config):
+    system = build_system(config)
+    result = system.run()
+    return system, result
+
+
+class TestSenderBased:
+    def test_is_fbl_with_f_1_and_acks(self):
+        protocol = SenderBasedLogging()
+        assert protocol.f == 1
+        assert protocol.ack_to_sender
+
+    def test_sender_learns_receipt_orders(self):
+        """The defining SBML property: the *sender* stores the receipt
+        order of each message it sent (learned via the rsn ack)."""
+        config = small_config(n=4, protocol="sender_based", hops=12)
+        system, result = run_system(config)
+        for node in system.nodes:
+            for (sender, ssn) in node.app.delivery_history:
+                det_holder = system.nodes[sender].protocol.det_log
+                orders = det_holder.for_receiver(node.node_id)
+                assert any(
+                    d.sender == sender and d.ssn == ssn for d in orders.values()
+                ), f"sender {sender} never learned rsn of its message {ssn}"
+
+    def test_recovers_from_single_failure(self):
+        config = small_config(
+            n=5, protocol="sender_based", hops=20,
+            crashes=[crash_at(node=1, time=0.02)],
+        )
+        system, result = run_system(config)
+        assert result.consistent
+        assert len(result.recovery_durations()) == 1
+
+
+class TestManetho:
+    def test_requires_n_nodes(self):
+        with pytest.raises(ValueError):
+            ManethoLogging(n_nodes=0)
+
+    def test_determinants_written_to_stable_storage(self):
+        config = small_config(n=4, protocol="manetho", hops=12)
+        system, result = run_system(config)
+        for node in system.nodes:
+            logged = node.storage.log_len(f"determinants:{node.node_id}")
+            assert logged == node.app.delivered_count
+
+    def test_stable_host_marks_determinants_stable(self):
+        config = small_config(n=4, protocol="manetho", hops=12)
+        system, result = run_system(config)
+        node = system.nodes[0]
+        own = node.protocol.det_log.for_receiver(0)
+        for det in own.values():
+            assert STABLE_HOST in node.protocol.det_log.logged_at(det)
+
+    def test_writes_are_asynchronous(self):
+        """Deliveries must not stall on the determinant log write."""
+        config = small_config(n=4, protocol="manetho", hops=12)
+        system, result = run_system(config)
+        for node in system.nodes:
+            stall = node.storage.stats.sync_stall_time.get(node.node_id, 0.0)
+            assert stall == 0.0
+
+    def test_recovers_with_all_nodes_crashing_pairwise(self):
+        """f = n tolerates concurrent failures of several processes."""
+        config = small_config(
+            n=4, protocol="manetho", hops=16,
+            crashes=[crash_at(node=0, time=0.02), crash_at(node=2, time=0.025)],
+        )
+        system, result = run_system(config)
+        assert result.consistent
+        assert len(result.recovery_durations()) == 2
+
+
+class TestPessimistic:
+    def test_delivery_waits_for_stable_write(self):
+        """Failure-free cost: every delivery pays a synchronous write."""
+        config = small_config(n=4, protocol="pessimistic", recovery="local", hops=12)
+        system, result = run_system(config)
+        for node in system.nodes:
+            if node.app.delivered_count:
+                assert result.sync_stall_time(node.node_id) > 0
+
+    def test_log_holds_all_deliveries(self):
+        config = small_config(n=4, protocol="pessimistic", recovery="local", hops=12)
+        system, result = run_system(config)
+        for node in system.nodes:
+            assert node.storage.log_len(f"msglog:{node.node_id}") >= node.app.delivered_count
+
+    def test_recovery_is_local(self):
+        """No depinfo is gathered: zero recovery messages other than the
+        completion announcement."""
+        config = small_config(
+            n=4, protocol="pessimistic", recovery="local", hops=20,
+            crashes=[crash_at(node=1, time=0.05)],
+        )
+        system, result = run_system(config)
+        assert result.consistent
+        # only the completion broadcast: n-1 messages
+        assert result.recovery_messages() == config.n - 1
+
+    def test_replay_reproduces_pre_crash_deliveries(self):
+        config = small_config(
+            n=4, protocol="pessimistic", recovery="local", hops=20,
+            crashes=[crash_at(node=1, time=0.05)],
+        )
+        system, result = run_system(config)
+        assert result.consistent
+        episode = result.episodes[0]
+        assert episode.complete
+
+
+class TestOptimistic:
+    def test_deliveries_do_not_stall(self):
+        config = small_config(n=4, protocol="optimistic", recovery="optimistic", hops=12)
+        system, result = run_system(config)
+        for node in system.nodes:
+            assert result.sync_stall_time(node.node_id) == 0.0
+
+    def test_dependency_vectors_grow_transitively(self):
+        config = small_config(n=4, protocol="optimistic", recovery="optimistic", hops=20)
+        system, result = run_system(config)
+        touched = [n for n in system.nodes if n.app.delivered_count > 2]
+        assert any(len(n.protocol.dep) >= 2 for n in touched)
+
+    def test_recovers_from_single_failure(self):
+        config = small_config(
+            n=5, protocol="optimistic", recovery="optimistic", hops=20,
+            crashes=[crash_at(node=1, time=0.05)],
+        )
+        system, result = run_system(config)
+        assert result.consistent
+
+    def test_orphans_roll_back_when_log_lags(self):
+        """With a glacial stable log, a crash loses a delivery suffix and
+        dependent processes must roll back as orphans."""
+        config = small_config(
+            n=4, protocol="optimistic", recovery="optimistic", hops=30,
+            crashes=[crash_at(node=1, time=0.05)],
+            storage_op_latency=0.5,  # writes lag far behind execution
+        )
+        system, result = run_system(config)
+        assert result.consistent
+        assert result.orphan_rollbacks >= 1
+
+    def test_fbl_never_orphans_in_same_scenario(self):
+        config = small_config(
+            n=4, protocol="fbl", recovery="nonblocking", hops=30,
+            crashes=[crash_at(node=1, time=0.05)],
+            storage_op_latency=0.5,
+        )
+        system, result = run_system(config)
+        assert result.consistent
+        assert result.orphan_rollbacks == 0

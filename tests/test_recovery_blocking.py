@@ -1,0 +1,127 @@
+"""Tests for the blocking (message-optimal) recovery baseline."""
+
+import pytest
+
+from repro import build_system, crash_at, crash_on
+
+from helpers import small_config
+
+
+def run_system(config):
+    system = build_system(config)
+    result = system.run()
+    return system, result
+
+
+def single_crash(n=6, **kw):
+    return small_config(
+        n=n, recovery="blocking", hops=25,
+        crashes=[crash_at(node=2, time=0.02)], **kw,
+    )
+
+
+class TestSingleFailure:
+    def test_recovers_consistently(self):
+        system, result = run_system(single_crash())
+        assert result.consistent
+        assert len(result.recovery_durations()) == 1
+
+    def test_every_live_process_blocks(self):
+        """The paper's E1: each live process blocks (tens of ms) while
+        the new algorithm would block none."""
+        system, result = run_system(single_crash())
+        for node in system.nodes:
+            if node.node_id != 2:
+                assert result.blocked_time_by_node.get(node.node_id, 0.0) > 0
+
+    def test_blocked_time_is_tens_of_milliseconds(self):
+        system, result = run_system(single_crash())
+        mean = result.mean_blocked_time(exclude=[2])
+        assert 0.005 < mean < 0.5
+
+    def test_live_processes_write_replies_to_stable_storage(self):
+        """The sync-write requirement the new algorithm removes."""
+        system, result = run_system(single_crash())
+        for node in system.nodes:
+            if node.node_id != 2:
+                assert result.sync_stall_time(node.node_id) > 0
+                assert node.recovery.sync_reply_writes == 1
+
+    def test_fewer_recovery_messages_than_nonblocking(self):
+        """Message-optimality: this is what the baseline is optimized for."""
+        blocking = run_system(single_crash(seed=11))[1]
+        nonblocking = run_system(
+            small_config(n=6, recovery="nonblocking", hops=25, seed=11,
+                         crashes=[crash_at(node=2, time=0.02)])
+        )[1]
+        assert blocking.recovery_messages() < nonblocking.recovery_messages()
+
+    def test_recovery_duration_close_to_nonblocking(self):
+        """Both algorithms recover the failed process in about the same
+        time (detection + restore dominate)."""
+        blocking = run_system(single_crash(seed=5))[1]
+        nonblocking = run_system(
+            small_config(n=6, recovery="nonblocking", hops=25, seed=5,
+                         crashes=[crash_at(node=2, time=0.02)])
+        )[1]
+        b = blocking.recovery_durations()[0]
+        nb = nonblocking.recovery_durations()[0]
+        assert abs(b - nb) / max(b, nb) < 0.1
+
+    def test_unblocks_after_completion(self):
+        system, result = run_system(single_crash())
+        for node in system.nodes:
+            assert not node.blocked
+
+    def test_queued_messages_delivered_after_unblock(self):
+        """Blocking must not lose messages, only delay them."""
+        system, result = run_system(single_crash())
+        assert result.consistent
+        # progress resumed post-recovery: all chains eventually quiesced
+        assert result.final_progress > 0
+
+
+class TestFailureDuringRecovery:
+    def test_second_crash_extends_blocking(self):
+        """E2: live processes stay blocked across the second failure's
+        detection and restore -- seconds, not milliseconds."""
+        config = small_config(
+            n=6, recovery="blocking", hops=25,
+            crashes=[
+                crash_at(node=2, time=0.02),
+                crash_on(4, "net", "deliver", match_node=4,
+                         match_details={"mtype": "recovery_request"},
+                         immediate=True),
+            ],
+        )
+        system, result = run_system(config)
+        assert result.consistent
+        assert len(result.recovery_durations()) == 2
+        # blocked time now spans detection (0.5 s) + restore of node 4
+        for node in system.nodes:
+            if node.node_id not in (2, 4):
+                assert result.blocked_time_by_node[node.node_id] > config.detection_delay
+
+    def test_proceeds_without_reply_from_crashed_peer(self):
+        config = small_config(
+            n=6, recovery="blocking", hops=25,
+            crashes=[
+                crash_at(node=2, time=0.02),
+                crash_on(4, "net", "deliver", match_node=4,
+                         match_details={"mtype": "recovery_request"},
+                         immediate=True),
+            ],
+        )
+        system, result = run_system(config)
+        episodes = {e.node: e for e in result.episodes}
+        assert episodes[2].complete
+        assert episodes[4].complete
+
+    def test_two_independent_crashes(self):
+        config = small_config(
+            n=6, recovery="blocking", hops=30,
+            crashes=[crash_at(node=1, time=0.02), crash_at(node=3, time=0.03)],
+        )
+        system, result = run_system(config)
+        assert result.consistent
+        assert len(result.recovery_durations()) == 2

@@ -1,0 +1,56 @@
+"""Scale smoke tests: the machinery must hold up well past the paper's
+eight workstations."""
+
+import pytest
+
+from repro import build_system, crash_at
+
+from helpers import small_config
+
+
+@pytest.mark.parametrize("n", [32, 64])
+def test_large_system_failure_free(n):
+    system = build_system(small_config(
+        n=n, f=2, hops=15,
+        workload_params={"hops": 15, "fanout": 1},
+    ))
+    result = system.run()
+    assert result.consistent
+    assert result.final_progress > 0
+
+
+def test_large_system_recovers_from_failure():
+    system = build_system(small_config(
+        n=48, f=2, hops=20,
+        workload_params={"hops": 20, "fanout": 1},
+        crashes=[crash_at(node=17, time=0.03)],
+    ))
+    result = system.run()
+    assert result.consistent
+    assert len(result.recovery_durations()) == 1
+    assert result.total_blocked_time == 0.0
+
+
+def test_large_system_two_failures_blocking():
+    system = build_system(small_config(
+        n=32, f=2, recovery="blocking", hops=20,
+        workload_params={"hops": 20, "fanout": 1},
+        crashes=[crash_at(node=5, time=0.03), crash_at(node=20, time=0.04)],
+    ))
+    result = system.run()
+    assert result.consistent
+    assert len(result.recovery_durations()) == 2
+
+
+def test_message_counts_scale_linearly():
+    """Recovery message counts follow the analytic model at scale."""
+    from repro.analysis.model import nonblocking_recovery_messages
+
+    for n in (16, 32):
+        system = build_system(small_config(
+            n=n, f=2, hops=15,
+            workload_params={"hops": 15, "fanout": 1},
+            crashes=[crash_at(node=3, time=0.03)],
+        ))
+        result = system.run()
+        assert result.recovery_messages() == nonblocking_recovery_messages(n)

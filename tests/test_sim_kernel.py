@@ -1,0 +1,208 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim.kernel import SimulationError, Simulator
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_clock_custom_start():
+    assert Simulator(start_time=5.0).now == 5.0
+
+
+def test_schedule_and_run_advances_clock():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.5, fired.append, "a")
+    sim.run()
+    assert fired == ["a"]
+    assert sim.now == 1.5
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(3.0, order.append, 3)
+    sim.schedule(1.0, order.append, 1)
+    sim.schedule(2.0, order.append, 2)
+    sim.run()
+    assert order == [1, 2, 3]
+
+
+def test_same_time_events_fire_fifo():
+    sim = Simulator()
+    order = []
+    for i in range(10):
+        sim.schedule(1.0, order.append, i)
+    sim.run()
+    assert order == list(range(10))
+
+
+def test_priority_breaks_ties():
+    sim = Simulator()
+    order = []
+    sim.schedule(1.0, order.append, "late", priority=5)
+    sim.schedule(1.0, order.append, "early", priority=-5)
+    sim.run()
+    assert order == ["early", "late"]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_past_rejected():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(1.0, fired.append, "x")
+    handle.cancel()
+    sim.run()
+    assert fired == []
+    assert handle.cancelled
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    assert handle.cancelled
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(5.0, fired.append, "b")
+    sim.run(until=2.0)
+    assert fired == ["a"]
+    assert sim.now == 2.0
+    sim.run()
+    assert fired == ["a", "b"]
+
+
+def test_run_until_fires_events_at_exact_horizon():
+    sim = Simulator()
+    fired = []
+    sim.schedule(2.0, fired.append, "edge")
+    sim.run(until=2.0)
+    assert fired == ["edge"]
+
+
+def test_run_advances_clock_to_until_when_idle():
+    sim = Simulator()
+    sim.run(until=10.0)
+    assert sim.now == 10.0
+
+
+def test_events_scheduled_during_run_fire():
+    sim = Simulator()
+    fired = []
+
+    def chain():
+        fired.append("first")
+        sim.schedule(1.0, fired.append, "second")
+
+    sim.schedule(1.0, chain)
+    sim.run()
+    assert fired == ["first", "second"]
+    assert sim.now == 2.0
+
+
+def test_max_events_limits_run():
+    sim = Simulator()
+    count = []
+
+    def tick():
+        count.append(1)
+        sim.schedule(1.0, tick)
+
+    sim.schedule(1.0, tick)
+    sim.run(max_events=7)
+    assert len(count) == 7
+
+
+def test_stop_halts_run():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: (fired.append("a"), sim.stop()))
+    sim.schedule(2.0, fired.append, "b")
+    sim.run()
+    assert fired == ["a"]
+    sim.run()
+    assert fired == ["a", "b"]
+
+
+def test_step_fires_single_event():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, 1)
+    sim.schedule(2.0, fired.append, 2)
+    assert sim.step() is True
+    assert fired == [1]
+    assert sim.step() is True
+    assert sim.step() is False
+
+
+def test_drain_empties_heap():
+    sim = Simulator()
+    for i in range(100):
+        sim.schedule(i * 0.1, lambda: None)
+    sim.drain()
+    assert sim.pending_events == 0
+
+
+def test_drain_raises_on_runaway():
+    sim = Simulator()
+
+    def forever():
+        sim.schedule(1.0, forever)
+
+    sim.schedule(1.0, forever)
+    with pytest.raises(SimulationError):
+        sim.drain(max_events=50)
+
+
+def test_events_processed_counts_fired_only():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    handle.cancel()
+    sim.run()
+    assert sim.events_processed == 1
+
+
+def test_kwargs_passed_to_callback():
+    sim = Simulator()
+    seen = {}
+    sim.schedule(1.0, lambda **kw: seen.update(kw), value=42)
+    sim.run()
+    assert seen == {"value": 42}
+
+
+def test_not_reentrant():
+    sim = Simulator()
+    errors = []
+
+    def nested():
+        try:
+            sim.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sim.schedule(1.0, nested)
+    sim.run()
+    assert len(errors) == 1

@@ -1,0 +1,109 @@
+"""Unit tests for timers."""
+
+import pytest
+
+from repro.sim.kernel import Simulator
+from repro.sim.timers import PeriodicTimer, Timer
+
+
+def test_timer_fires_after_interval():
+    sim = Simulator()
+    fired = []
+    Timer(sim, 2.0, fired.append, "x").start()
+    sim.run()
+    assert fired == ["x"]
+    assert sim.now == 2.0
+
+
+def test_timer_cancel_prevents_fire():
+    sim = Simulator()
+    fired = []
+    timer = Timer(sim, 2.0, fired.append, "x").start()
+    timer.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_timer_restart_resets_deadline():
+    sim = Simulator()
+    fired = []
+    timer = Timer(sim, 2.0, lambda: fired.append(sim.now)).start()
+    sim.run(until=1.0)
+    timer.restart()
+    sim.run()
+    assert fired == [3.0]
+
+
+def test_timer_restart_with_new_interval():
+    sim = Simulator()
+    fired = []
+    timer = Timer(sim, 2.0, lambda: fired.append(sim.now)).start()
+    timer.restart(interval=0.5)
+    sim.run()
+    assert fired == [0.5]
+
+
+def test_timer_pending_and_fired_flags():
+    sim = Simulator()
+    timer = Timer(sim, 1.0, lambda: None)
+    assert not timer.pending
+    timer.start()
+    assert timer.pending
+    assert not timer.fired
+    sim.run()
+    assert not timer.pending
+    assert timer.fired
+
+
+def test_timer_double_start_rejected():
+    sim = Simulator()
+    timer = Timer(sim, 1.0, lambda: None).start()
+    with pytest.raises(RuntimeError):
+        timer.start()
+
+
+def test_timer_negative_interval_rejected():
+    with pytest.raises(ValueError):
+        Timer(Simulator(), -1.0, lambda: None)
+
+
+def test_timer_deadline():
+    sim = Simulator()
+    timer = Timer(sim, 3.0, lambda: None).start()
+    assert timer.deadline == 3.0
+    timer.cancel()
+    assert timer.deadline is None
+
+
+def test_periodic_timer_ticks_repeatedly():
+    sim = Simulator()
+    ticks = []
+    timer = PeriodicTimer(sim, 1.0, lambda: ticks.append(sim.now)).start()
+    sim.run(until=5.5)
+    timer.cancel()
+    assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+    assert timer.ticks == 5
+
+
+def test_periodic_timer_cancel_stops_ticks():
+    sim = Simulator()
+    ticks = []
+    timer = PeriodicTimer(sim, 1.0, lambda: ticks.append(1)).start()
+    sim.run(until=2.5)
+    timer.cancel()
+    sim.run()
+    assert len(ticks) == 2
+
+
+def test_periodic_timer_cancel_from_callback():
+    sim = Simulator()
+    timer = PeriodicTimer(sim, 1.0, lambda: timer.cancel())
+    timer.start()
+    sim.run()
+    assert timer.ticks == 1
+    assert not timer.running
+
+
+def test_periodic_timer_zero_interval_rejected():
+    with pytest.raises(ValueError):
+        PeriodicTimer(Simulator(), 0.0, lambda: None)

@@ -1,0 +1,108 @@
+"""Unit tests for checkpoints."""
+
+import pytest
+
+from repro.sim.kernel import Simulator
+from repro.storage.checkpoint import CheckpointStore
+from repro.storage.stable import StableStorage
+
+
+def make(op_latency=0.01, bandwidth=1_000_000.0):
+    sim = Simulator()
+    storage = StableStorage(sim, owner=0, op_latency=op_latency, bandwidth_bps=bandwidth)
+    return sim, CheckpointStore(storage, node=0)
+
+
+def save(store, delivered=0, state=None, seqnos=None, size=100_000, **kw):
+    return store.save(
+        delivered_count=delivered,
+        app_state=state or {"digest": "d", "delivered_count": delivered},
+        send_seqnos=seqnos or {},
+        state_bytes=size,
+        taken_at=0.0,
+        **kw,
+    )
+
+
+def test_save_becomes_durable_after_write():
+    sim, store = make()
+    save(store)
+    assert store.latest is None
+    sim.run()
+    assert store.latest is not None
+    assert store.latest.checkpoint_id == 1
+
+
+def test_bootstrap_is_durable_immediately():
+    sim, store = make()
+    save(store, bootstrap=True)
+    assert store.latest is not None
+
+
+def test_restore_returns_latest_durable():
+    sim, store = make()
+    save(store, delivered=0, bootstrap=True)
+    save(store, delivered=5)
+    restored = []
+    # restore before the second save completes: must see the bootstrap
+    store.restore(restored.append)
+    sim.run()
+    assert restored[0].delivered_count == 0
+
+
+def test_restore_after_completion_sees_new_checkpoint():
+    sim, store = make()
+    save(store, delivered=0, bootstrap=True)
+    save(store, delivered=5)
+    sim.run()
+    restored = []
+    store.restore(restored.append)
+    sim.run()
+    assert restored[0].delivered_count == 5
+
+
+def test_restore_with_nothing_gives_none():
+    sim, store = make()
+    restored = []
+    store.restore(restored.append)
+    sim.run()
+    assert restored == [None]
+
+
+def test_restore_charges_state_bytes():
+    sim, store = make(op_latency=0.0, bandwidth=1000.0)
+    save(store, size=5000, bootstrap=True)
+    finish = store.restore(lambda c: None)
+    assert finish == pytest.approx(5.0)
+
+
+def test_checkpoint_state_is_deep_copied():
+    sim, store = make()
+    state = {"history": [1, 2]}
+    checkpoint = save(store, state=state, bootstrap=True)
+    state["history"].append(3)
+    assert checkpoint.app_state["history"] == [1, 2]
+
+
+def test_extra_is_deep_copied():
+    sim, store = make()
+    extra = {"ids": [1]}
+    checkpoint = save(store, bootstrap=True, extra=extra)
+    extra["ids"].append(2)
+    assert checkpoint.extra["ids"] == [1]
+
+
+def test_on_done_fires_with_checkpoint():
+    sim, store = make()
+    seen = []
+    save(store, on_done=seen.append)
+    sim.run()
+    assert len(seen) == 1
+    assert seen[0].node == 0
+
+
+def test_checkpoint_ids_increment():
+    sim, store = make()
+    a = save(store, bootstrap=True)
+    b = save(store, bootstrap=True)
+    assert (a.checkpoint_id, b.checkpoint_id) == (1, 2)

@@ -1,0 +1,113 @@
+"""Unit tests for the stable-storage model."""
+
+import pytest
+
+from repro.sim.kernel import Simulator
+from repro.storage.stable import StableStorage
+
+
+def make(op_latency=0.01, bandwidth=1_000_000.0):
+    sim = Simulator()
+    return sim, StableStorage(sim, owner=0, op_latency=op_latency, bandwidth_bps=bandwidth)
+
+
+def test_write_takes_latency_plus_transfer():
+    sim, storage = make(op_latency=0.01, bandwidth=1_000_000.0)
+    done = []
+    storage.write("x", 42, 1_000_000, on_done=lambda: done.append(sim.now))
+    sim.run()
+    assert done == [pytest.approx(0.01 + 1.0)]
+    assert storage.peek("x") == 42
+
+
+def test_read_returns_written_value():
+    sim, storage = make()
+    storage.write("x", {"a": 1}, 100)
+    values = []
+    storage.read("x", 100, values.append)
+    sim.run()
+    assert values == [{"a": 1}]
+
+
+def test_read_missing_returns_none():
+    sim, storage = make()
+    values = []
+    storage.read("nope", 0, values.append)
+    sim.run()
+    assert values == [None]
+
+
+def test_value_not_durable_until_write_completes():
+    sim, storage = make(op_latency=1.0)
+    storage.write("x", 1, 100)
+    assert not storage.contains("x")
+    sim.run()
+    assert storage.contains("x")
+
+
+def test_device_serializes_operations():
+    """Two concurrent writes queue behind one another."""
+    sim, storage = make(op_latency=1.0, bandwidth=1e12)
+    done = []
+    storage.write("a", 1, 0, on_done=lambda: done.append(("a", sim.now)))
+    storage.write("b", 2, 0, on_done=lambda: done.append(("b", sim.now)))
+    sim.run()
+    assert done == [("a", pytest.approx(1.0)), ("b", pytest.approx(2.0))]
+
+
+def test_stats_track_ops_and_bytes():
+    sim, storage = make()
+    storage.write("a", 1, 500)
+    storage.read("a", 500, lambda v: None)
+    sim.run()
+    assert storage.stats.writes == 1
+    assert storage.stats.reads == 1
+    assert storage.stats.bytes_written == 500
+    assert storage.stats.bytes_read == 500
+    assert storage.stats.operations == 2
+    assert storage.stats.total_bytes == 1000
+
+
+def test_sync_stall_charged_to_node():
+    sim, storage = make(op_latency=0.5, bandwidth=1e12)
+    storage.write("a", 1, 0, stall_node=3)
+    sim.run()
+    assert storage.stats.sync_stall_time[3] == pytest.approx(0.5)
+
+
+def test_log_append_and_read():
+    sim, storage = make(op_latency=0.001)
+    for i in range(3):
+        storage.log_append("mylog", i, 32)
+    entries = []
+    sim.run()
+    storage.log_read("mylog", 32, entries.extend)
+    sim.run()
+    assert entries == [0, 1, 2]
+    assert storage.log_len("mylog") == 3
+
+
+def test_log_read_empty():
+    sim, storage = make()
+    entries = []
+    storage.log_read("never", 32, lambda e: entries.append(list(e)))
+    sim.run()
+    assert entries == [[]]
+
+
+def test_log_read_cost_scales_with_entries():
+    sim, storage = make(op_latency=0.0, bandwidth=1000.0)
+    for i in range(10):
+        storage.log_append("l", i, 0)
+    sim.run()
+    finish = storage.log_read("l", 100, lambda e: None)
+    # 10 entries * 100 bytes at 1000 B/s = 1 second
+    assert finish - sim.now == pytest.approx(1.0)
+
+
+def test_rejects_bad_parameters():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        StableStorage(sim, 0, op_latency=-1)
+    with pytest.raises(ValueError):
+        StableStorage(sim, 0, bandwidth_bps=0)

@@ -1,0 +1,143 @@
+"""Torture scenarios: pathological failure schedules.
+
+These stress the corner cases the proofs care about: repeated crashes of
+one process, rolling failures across the whole membership, crashes of
+*blocked* processes, and the failure-budget boundary (more concurrent
+failures than f).
+"""
+
+import pytest
+
+from repro import build_system, crash_at, crash_on
+
+from helpers import small_config
+
+
+def test_same_node_crashes_three_times():
+    config = small_config(
+        n=5, hops=80, workload_params={"hops": 80, "fanout": 2},
+        crashes=[crash_at(2, 0.02), crash_at(2, 2.0), crash_at(2, 4.0)],
+    )
+    system = build_system(config)
+    result = system.run()
+    assert result.consistent
+    assert system.nodes[2].incarnation == 3
+    assert len(result.recovery_durations()) == 3
+
+
+def test_rolling_failures_across_membership():
+    """Every node fails once, spaced out so recoveries do not overlap."""
+    config = small_config(
+        n=5, f=2, hops=200, workload_params={"hops": 200, "fanout": 2},
+        crashes=[crash_at(node, 0.02 + node * 1.5) for node in range(5)],
+    )
+    system = build_system(config)
+    result = system.run()
+    assert result.consistent
+    assert len(result.recovery_durations()) == 5
+    assert all(node.incarnation == 1 for node in system.nodes)
+
+
+def test_blocked_process_crashes_under_blocking_recovery():
+    """A live process stalls for someone else's recovery, then dies
+    itself: the blocked interval must close and both must recover."""
+    config = small_config(
+        n=5, recovery="blocking", hops=40,
+        crashes=[
+            crash_at(1, 0.02),
+            # node 3 dies while blocked (right after receiving the request)
+            crash_on(3, "node", "block", match_node=3, delay=0.001),
+        ],
+    )
+    system = build_system(config)
+    result = system.run()
+    assert result.consistent
+    assert len(result.recovery_durations()) == 2
+    # no interval is left open
+    assert all(iv.end is not None for iv in system.metrics.block_intervals)
+
+
+def test_crash_during_checkpoint_write():
+    """A crash with the periodic checkpoint write still in flight must
+    fall back to the previous durable checkpoint."""
+    config = small_config(
+        n=4, hops=40, checkpoint_every=3,
+        workload_params={"hops": 40, "fanout": 2},
+        # crash node 2 immediately after it *starts* a checkpoint (the
+        # write takes ~0.1 s of storage time, so it cannot be durable)
+        crashes=[crash_on(2, "node", "checkpoint", match_node=2,
+                          occurrence=3, immediate=True)],
+    )
+    system = build_system(config)
+    result = system.run()
+    assert result.consistent
+    assert len(result.recovery_durations()) == 1
+
+
+def test_recovering_node_crashes_again_mid_replay():
+    config = small_config(
+        n=5, hops=40,
+        crashes=[
+            crash_at(2, 0.02),
+            crash_on(2, "replay", "start", match_node=2, immediate=True),
+        ],
+    )
+    system = build_system(config)
+    result = system.run()
+    assert result.consistent
+    assert system.nodes[2].incarnation == 2
+    assert system.nodes[2].is_live
+
+
+def test_beyond_failure_budget_is_detected_or_survived():
+    """With f = 1 and two truly concurrent failures, FBL's guarantee is
+    void.  The system must either still recover consistently (the
+    determinants happened to survive) or fail loudly with a replay gap --
+    never recover into silent inconsistency."""
+    config = small_config(
+        n=5, f=1, hops=40,
+        crashes=[crash_at(1, 0.03), crash_at(3, 0.031)],
+        max_events=3_000_000,
+    )
+    system = build_system(config)
+    try:
+        result = system.run()
+    except RuntimeError as error:
+        assert "replay gap" in str(error) or "determinant lost" in str(error)
+    else:
+        assert result.consistent
+
+
+def test_whole_system_crash_with_manetho():
+    """f = n: every single process fails at once; stable-storage
+    determinant logs carry the recovery."""
+    config = small_config(
+        n=4, protocol="manetho", hops=30,
+        crashes=[crash_at(node, 0.05) for node in range(4)],
+    )
+    system = build_system(config)
+    result = system.run()
+    assert result.consistent
+    assert len(result.recovery_durations()) == 4
+    assert all(node.is_live for node in system.nodes)
+
+
+def test_crash_storm_with_outputs_and_gc():
+    """Everything at once: periodic checkpoints + GC, output commits,
+    and two overlapping failures."""
+    config = small_config(
+        n=6, f=2, checkpoint_every=5,
+        workload_params={"hops": 60, "fanout": 2, "output_every": 4},
+        crashes=[crash_at(1, 0.05), crash_at(4, 0.06)],
+    )
+    system = build_system(config)
+    result = system.run()
+    assert result.consistent
+    assert result.outputs_committed > 0
+    ids = [record.output_id for record in system.output_device.outputs]
+    assert len(ids) == len(set(ids))
+    pending = sum(
+        len(getattr(node.protocol, "_pending_outputs", []))
+        for node in system.nodes
+    )
+    assert pending == 0

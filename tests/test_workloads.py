@@ -1,0 +1,155 @@
+"""Unit tests for workload generators.
+
+The crucial property is *purity*: calling a workload twice with the same
+arguments must return the same sends -- the liveness of message-logging
+replay depends on it.
+"""
+
+import pytest
+
+from repro.workloads import (
+    AllToAllWorkload,
+    ClientServerWorkload,
+    PingPongWorkload,
+    TokenRingWorkload,
+    UniformWorkload,
+    make_workload,
+)
+
+ALL_NAMES = ["token_ring", "uniform", "client_server", "ping_pong", "all_to_all"]
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_initial_sends_pure(name):
+    w = make_workload(name)
+    assert w.initial_sends(0, 6) == w.initial_sends(0, 6)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_on_deliver_pure(name):
+    w = make_workload(name)
+    payloads = {
+        "token_ring": {"token": 0, "hops": 3},
+        "uniform": {"chain": "0.0", "hops": 3},
+        "client_server": {"op": "reply", "client": 1, "remaining": 3},
+        "ping_pong": {"hops": 3},
+        "all_to_all": {"origin": 0, "hops": 3},
+    }
+    a = w.on_deliver(1, 6, 0, 0, payloads[name])
+    b = w.on_deliver(1, 6, 0, 0, payloads[name])
+    assert a == b
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_hop_exhaustion_quiesces(name):
+    w = make_workload(name)
+    payloads = {
+        "token_ring": {"token": 0, "hops": 0},
+        "uniform": {"chain": "0.0", "hops": 0},
+        "client_server": {"op": "reply", "client": 1, "remaining": 1},
+        "ping_pong": {"hops": 0},
+        "all_to_all": {"origin": 0, "hops": 0},
+    }
+    assert w.on_deliver(1, 6, 0, 0, payloads[name]) == []
+
+
+def test_token_ring_forwards_to_next():
+    w = TokenRingWorkload(hops=5)
+    sends = w.on_deliver(2, 4, 0, 1, {"token": 0, "hops": 5})
+    assert len(sends) == 1
+    assert sends[0].dst == 3
+    assert sends[0].payload["hops"] == 4
+
+
+def test_token_ring_wraps_around():
+    w = TokenRingWorkload(hops=5)
+    sends = w.on_deliver(3, 4, 0, 2, {"token": 0, "hops": 5})
+    assert sends[0].dst == 0
+
+
+def test_token_ring_multiple_tokens_start_spread():
+    w = TokenRingWorkload(hops=5, tokens=2)
+    origins = [node for node in range(8) if w.initial_sends(node, 8)]
+    assert len(origins) == 2
+
+
+def test_uniform_never_sends_to_self():
+    w = UniformWorkload(hops=8, fanout=3)
+    for node in range(6):
+        for send in w.initial_sends(node, 6):
+            assert send.dst != node
+        sends = w.on_deliver(node, 6, 0, (node + 1) % 6, {"chain": "x", "hops": 5})
+        for send in sends:
+            assert send.dst != node
+
+
+def test_client_server_request_reply_cycle():
+    w = ClientServerWorkload(requests=2, server=0)
+    first = w.initial_sends(1, 4)
+    assert first[0].dst == 0
+    reply = w.on_deliver(0, 4, 0, 1, first[0].payload)
+    assert reply[0].dst == 1
+    assert reply[0].payload["op"] == "reply"
+    second = w.on_deliver(1, 4, 0, 0, reply[0].payload)
+    assert second[0].payload["remaining"] == 1
+    done = w.on_deliver(1, 4, 1, 0, {"op": "reply", "client": 1, "remaining": 1})
+    assert done == []
+
+
+def test_client_server_server_has_no_initial_sends():
+    w = ClientServerWorkload(requests=2, server=0)
+    assert w.initial_sends(0, 4) == []
+
+
+def test_ping_pong_pairs():
+    w = PingPongWorkload(hops=4)
+    assert w.initial_sends(0, 4)[0].dst == 1
+    assert w.initial_sends(1, 4) == []
+    assert w.initial_sends(2, 4)[0].dst == 3
+    back = w.on_deliver(1, 4, 0, 0, {"hops": 4})
+    assert back[0].dst == 0
+
+
+def test_ping_pong_odd_node_idle():
+    w = PingPongWorkload(hops=4)
+    assert w.initial_sends(4, 5) == []
+
+
+def test_all_to_all_initial_burst():
+    w = AllToAllWorkload(hops=3)
+    sends = w.initial_sends(0, 5)
+    assert sorted(s.dst for s in sends) == [1, 2, 3, 4]
+
+
+def test_all_to_all_thinning_burst_is_full_or_empty():
+    w = AllToAllWorkload(hops=3)
+    sends = w.on_deliver(2, 5, 0, 1, {"origin": 1, "hops": 2})
+    assert len(sends) in (0, 4)
+
+
+def test_make_workload_rejects_unknown():
+    with pytest.raises(ValueError):
+        make_workload("bogus")
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_seed_changes_behaviour_only_for_randomized(name):
+    a = make_workload(name, seed=1)
+    b = make_workload(name, seed=2)
+    # deterministic topologies ignore the seed; hash-based ones may not.
+    # Either way both must still be internally pure.
+    assert a.initial_sends(0, 6) == a.initial_sends(0, 6)
+    assert b.initial_sends(0, 6) == b.initial_sends(0, 6)
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        TokenRingWorkload(hops=-1)
+    with pytest.raises(ValueError):
+        TokenRingWorkload(tokens=0)
+    with pytest.raises(ValueError):
+        UniformWorkload(hops=-1)
+    with pytest.raises(ValueError):
+        ClientServerWorkload(requests=-1)
+    with pytest.raises(ValueError):
+        AllToAllWorkload(hops=-1)
