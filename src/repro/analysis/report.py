@@ -53,5 +53,22 @@ def format_run_summary(result: RunResult, crashed: Optional[List[int]] = None) -
     )
     messages, volume = result.recovery_messages(), result.recovery_bytes()
     lines.append(f"  recovery control traffic: {messages} messages, {volume} bytes")
+    stats = result.network
+    if stats.dropped:
+        by_cause = ", ".join(
+            f"{cause}={count}" for cause, count in sorted(stats.drops_by_cause.items())
+        )
+        by_kind = ", ".join(
+            f"{kind}={count}" for kind, count in sorted(stats.drops_by_kind.items())
+        )
+        lines.append(f"  drops: {stats.dropped} (by cause: {by_cause}; by kind: {by_kind})")
+    if stats.retransmits or stats.messages.get("transport"):
+        acks, ack_bytes = stats.messages.get("transport", 0), stats.bytes.get("transport", 0)
+        lines.append(
+            f"  reliability overhead: {stats.retransmits} retransmits "
+            f"({stats.retransmit_bytes} bytes), {acks} acks ({ack_bytes} bytes)"
+        )
+    if stats.duplicates_injected:
+        lines.append(f"  duplicates injected: {stats.duplicates_injected}")
     lines.append(f"  consistent: {result.consistent}")
     return "\n".join(lines)

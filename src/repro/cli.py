@@ -67,6 +67,20 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--state-bytes", type=int, default=1_000_000)
     parser.add_argument("--storage-latency", type=float, default=0.020)
     parser.add_argument("--storage-bandwidth", type=float, default=1e6)
+    parser.add_argument(
+        "--transport", default=None, choices=["raw", "reliable"],
+        help="channel layer; defaults to raw, or reliable when faults are on",
+    )
+    parser.add_argument("--loss", type=float, default=0.0,
+                        help="per-message loss probability")
+    parser.add_argument("--dup", type=float, default=0.0,
+                        help="per-message duplication probability")
+    parser.add_argument("--reorder", type=float, default=0.0,
+                        help="per-message reordering probability")
+    parser.add_argument("--reorder-delay", type=float, default=0.002,
+                        help="max extra delay for reordered messages (s)")
+    parser.add_argument("--storage-fail-prob", type=float, default=0.0,
+                        help="per-attempt transient storage fault probability")
 
 
 DEFAULT_RECOVERY = {
@@ -95,6 +109,21 @@ def _config_from_args(args: argparse.Namespace, **overrides: Any) -> SystemConfi
         if args.output_every:
             workload_params["output_every"] = args.output_every
     name = overrides.pop("name", f"{protocol}+{recovery}")
+    loss = overrides.pop("loss_prob", args.loss)
+    faults = None
+    if loss or args.dup or args.reorder or args.storage_fail_prob:
+        from repro.core.config import FaultConfig
+
+        faults = FaultConfig(
+            loss_prob=loss,
+            dup_prob=args.dup,
+            reorder_prob=args.reorder,
+            reorder_delay=args.reorder_delay,
+            storage_fail_prob=args.storage_fail_prob,
+        )
+    transport = args.transport
+    if transport is None:
+        transport = "reliable" if faults is not None else "raw"
     config = SystemConfig(
         name=name,
         n=overrides.pop("n", args.n),
@@ -109,6 +138,8 @@ def _config_from_args(args: argparse.Namespace, **overrides: Any) -> SystemConfi
         state_bytes=overrides.pop("state_bytes", args.state_bytes),
         storage_op_latency=overrides.pop("storage_op_latency", args.storage_latency),
         storage_bandwidth=args.storage_bandwidth,
+        faults=faults,
+        transport=transport,
     )
     if overrides:
         raise ValueError(f"unused overrides: {sorted(overrides)}")
@@ -188,6 +219,7 @@ SWEEP_KNOBS = {
     "detection": ("detection_delay", float),
     "storage-latency": ("storage_op_latency", float),
     "state-bytes": ("state_bytes", int),
+    "loss": ("loss_prob", float),
 }
 
 

@@ -10,10 +10,106 @@ detection.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, FrozenSet, List, Optional
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
-from repro.procs.failure import DEFAULT_DETECTION_DELAY, CrashPlan
+from repro.procs.failure import DEFAULT_DETECTION_DELAY, CrashPlan, TriggeredPlan
 from repro.storage.stable import DEFAULT_BANDWIDTH, DEFAULT_OP_LATENCY
+
+
+@dataclass
+class FaultConfig:
+    """Static fault environment of a run (see :mod:`repro.net.faults` and
+    :mod:`repro.storage.stable`).
+
+    These faults are *on from time zero* (dynamic, mid-run faults are
+    injected with the plans in :mod:`repro.procs.failure` instead).  The
+    all-defaults instance describes the seed's perfect environment; a
+    config with ``faults=None`` skips even building the models, keeping
+    the default path byte-identical to the seed.
+    """
+
+    # -- network ----------------------------------------------------------
+    #: probability each transmission is silently lost
+    loss_prob: float = 0.0
+    #: probability a surviving transmission is delivered twice
+    dup_prob: float = 0.0
+    #: probability a surviving transmission gets reordering delay
+    reorder_prob: float = 0.0
+    #: maximum extra delay (uniform) applied to reordered messages
+    reorder_delay: float = 0.002
+    #: per-directed-link overrides, (src, dst) -> kwargs for LinkFaultSpec
+    link_overrides: Dict[Tuple[int, int], Dict[str, float]] = field(
+        default_factory=dict
+    )
+    #: partitions active from the start: (groups, heal_time_or_None)
+    partitions: List[Tuple[Sequence[Iterable[int]], Optional[float]]] = field(
+        default_factory=list
+    )
+
+    # -- stable storage ---------------------------------------------------
+    #: probability each storage attempt fails transiently (every node)
+    storage_fail_prob: float = 0.0
+    #: outage windows (start, end_or_None) applied to every node
+    storage_windows: List[Tuple[float, Optional[float]]] = field(default_factory=list)
+    #: retry policy kwargs (base_delay, multiplier, max_delay, max_attempts)
+    storage_retry: Dict[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def any_network(self) -> bool:
+        """Whether a network fault model is needed at all."""
+        return bool(
+            self.loss_prob
+            or self.dup_prob
+            or self.reorder_prob
+            or self.link_overrides
+            or self.partitions
+        )
+
+    def any_storage(self) -> bool:
+        """Whether per-node storage fault models are needed."""
+        return bool(self.storage_fail_prob or self.storage_windows)
+
+    def validate(self) -> None:
+        for name in ("loss_prob", "dup_prob", "reorder_prob", "storage_fail_prob"):
+            value = getattr(self, name)
+            if not 0.0 <= value < 1.0:
+                raise ValueError(f"{name} must be in [0, 1), got {value!r}")
+        if self.reorder_delay < 0:
+            raise ValueError("reorder_delay must be non-negative")
+
+    def build_network_model(self):
+        """Materialize the :class:`~repro.net.faults.NetworkFaultModel`
+        (or ``None`` when no network fault is configured)."""
+        if not self.any_network():
+            return None
+        from repro.net.faults import LinkFaultSpec, NetworkFaultModel, Partition
+
+        model = NetworkFaultModel(
+            default=LinkFaultSpec(
+                loss_prob=self.loss_prob,
+                dup_prob=self.dup_prob,
+                reorder_prob=self.reorder_prob,
+                reorder_delay=self.reorder_delay,
+            )
+        )
+        for (src, dst), kwargs in self.link_overrides.items():
+            model.set_link(src, dst, LinkFaultSpec(**kwargs))
+        for groups, heal in self.partitions:
+            model.add_partition(Partition(groups, start=0.0, end=heal))
+        return model
+
+    def build_storage_model(self):
+        """Materialize one :class:`~repro.storage.stable.StorageFaultModel`
+        (each node gets its own instance; ``None`` if storage is clean)."""
+        if not self.any_storage():
+            return None
+        from repro.storage.stable import StorageFaultModel, StorageRetryPolicy
+
+        return StorageFaultModel(
+            fail_prob=self.storage_fail_prob,
+            windows=[tuple(w) for w in self.storage_windows],
+            retry=StorageRetryPolicy(**self.storage_retry),
+        )
 
 
 @dataclass
@@ -47,8 +143,19 @@ class SystemConfig:
     # -- failure model ------------------------------------------------------
     #: scheduled / triggered crashes
     crashes: List[CrashPlan] = field(default_factory=list)
+    #: additional fault plans (link faults, partitions, storage outages)
+    injections: List[TriggeredPlan] = field(default_factory=list)
+    #: static fault environment; None = the seed's perfect network/storage
+    faults: Optional[FaultConfig] = None
     #: the paper's "several seconds of timeouts and retrials"
     detection_delay: float = DEFAULT_DETECTION_DELAY
+
+    # -- transport ----------------------------------------------------------
+    #: "raw" = the seed's perfect channels; "reliable" = layer the
+    #: retransmitting transport of repro.net.transport over the network
+    transport: str = "raw"
+    #: kwargs for repro.net.transport.TransportParams
+    transport_params: Dict[str, Any] = field(default_factory=dict)
 
     # -- hardware model -------------------------------------------------------
     #: process image size ("about one Mbyte" in the paper)
@@ -103,6 +210,22 @@ class SystemConfig:
         for plan in self.crashes:
             if not 0 <= plan.node < self.n:
                 raise ValueError(f"crash plan references unknown node {plan.node}")
+        if self.transport not in ("raw", "reliable"):
+            raise ValueError(
+                f"transport must be 'raw' or 'reliable', got {self.transport!r}"
+            )
+        if self.faults is not None:
+            self.faults.validate()
+            if (
+                self.transport == "raw"
+                and (self.faults.loss_prob or self.faults.partitions)
+            ):
+                # loss without retransmission silently stalls protocols that
+                # assume reliable channels; make the footgun explicit
+                raise ValueError(
+                    "message loss/partitions need transport='reliable' "
+                    "(the protocols assume reliable channels)"
+                )
         if self.detection_delay < 0:
             raise ValueError("detection_delay must be non-negative")
         if self.state_bytes <= 0:

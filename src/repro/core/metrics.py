@@ -198,6 +198,39 @@ class RunResult:
         """Bytes attributable to determinant piggybacking (failure-free cost)."""
         return self.extra.get("piggyback_bytes", 0)
 
+    # -- reliability overhead (faulty-network runs) ----------------------
+    def retransmissions(self) -> int:
+        """Transport retransmissions (0 on the default perfect network)."""
+        return self.network.retransmits
+
+    def retransmission_bytes(self) -> int:
+        return self.network.retransmit_bytes
+
+    def transport_messages(self) -> int:
+        """Transport control messages (cumulative acks)."""
+        return self.network.of_kind(MessageKind.TRANSPORT)[0]
+
+    def transport_bytes(self) -> int:
+        return self.network.of_kind(MessageKind.TRANSPORT)[1]
+
+    def reliability_overhead_bytes(self) -> int:
+        """Total wire bytes spent re-establishing reliable channels:
+        retransmitted copies plus acknowledgement traffic."""
+        return self.retransmission_bytes() + self.transport_bytes()
+
+    def drops_by_cause(self) -> Dict[str, int]:
+        """Dropped messages split by cause (``no_handler`` vs injected
+        ``loss``/``partition``/``scheduled``)."""
+        return dict(self.network.drops_by_cause)
+
+    def injected_drops(self) -> int:
+        """Drops caused by the fault model (not by crashed destinations)."""
+        return sum(
+            count
+            for cause, count in self.network.drops_by_cause.items()
+            if cause != "no_handler"
+        )
+
     @property
     def consistent(self) -> bool:
         """No oracle violation was detected during or after the run."""

@@ -61,12 +61,22 @@ class Node:
         self.recovery = recovery
         self.output_device = output_device if output_device is not None else OutputDevice()
 
+        # each node gets its own fault model instance (stateful windows)
+        # and its own RNG stream, so one node's faults never perturb
+        # another's and a run is deterministic per (seed, config)
+        storage_faults = (
+            config.faults.build_storage_model() if config.faults is not None else None
+        )
         self.storage = StableStorage(
             sim,
             owner=node_id,
             op_latency=config.storage_op_latency,
             bandwidth_bps=config.storage_bandwidth,
             trace=trace,
+            faults=storage_faults,
+            rng=network.rngs.stream(f"storage.faults.{node_id}")
+            if storage_faults is not None
+            else None,
         )
         self.checkpoints = CheckpointStore(self.storage, node_id)
 
@@ -393,6 +403,15 @@ class Node:
         queued, self._blocked_queue = self._blocked_queue, []
         for msg in queued:
             self.receive(msg)
+
+    def blocked_app_messages(self) -> List[Message]:
+        """Application messages queued while blocked.
+
+        Blocking suspends *delivery*, but the messages themselves have
+        arrived at this host; recovery may read their piggybacked
+        metadata before they are delivered.
+        """
+        return [m for m in self._blocked_queue if m.kind is MessageKind.APPLICATION]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -57,13 +57,27 @@ class System:
 
         # topology covers the application nodes plus the sequencer
         self.topology = Topology(range(config.n + 1))
+        fault_model = (
+            config.faults.build_network_model() if config.faults is not None else None
+        )
         self.network = Network(
             self.sim,
             self.topology,
             latency=AtmLinkModel(**config.network_params),
             rngs=self.rngs,
             trace=self.trace,
+            faults=fault_model,
         )
+        self.transport = None
+        if config.transport == "reliable":
+            from repro.net.transport import ReliableTransport, TransportParams
+
+            self.transport = ReliableTransport(
+                self.sim,
+                self.network,
+                params=TransportParams(**config.transport_params),
+                trace=self.trace,
+            )
         self.detector = FailureDetector(
             self.sim,
             detection_delay=config.detection_delay,
@@ -102,7 +116,12 @@ class System:
         self.detector.add_listener(self._on_peer_status)
 
         self.injector = FailureInjector(
-            self.sim, self.trace, self.crash_node, plans=list(config.crashes)
+            self.sim,
+            self.trace,
+            self.crash_node,
+            plans=list(config.crashes) + list(config.injections),
+            network=self.network,
+            storages={node.node_id: node.storage for node in self.nodes},
         )
         self._started = False
 
@@ -194,6 +213,8 @@ class System:
                 "bytes_read": stats.bytes_read,
                 "bytes_written": stats.bytes_written,
                 "sync_stall": stats.sync_stall_time.get(node.node_id, 0.0),
+                "faults_injected": stats.faults_injected,
+                "retry_time": stats.retry_time,
             }
 
         piggyback_count = sum(
@@ -220,6 +241,8 @@ class System:
             "trace_counters": dict(self.trace.counters),
             "events_processed": self.sim.events_processed,
         }
+        if self.transport is not None:
+            extra["transport_stats"] = self.transport.stats.as_dict()
 
         return RunResult(
             config_name=self.config.name,

@@ -91,6 +91,35 @@ def failure_during_recovery(
     )
 
 
+def lossy_network(
+    recovery: str = "nonblocking",
+    loss: float = 0.05,
+    dup: float = 0.0,
+    reorder: float = 0.0,
+    victim: int = 3,
+    at: float = 0.05,
+    transport_params: Optional[Dict[str, Any]] = None,
+    **overrides: Any,
+) -> System:
+    """E11: the single-failure scenario on a faulty network.
+
+    The reliable transport re-establishes the channel abstraction the
+    protocols assume; the run's ledger then shows what that reliability
+    costs (retransmissions, acks) on top of the paper's recovery traffic.
+    """
+    from repro.core.config import FaultConfig
+
+    return paper_system(
+        f"lossy-{recovery}-loss{loss:g}",
+        recovery=recovery,
+        crashes=[crash_at(node=victim, time=at)] if victim is not None else [],
+        faults=FaultConfig(loss_prob=loss, dup_prob=dup, reorder_prob=reorder),
+        transport="reliable",
+        transport_params=dict(transport_params or {}),
+        **overrides,
+    )
+
+
 def leader_failure(
     victim: int = 3,
     second_victim: int = 5,

@@ -1,11 +1,16 @@
 """The message bus connecting simulated nodes.
 
-:class:`Network` implements reliable FIFO channels (the abstraction the
-FBL protocols assume) over a latency model and a topology.  It keeps
-per-class accounting -- application traffic, determinant piggybacks and
-recovery control messages are counted separately -- because the whole
-point of the paper is to weigh the recovery-control column against
-stable-storage and blocking costs.
+:class:`Network` implements FIFO channels over a latency model and a
+topology.  By default the channels are *perfect* (the abstraction the FBL
+protocols assume); an optional :class:`~repro.net.faults.NetworkFaultModel`
+makes them lossy/duplicating/reordering/partitioned, and an optional
+:class:`~repro.net.transport.ReliableTransport` re-establishes the
+reliable-FIFO abstraction above those faults.  The bus keeps per-class
+accounting -- application traffic, determinant piggybacks, recovery
+control messages, and now the transport's own retransmissions and acks
+are counted separately -- because the whole point of the paper is to
+weigh the recovery-control column against stable-storage and blocking
+costs (and, with faults on, the cost of reliability itself).
 """
 
 from __future__ import annotations
@@ -15,6 +20,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
+from repro.net.faults import NetworkFaultModel
 from repro.net.latency import AtmLinkModel, LatencyModel
 from repro.net.topology import Topology
 from repro.sim.kernel import Simulator
@@ -34,9 +40,7 @@ class MessageKind(enum.Enum):
     PROTOCOL = "protocol"  # failure-free protocol traffic (acks, retransmits)
     RECOVERY = "recovery"  # recovery-time control messages
     STORAGE = "storage"  # traffic to the stable-storage process (f = n)
-
-
-_msg_ids = itertools.count(1)
+    TRANSPORT = "transport"  # reliable-transport control (acks)
 
 
 @dataclass
@@ -47,6 +51,10 @@ class Message:
     ``"depinfo_request"``, ...); ``kind`` is the accounting class.
     ``piggyback`` carries serialized determinants for the logging
     protocols and is charged :data:`DETERMINANT_BYTES` each.
+    ``msg_id`` is stamped by the :class:`Network` at transmission time
+    (each network owns its own counter, so two runs in one process never
+    share an id sequence); ``transport_seq``/``transport_epoch`` are set
+    by the reliable transport when one is installed.
     """
 
     src: int
@@ -58,8 +66,10 @@ class Message:
     piggyback: List[Any] = field(default_factory=list)
     incarnation: int = 0
     ssn: Optional[int] = None
-    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+    msg_id: int = 0
     send_time: float = 0.0
+    transport_seq: Optional[int] = None
+    transport_epoch: int = 0
 
     @property
     def size_bytes(self) -> int:
@@ -75,16 +85,37 @@ class Message:
 
 @dataclass
 class NetworkStats:
-    """Message/byte counters, split by :class:`MessageKind`."""
+    """Message/byte counters, split by :class:`MessageKind`.
+
+    Drops are accounted twice over: by message kind and by cause
+    (``no_handler`` for messages to a crashed/unregistered node, plus the
+    injected ``loss``/``partition``/``scheduled`` causes).  Transport
+    retransmissions are counted apart from first transmissions so the
+    cost of reliability shows up as its own ledger column.
+    """
 
     messages: Dict[str, int] = field(default_factory=dict)
     bytes: Dict[str, int] = field(default_factory=dict)
     dropped: int = 0
+    drops_by_kind: Dict[str, int] = field(default_factory=dict)
+    drops_by_cause: Dict[str, int] = field(default_factory=dict)
+    retransmits: int = 0
+    retransmit_bytes: int = 0
+    duplicates_injected: int = 0
 
     def record(self, kind: MessageKind, size: int) -> None:
         key = kind.value
         self.messages[key] = self.messages.get(key, 0) + 1
         self.bytes[key] = self.bytes.get(key, 0) + size
+
+    def record_retransmit(self, size: int) -> None:
+        self.retransmits += 1
+        self.retransmit_bytes += size
+
+    def record_drop(self, kind: MessageKind, cause: str) -> None:
+        self.dropped += 1
+        self.drops_by_kind[kind.value] = self.drops_by_kind.get(kind.value, 0) + 1
+        self.drops_by_cause[cause] = self.drops_by_cause.get(cause, 0) + 1
 
     def total_messages(self) -> int:
         return sum(self.messages.values())
@@ -98,7 +129,7 @@ class NetworkStats:
 
 
 class Network:
-    """Reliable FIFO message transport between registered handlers.
+    """FIFO message transport between registered handlers.
 
     Parameters
     ----------
@@ -109,14 +140,20 @@ class Network:
     latency:
         Default latency model (defaults to the paper's ATM link).
     rngs:
-        Random streams; latency jitter draws from ``"net.latency"``.
+        Random streams; latency jitter draws from ``"net.latency"``,
+        fault decisions from ``"net.faults"``.
     trace:
         Optional trace recorder for send/deliver events.
+    faults:
+        Optional fault model.  ``None`` (the default) keeps the perfect
+        reliable-FIFO channels of the seed simulator, bit for bit.
 
     Notes
     -----
     FIFO order per directed channel is enforced by never scheduling a
     delivery earlier than the previous delivery on the same channel.
+    Injected reorderings and duplicates bypass that clamp on purpose;
+    the reliable transport (when installed) restores ordering above.
     Messages to unregistered destinations count as dropped (this happens
     naturally while a node is crashed and deregistered).
     """
@@ -128,15 +165,29 @@ class Network:
         latency: Optional[LatencyModel] = None,
         rngs: Optional[RngRegistry] = None,
         trace: Optional[TraceRecorder] = None,
+        faults: Optional[NetworkFaultModel] = None,
     ) -> None:
         self.sim = sim
         self.topology = topology
         self.latency = latency or AtmLinkModel()
         self.rngs = rngs or RngRegistry(0)
         self.trace = trace
+        self.faults = faults
+        #: set by ReliableTransport when one is layered on this network
+        self.transport = None
         self.stats = NetworkStats()
         self._handlers: Dict[int, Callable[[Message], None]] = {}
         self._channel_clock: Dict[Tuple[int, int], float] = {}
+        self._msg_ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # fault model
+    # ------------------------------------------------------------------
+    def ensure_faults(self) -> NetworkFaultModel:
+        """The installed fault model, creating a no-op one on demand."""
+        if self.faults is None:
+            self.faults = NetworkFaultModel()
+        return self.faults
 
     # ------------------------------------------------------------------
     # registration
@@ -148,6 +199,8 @@ class Network:
     def deregister(self, node_id: int) -> None:
         """Detach ``node_id``; in-flight messages to it will be dropped."""
         self._handlers.pop(node_id, None)
+        if self.transport is not None:
+            self.transport.on_deregister(node_id)
 
     def is_registered(self, node_id: int) -> bool:
         """Whether ``node_id`` currently has a handler attached."""
@@ -157,35 +210,88 @@ class Network:
     # sending
     # ------------------------------------------------------------------
     def send(self, message: Message) -> Message:
-        """Queue ``message`` for FIFO delivery to ``message.dst``."""
+        """Queue ``message`` for FIFO delivery to ``message.dst``.
+
+        With a reliable transport installed, the message is handed to it
+        (sequence number, retransmission until acked); otherwise it goes
+        straight onto the wire.
+        """
+        if self.transport is not None and self.transport.handles(message):
+            return self.transport.send(message)
+        return self.transmit(message)
+
+    def transmit(self, message: Message, retransmit: bool = False) -> Message:
+        """Put one message on the wire (the raw, possibly faulty path)."""
         src, dst = message.src, message.dst
         if not self.topology.connected(src, dst):
             raise ValueError(f"no link {src}->{dst} in topology")
         message.send_time = self.sim.now
+        message.msg_id = next(self._msg_ids)
 
-        model = self.topology.link_latency(src, dst) or self.latency
-        rng = self.rngs.stream("net.latency")
-        delay = model.sample(message.size_bytes, rng)
-
-        channel = (src, dst)
-        earliest = self._channel_clock.get(channel, 0.0)
-        deliver_at = max(self.sim.now + delay, earliest)
-        self._channel_clock[channel] = deliver_at
-
-        self.stats.record(message.kind, message.size_bytes)
+        if retransmit:
+            self.stats.record_retransmit(message.size_bytes)
+        else:
+            self.stats.record(message.kind, message.size_bytes)
         if self.trace is not None:
             self.trace.record(
                 self.sim.now,
                 "net",
                 src,
-                "send",
+                "retransmit" if retransmit else "send",
                 dst=dst,
                 mtype=message.mtype,
                 kind=message.kind.value,
                 size=message.size_bytes,
                 msg_id=message.msg_id,
             )
+
+        decision = None
+        if self.faults is not None:
+            decision = self.faults.decide(
+                src, dst, message.mtype, self.sim.now, self.rngs.stream("net.faults")
+            )
+            if decision.dropped:
+                self.stats.record_drop(message.kind, decision.drop_cause)
+                if self.trace is not None:
+                    self.trace.record(
+                        self.sim.now,
+                        "net",
+                        src,
+                        "lose",
+                        dst=dst,
+                        mtype=message.mtype,
+                        cause=decision.drop_cause,
+                        msg_id=message.msg_id,
+                    )
+                return message
+
+        model = self.topology.link_latency(src, dst) or self.latency
+        rng = self.rngs.stream("net.latency")
+        delay = model.sample(message.size_bytes, rng)
+
+        channel = (src, dst)
+        if decision is not None and decision.extra_delay > 0:
+            # reordered: bypass the FIFO clamp so later sends may overtake
+            deliver_at = self.sim.now + delay + decision.extra_delay
+        else:
+            earliest = self._channel_clock.get(channel, 0.0)
+            deliver_at = max(self.sim.now + delay, earliest)
+            self._channel_clock[channel] = deliver_at
         self.sim.schedule_at(deliver_at, self._deliver, message, label=f"deliver:{message.mtype}")
+
+        if decision is not None and decision.duplicates:
+            # the copy's latency draws from the faults stream, so injected
+            # duplicates never perturb the primary latency sequence
+            dup_rng = self.rngs.stream("net.faults")
+            for _ in range(decision.duplicates):
+                self.stats.duplicates_injected += 1
+                dup_delay = model.sample(message.size_bytes, dup_rng)
+                self.sim.schedule_at(
+                    self.sim.now + dup_delay,
+                    self._deliver,
+                    message,
+                    label=f"deliver-dup:{message.mtype}",
+                )
         return message
 
     def broadcast(
@@ -221,9 +327,20 @@ class Network:
 
     # ------------------------------------------------------------------
     def _deliver(self, message: Message) -> None:
+        if self.transport is not None:
+            if message.kind is MessageKind.TRANSPORT:
+                self.transport.on_ack(message)
+                return
+            if message.transport_seq is not None:
+                self.transport.on_receive(message)
+                return
+        self.hand_to_handler(message)
+
+    def hand_to_handler(self, message: Message) -> None:
+        """Final delivery step: trace and invoke the destination handler."""
         handler = self._handlers.get(message.dst)
         if handler is None:
-            self.stats.dropped += 1
+            self.stats.record_drop(message.kind, "no_handler")
             if self.trace is not None:
                 self.trace.record(
                     self.sim.now,

@@ -1,4 +1,5 @@
-"""Crash-failure injection and timeout failure detection.
+"""Fault injection (crashes, link faults, partitions, storage faults)
+and timeout failure detection.
 
 The paper's evaluation hinges on *when* failures happen (a second crash
 during another process's recovery is the interesting case) and on how
@@ -6,10 +7,19 @@ long they take to notice ("a typical implementation would require several
 seconds of timeouts and retrials to detect that process q has indeed
 failed").  This module provides:
 
-* :class:`FailureInjector` -- schedules crashes at fixed virtual times or
-  *triggered* by trace events ("crash q the moment it receives p's
-  depinfo request"), which is how experiment E2 reproduces the paper's
-  failure-during-recovery scenario deterministically.
+* :class:`FailureInjector` -- the unified fault planner.  It applies a
+  list of plans, each either *timed* (fire at a fixed virtual time) or
+  *trace-triggered* ("the moment q receives p's depinfo request"):
+
+  - :class:`CrashPlan` -- crash-stop a process (the seed's only fault),
+  - :class:`LinkFaultPlan` -- switch probabilistic loss / duplication /
+    reordering on for one link or the whole network, optionally
+    reverting after a duration,
+  - :class:`PartitionPlan` -- cut the network into groups, healing after
+    a duration,
+  - :class:`StorageFaultPlan` -- degrade a node's stable storage with
+    transient I/O faults (an outage window or a failure probability).
+
 * :class:`FailureDetector` -- a timeout-style detector modelled as an
   oracle with delay: a crash becomes visible to every peer (and to the
   restart machinery) exactly ``detection_delay`` seconds after it
@@ -20,7 +30,7 @@ failed").  This module provides:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.sim.kernel import Simulator
 from repro.sim.trace import TraceEvent, TraceRecorder
@@ -118,18 +128,20 @@ class FailureDetector:
 
 
 # ----------------------------------------------------------------------
-# failure injection
+# fault plans
 # ----------------------------------------------------------------------
 @dataclass
-class CrashPlan:
-    """One planned crash.
+class TriggeredPlan:
+    """Shared trigger machinery for every fault plan.
 
-    Either ``at_time`` is set (timed crash) or ``category``/``action``
+    Either ``at_time`` is set (timed plan) or ``category``/``action``
     describe a trace trigger, optionally filtered by ``match_node`` and
     fired ``delay`` seconds after the ``occurrence``-th matching event.
+    ``immediate=True`` fires synchronously inside the trace callback,
+    i.e. *before* the handler of the traced event runs -- it is
+    incompatible with a positive ``delay`` (construction raises).
     """
 
-    node: int
     at_time: Optional[float] = None
     category: Optional[str] = None
     action: Optional[str] = None
@@ -137,12 +149,22 @@ class CrashPlan:
     match_details: Optional[Dict[str, object]] = None
     delay: float = 0.0
     occurrence: int = 1
-    #: fire synchronously inside the trace callback, i.e. *before* the
-    #: handler of the traced event runs (used to kill a process the
-    #: instant a message is delivered to it, before it can reply)
     immediate: bool = False
     _seen: int = field(default=0, repr=False)
     _armed: bool = field(default=True, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.immediate and self.delay > 0:
+            raise ValueError(
+                "immediate=True fires inside the trace callback and cannot "
+                f"be combined with delay={self.delay!r}; use one or the other"
+            )
+        if self.delay < 0:
+            raise ValueError(f"delay must be non-negative, got {self.delay!r}")
+        if self.occurrence < 1:
+            raise ValueError(f"occurrence must be >= 1, got {self.occurrence!r}")
+        if self.at_time is not None and self.at_time < 0:
+            raise ValueError(f"at_time must be non-negative, got {self.at_time!r}")
 
     def is_timed(self) -> bool:
         return self.at_time is not None
@@ -157,6 +179,86 @@ class CrashPlan:
                 if event.details.get(key) != value:
                     return False
         return True
+
+
+@dataclass
+class CrashPlan(TriggeredPlan):
+    """One planned crash-stop failure of ``node``."""
+
+    node: int = -1
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.node < 0:
+            raise ValueError("CrashPlan needs a target node")
+
+
+@dataclass
+class LinkFaultPlan(TriggeredPlan):
+    """Switch probabilistic link faults on (and optionally back off).
+
+    With ``src``/``dst`` unset the plan replaces the network-wide default
+    spec; with both set it overrides one directed link.  ``duration``
+    restores the previous spec that many seconds after firing.
+    """
+
+    src: Optional[int] = None
+    dst: Optional[int] = None
+    loss_prob: float = 0.0
+    dup_prob: float = 0.0
+    reorder_prob: float = 0.0
+    reorder_delay: float = 0.002
+    duration: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if (self.src is None) != (self.dst is None):
+            raise ValueError("give both src and dst, or neither (whole network)")
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration!r}")
+
+
+@dataclass
+class PartitionPlan(TriggeredPlan):
+    """Cut the network into ``groups`` when fired; heal after ``duration``
+    (``None`` = never heals)."""
+
+    groups: Sequence[Iterable[int]] = ()
+    duration: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if len(tuple(self.groups)) < 2:
+            raise ValueError("a partition plan needs at least two groups")
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration!r}")
+
+
+@dataclass
+class StorageFaultPlan(TriggeredPlan):
+    """Degrade stable storage on ``node`` (or every node if ``None``).
+
+    With ``fail_prob`` unset the plan opens a full outage window: every
+    operation attempted during ``duration`` fails and is retried with
+    backoff until the window heals.  With ``fail_prob`` set, attempts
+    fail with that probability for ``duration`` seconds (or forever).
+    """
+
+    node: Optional[int] = None
+    fail_prob: Optional[float] = None
+    duration: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.fail_prob is None and self.duration is None:
+            raise ValueError(
+                "a permanent full outage would exhaust every retry budget; "
+                "give a duration, a fail_prob, or both"
+            )
+        if self.fail_prob is not None and not 0.0 <= self.fail_prob < 1.0:
+            raise ValueError(f"fail_prob must be in [0, 1), got {self.fail_prob!r}")
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration!r}")
 
 
 def crash_at(node: int, time: float) -> CrashPlan:
@@ -182,10 +284,6 @@ def crash_on(
     match_node=2)`` reproduces the paper's E2 scenario -- q dies exactly
     when it receives the recovery leader's request, before replying.
     """
-    if delay < 0:
-        raise ValueError(f"delay must be non-negative, got {delay!r}")
-    if occurrence < 1:
-        raise ValueError(f"occurrence must be >= 1, got {occurrence!r}")
     return CrashPlan(
         node=node,
         category=category,
@@ -198,12 +296,53 @@ def crash_on(
     )
 
 
-class FailureInjector:
-    """Applies a list of :class:`CrashPlan` items to a running system.
+def partition_at(
+    groups: Sequence[Iterable[int]], time: float, duration: Optional[float] = None
+) -> PartitionPlan:
+    """Partition the network into ``groups`` at ``time``; heal after
+    ``duration`` seconds (``None`` = never)."""
+    return PartitionPlan(groups=groups, at_time=time, duration=duration)
 
-    ``crash_fn(node_id)`` performs the actual crash; the injector only
-    decides *when*.  Crashing an already-crashed node is a silent no-op,
-    matching the crash-stop model.
+
+def link_faults_at(
+    time: float,
+    loss_prob: float = 0.0,
+    dup_prob: float = 0.0,
+    reorder_prob: float = 0.0,
+    reorder_delay: float = 0.002,
+    src: Optional[int] = None,
+    dst: Optional[int] = None,
+    duration: Optional[float] = None,
+) -> LinkFaultPlan:
+    """Turn probabilistic link faults on at ``time``."""
+    return LinkFaultPlan(
+        at_time=time,
+        loss_prob=loss_prob,
+        dup_prob=dup_prob,
+        reorder_prob=reorder_prob,
+        reorder_delay=reorder_delay,
+        src=src,
+        dst=dst,
+        duration=duration,
+    )
+
+
+def storage_outage_at(
+    node: Optional[int], time: float, duration: float
+) -> StorageFaultPlan:
+    """A full stable-storage outage on ``node`` over ``[time, time+duration)``."""
+    return StorageFaultPlan(node=node, at_time=time, duration=duration)
+
+
+class FailureInjector:
+    """Applies fault plans (crash / link / partition / storage) to a
+    running system.
+
+    ``crash_fn(node_id)`` performs the actual crash; link and partition
+    plans mutate the ``network``'s fault model (installing one on demand),
+    and storage plans mutate the fault models of the ``storages`` mapping.
+    The injector only decides *when*.  Crashing an already-crashed node
+    is a silent no-op, matching the crash-stop model.
     """
 
     def __init__(
@@ -211,31 +350,36 @@ class FailureInjector:
         sim: Simulator,
         trace: TraceRecorder,
         crash_fn: Callable[[int], None],
-        plans: Optional[List[CrashPlan]] = None,
+        plans: Optional[List[TriggeredPlan]] = None,
+        network: Optional["Network"] = None,
+        storages: Optional[Dict[int, "StableStorage"]] = None,
     ) -> None:
         self.sim = sim
         self.trace = trace
         self.crash_fn = crash_fn
-        self.plans: List[CrashPlan] = list(plans or [])
+        self.network = network
+        self.storages = storages or {}
+        self.plans: List[TriggeredPlan] = list(plans or [])
         self.crashes_fired: List[tuple] = []
+        self.faults_fired: List[tuple] = []
         self._subscribed = False
 
     def arm(self) -> None:
-        """Schedule timed crashes and subscribe trace triggers."""
+        """Schedule timed plans and subscribe trace triggers."""
         for plan in self.plans:
             if plan.is_timed():
                 self.sim.schedule_at(
-                    plan.at_time, self._fire, plan, label="inject.crash"
+                    plan.at_time, self._fire, plan, label="inject.plan"
                 )
         if any(not plan.is_timed() for plan in self.plans) and not self._subscribed:
             self.trace.subscribe(self._on_trace_event)
             self._subscribed = True
 
-    def add(self, plan: CrashPlan) -> None:
+    def add(self, plan: TriggeredPlan) -> None:
         """Add one more plan after arming."""
         self.plans.append(plan)
         if plan.is_timed():
-            self.sim.schedule_at(plan.at_time, self._fire, plan, label="inject.crash")
+            self.sim.schedule_at(plan.at_time, self._fire, plan, label="inject.plan")
         elif not self._subscribed:
             self.trace.subscribe(self._on_trace_event)
             self._subscribed = True
@@ -247,19 +391,133 @@ class FailureInjector:
                 plan._seen += 1
                 if plan._seen >= plan.occurrence:
                     plan._armed = False
-                    if plan.immediate and plan.delay == 0:
-                        # preempt the traced event's handler
+                    if plan.immediate:
+                        # preempt the traced event's handler (delay > 0 is
+                        # rejected at plan construction)
                         self._fire(plan)
                     elif plan.delay > 0:
-                        self.sim.schedule(plan.delay, self._fire, plan, label="inject.crash")
+                        self.sim.schedule(plan.delay, self._fire, plan, label="inject.plan")
                     else:
                         # fire after the current event finishes dispatching
-                        self.sim.schedule(0.0, self._fire, plan, label="inject.crash")
+                        self.sim.schedule(0.0, self._fire, plan, label="inject.plan")
 
-    def _fire(self, plan: CrashPlan) -> None:
+    # ------------------------------------------------------------------
+    def _fire(self, plan: TriggeredPlan) -> None:
+        if isinstance(plan, CrashPlan):
+            self._fire_crash(plan)
+        elif isinstance(plan, LinkFaultPlan):
+            self._fire_link(plan)
+        elif isinstance(plan, PartitionPlan):
+            self._fire_partition(plan)
+        elif isinstance(plan, StorageFaultPlan):
+            self._fire_storage(plan)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown plan type {type(plan).__name__}")
+
+    def _fire_crash(self, plan: CrashPlan) -> None:
         self.crashes_fired.append((self.sim.now, plan.node))
         self.trace.record(self.sim.now, "inject", plan.node, "crash")
         self.crash_fn(plan.node)
 
+    def _require_network(self) -> "Network":
+        if self.network is None:
+            raise RuntimeError("link/partition plans need a network reference")
+        return self.network
+
+    def _fire_link(self, plan: LinkFaultPlan) -> None:
+        from repro.net.faults import LinkFaultSpec
+
+        model = self._require_network().ensure_faults()
+        spec = LinkFaultSpec(
+            loss_prob=plan.loss_prob,
+            dup_prob=plan.dup_prob,
+            reorder_prob=plan.reorder_prob,
+            reorder_delay=plan.reorder_delay,
+        )
+        if plan.src is None:
+            previous = model.set_default(spec)
+            revert = lambda: model.set_default(previous)  # noqa: E731
+        else:
+            previous = model.set_link(plan.src, plan.dst, spec)
+            if previous is None:
+                revert = lambda: model.clear_link(plan.src, plan.dst)  # noqa: E731
+            else:
+                revert = lambda: model.set_link(plan.src, plan.dst, previous)  # noqa: E731
+        self.faults_fired.append((self.sim.now, "link", plan.src, plan.dst))
+        self.trace.record(
+            self.sim.now, "inject", plan.src, "link_faults",
+            dst=plan.dst, loss=plan.loss_prob, dup=plan.dup_prob,
+            reorder=plan.reorder_prob,
+        )
+        if plan.duration is not None:
+            self.sim.schedule(plan.duration, self._revert_link, plan, revert,
+                              label="inject.revert")
+
+    def _revert_link(self, plan: LinkFaultPlan, revert: Callable[[], None]) -> None:
+        revert()
+        self.trace.record(
+            self.sim.now, "inject", plan.src, "link_faults_reverted", dst=plan.dst
+        )
+
+    def _fire_partition(self, plan: PartitionPlan) -> None:
+        from repro.net.faults import Partition
+
+        model = self._require_network().ensure_faults()
+        end = None if plan.duration is None else self.sim.now + plan.duration
+        partition = model.add_partition(
+            Partition(plan.groups, start=self.sim.now, end=end)
+        )
+        self.faults_fired.append((self.sim.now, "partition", end))
+        self.trace.record(
+            self.sim.now, "inject", None, "partition",
+            groups=[sorted(g) for g in partition.groups], heal_at=end,
+        )
+        if end is not None:
+            self.sim.schedule_at(
+                end,
+                lambda: self.trace.record(self.sim.now, "inject", None, "partition_healed"),
+                label="inject.heal",
+            )
+
+    def _fire_storage(self, plan: StorageFaultPlan) -> None:
+        from repro.storage.stable import StorageFaultModel
+
+        targets = (
+            [self.storages[plan.node]] if plan.node is not None
+            else [self.storages[k] for k in sorted(self.storages)]
+        )
+        end = None if plan.duration is None else self.sim.now + plan.duration
+        for storage in targets:
+            if storage.faults is None:
+                storage.faults = StorageFaultModel()
+                if storage.rng is None and self.network is not None:
+                    storage.rng = self.network.rngs.stream(
+                        f"storage.faults.{storage.owner}"
+                    )
+            if plan.fail_prob is None:
+                storage.faults.add_window(self.sim.now, end)
+            else:
+                previous = storage.faults.fail_prob
+                storage.faults.fail_prob = plan.fail_prob
+                if end is not None:
+                    self.sim.schedule_at(
+                        end, self._revert_storage, storage, previous,
+                        label="inject.revert",
+                    )
+        self.faults_fired.append((self.sim.now, "storage", plan.node))
+        self.trace.record(
+            self.sim.now, "inject", plan.node, "storage_faults",
+            fail_prob=plan.fail_prob, heal_at=end,
+        )
+
+    def _revert_storage(self, storage: "StableStorage", previous: float) -> None:
+        storage.faults.fail_prob = previous
+        self.trace.record(
+            self.sim.now, "inject", storage.owner, "storage_faults_reverted"
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"FailureInjector(plans={len(self.plans)}, fired={len(self.crashes_fired)})"
+        return (
+            f"FailureInjector(plans={len(self.plans)}, "
+            f"fired={len(self.crashes_fired) + len(self.faults_fired)})"
+        )

@@ -104,6 +104,18 @@ class LoggingProtocol(ABC):
         """This node's receipt-order knowledge, serialized for a reply."""
         return []
 
+    def absorb_piggybacks(self, messages: List[Message]) -> None:
+        """Merge piggybacked metadata from messages not yet *delivered*.
+
+        Recovery calls this before composing a depinfo reply on a node
+        whose delivery is suspended (the blocking baseline): the queued
+        messages have physically arrived at this host — and their
+        senders counted this host toward replication when they attached
+        the piggyback — so the reply must reflect them even though the
+        application has not seen them yet.  Absorption is idempotent;
+        the normal delivery path re-absorbs when the queue drains.
+        """
+
     def begin_replay(self, depinfo_wire: List[Any]) -> None:
         """Recovering node got its depinfo; replay to the pre-crash state."""
         raise NotImplementedError(f"{self.name} does not support replay")
@@ -374,6 +386,10 @@ class LogBasedProtocol(LoggingProtocol):
     def local_depinfo_wire(self) -> List[Any]:
         """Everything this node knows: list of determinant tuples."""
         return [det.to_tuple() for det in self.det_log.determinants()]
+
+    def absorb_piggybacks(self, messages: List[Message]) -> None:
+        for msg in messages:
+            self._absorb_piggyback(msg)
 
     def begin_replay(self, depinfo_wire: List[Any]) -> None:
         """Start replaying from the restored checkpoint.

@@ -17,10 +17,25 @@ blocking variant of Chandy-Lamport / Mattern):
    re-polls until, for every channel, sent == received -- at which point
    no application message is in flight anywhere;
 3. the initiator broadcasts ``cl_snap``: everyone snapshots its state
-   (channels are empty, so process states alone form a consistent cut)
-   and releases its held sends;
+   (channels are empty, so process states alone form a consistent cut);
 4. when every snapshot write is durable the initiator broadcasts
-   ``cl_commit`` and the round becomes the system-wide rollback target.
+   ``cl_commit``; the round becomes the system-wide rollback target and
+   everyone releases its held sends.
+
+Holds are released at *commit*, not right after the local snapshot:
+a process that released early could have its first post-snapshot
+message overtake another process's still-in-flight ``cl_snap`` (easy
+once the network delays or retransmits messages), and the late
+snapshotter would record receipts the early releaser's snapshot says
+were never sent -- an inconsistent cut that, once rolled back to, leaves
+``received > sent`` on some channel and a drain check that can never
+balance again.  Deferring the release until every snapshot is known to
+be captured closes the race.
+
+All round-machinery messages carry the sender's rollback epoch and
+receivers discard mismatches, so control traffic from a rolled-back
+execution (a stale ``cl_prepare`` would start a hold nothing ever
+releases) cannot re-engage the round state machine.
 
 Rollback uses epochs: every message carries its sender's epoch; a
 rollback bumps the system epoch, so messages from the rolled-back
@@ -61,7 +76,12 @@ class CoordinatedCheckpointing(LoggingProtocol):
         self._holding = False
         self._held_sends: List[Tuple[int, Dict[str, Any], int]] = []
         self._hold_started_at: Optional[float] = None
+        #: the newest round this hold serves; a commit releases the hold
+        #: only if it covers this round (a stale commit must not)
+        self._hold_round = 0
         self.hold_time_total = 0.0
+        #: round-machinery messages dropped for carrying a stale epoch
+        self.stale_ctl_dropped = 0
         self._future_epoch: List[Message] = []
         # initiator state
         self._round_in_progress: Optional[int] = None
@@ -172,6 +192,8 @@ class CoordinatedCheckpointing(LoggingProtocol):
 
     def _send_ctl(self, dst: int, mtype: str, payload: Dict[str, Any], body: int = 24) -> None:
         node = self.node
+        payload = dict(payload)
+        payload.setdefault("epoch", self.epoch)
         node.network.send(
             Message(
                 src=node.node_id,
@@ -202,13 +224,14 @@ class CoordinatedCheckpointing(LoggingProtocol):
         self._counts = {}
         self._done = set()
         node.trace.record(node.sim.now, "snapshot", node.node_id, "round_start", round=round_id)
-        self._begin_hold()
+        self._begin_hold(round_id)
         for peer in self._peers():
             self._send_ctl(peer, "cl_prepare", {"round": round_id})
         self._counts[node.node_id] = (dict(self.sent_count), dict(self.recv_count))
         self._check_balance()
 
-    def _begin_hold(self) -> None:
+    def _begin_hold(self, round_id: int) -> None:
+        self._hold_round = max(self._hold_round, round_id)
         if not self._holding:
             self._holding = True
             self._hold_started_at = self.node.sim.now
@@ -224,12 +247,15 @@ class CoordinatedCheckpointing(LoggingProtocol):
                 self._send_now(dst, payload, body)
 
     def on_protocol_message(self, msg: Message) -> None:
+        if msg.payload.get("epoch", self.epoch) != self.epoch:
+            self.stale_ctl_dropped += 1
+            return  # round traffic from a rolled-back execution
         handler = getattr(self, f"_on_{msg.mtype}", None)
         if handler is not None:
             handler(msg)
 
     def _on_cl_prepare(self, msg: Message) -> None:
-        self._begin_hold()
+        self._begin_hold(msg.payload["round"])
         self._send_counts(msg.src, msg.payload["round"])
 
     def _on_cl_counts_request(self, msg: Message) -> None:
@@ -296,7 +322,10 @@ class CoordinatedCheckpointing(LoggingProtocol):
         self._take_round_snapshot(msg.payload["round"], report_to=msg.src)
 
     def _take_round_snapshot(self, round_id: int, report_to: Optional[int]) -> None:
-        """Capture state in memory now, write it durably, release the hold."""
+        """Capture state in memory now and write it durably.  The hold
+        stays up until the round commits (or aborts): releasing here
+        would let our first post-snapshot message race a peer's
+        still-in-flight ``cl_snap`` and corrupt the cut."""
         node = self.node
         record = {
             "round": round_id,
@@ -324,7 +353,6 @@ class CoordinatedCheckpointing(LoggingProtocol):
         node.storage.write(
             f"round:{round_id}", record, node.config.state_bytes, on_done=durable
         )
-        self._release_hold()
 
     def _on_cl_done(self, msg: Message) -> None:
         if msg.payload["round"] != self._round_in_progress:
@@ -356,6 +384,8 @@ class CoordinatedCheckpointing(LoggingProtocol):
         self._apply_commit(msg.payload["round"])
 
     def _apply_commit(self, round_id: int) -> None:
+        if self._holding and round_id >= self._hold_round:
+            self._release_hold()
         if round_id > self.committed_round:
             self.committed_round = round_id
             self._committed_count = self._round_counts.get(
@@ -409,6 +439,8 @@ class CoordinatedCheckpointing(LoggingProtocol):
             self.recv_count = dict(record["recv_count"])
             self.epoch = new_epoch
             self.committed_round = round_id
+            # never reuse a round id that a snapshot already exists for
+            self._next_round = max(self._next_round, round_id + 1)
             self._committed_count = record["app_state"]["delivered_count"]
             # outputs from the rolled-back execution are void; they were
             # never released (that is the whole point)
@@ -466,6 +498,7 @@ class CoordinatedCheckpointing(LoggingProtocol):
         self._holding = False
         self._held_sends = []
         self._hold_started_at = None
+        self._hold_round = 0
         self._future_epoch = []
         self._round_in_progress = None
         self._counts = {}
@@ -478,6 +511,7 @@ class CoordinatedCheckpointing(LoggingProtocol):
 
         def loaded(value: Any) -> None:
             self.committed_round = value or 0
+            self._next_round = max(self._next_round, self.committed_round + 1)
             on_done()
 
         self.node.storage.read(f"committed:{self.node.node_id}", 8, loaded)
@@ -490,6 +524,7 @@ class CoordinatedCheckpointing(LoggingProtocol):
             rounds_committed=self.rounds_committed,
             rounds_aborted=self.rounds_aborted,
             hold_time_total=self.hold_time_total,
+            stale_ctl_dropped=self.stale_ctl_dropped,
             epoch=self.epoch,
             committed_round=self.committed_round,
         )

@@ -505,8 +505,22 @@ class OptimisticLogging(LogBasedProtocol):
         self.note_recovery_bound(peer, peer_inc, bound)
 
     def is_orphan_of(self, peer: int, peer_inc: int, bound: int) -> bool:
-        """Does this process's state depend on a rolled-back interval?"""
-        return self._violates(self.dep.get(peer), peer_inc, bound)
+        """Does this process's state depend on a rolled-back interval?
+
+        The current vector alone is not enough: the fold is a
+        lexicographic max, so a message carrying the peer's *new*
+        incarnation that outraces the rollback announcement overwrites
+        the old-incarnation entry, and the announcement would find a
+        clean vector on a process whose retained deliveries still
+        depend on the rolled-back interval.  The per-delivery history
+        keeps the evidence, so scan it too.
+        """
+        if self._violates(self.dep.get(peer), peer_inc, bound):
+            return True
+        return any(
+            self._violates(dep.get(peer), peer_inc, bound)
+            for dep in self._dep_history
+        )
 
     def rollback_as_orphan(self, peer: int, peer_inc: int, bound: int) -> None:
         """Durably truncate the invalid suffix, then kill ourselves.

@@ -35,12 +35,20 @@ class BlockingRecovery(RecoveryManager):
 
     name = "blocking"
 
+    #: delay before re-broadcasting the gather when the merged depinfo
+    #: still has a replay gap (a counted determinant copy in flight)
+    GATHER_RETRY_DELAY = 0.05
+    #: bounded retries; a *genuinely* lost determinant (> f failures)
+    #: must still surface as the replay engine's hard error
+    MAX_GATHER_RETRIES = 50
+
     def __init__(self) -> None:
         super().__init__()
         # recovering side
         self._collecting = False
         self._expected: Set[int] = set()
         self._replies: Dict[int, List[Any]] = {}
+        self._gather_retries = 0
         # live side
         self._active_recoveries: Set[int] = set()
         self.sync_reply_writes = 0
@@ -50,6 +58,7 @@ class BlockingRecovery(RecoveryManager):
         self._collecting = False
         self._expected.clear()
         self._replies.clear()
+        self._gather_retries = 0
         self._active_recoveries.clear()
 
     # ------------------------------------------------------------------
@@ -78,11 +87,48 @@ class BlockingRecovery(RecoveryManager):
         for item in self.node.protocol.local_depinfo_wire():
             merged[tuple(item)] = tuple(item)
         merged_wire = sorted(merged.values())
+        missing = self._replay_gap(merged_wire)
+        if missing and self._gather_retries < self.MAX_GATHER_RETRIES:
+            # A receipt order this replay needs is not in any reply.  On
+            # a faulty network that usually means a counted determinant
+            # copy is still in flight to a live host (FBL counts the
+            # destination at send time); it will be absorbed on arrival,
+            # so gather again after a delay rather than hand a known
+            # gap to the replay engine.
+            self._gather_retries += 1
+            self.trace(
+                "gather_retry",
+                attempt=self._gather_retries,
+                missing=missing[:4],
+            )
+            inc = self.node.incarnation
+            self.node.sim.schedule(
+                self.GATHER_RETRY_DELAY,
+                self._retry_gather,
+                inc,
+                label=f"recovery.gather_retry:{self.node.node_id}",
+            )
+            return
         episode = self.node.metrics.episode_of(self.node.node_id)
         if episode is not None:
             episode.replay_start_time = self.node.sim.now
         self.trace("replay_handoff", determinants=len(merged_wire))
         self.node.protocol.begin_replay(merged_wire)
+
+    def _replay_gap(self, merged_wire: List[tuple]) -> List[int]:
+        """Receipt orders the replay will need but the gather lacks."""
+        me = self.node.node_id
+        rsns = {item[3] for item in merged_wire if item[2] == me}
+        target = max(rsns, default=-1)
+        start = self.node.app.delivered_count
+        return [r for r in range(start, target + 1) if r not in rsns]
+
+    def _retry_gather(self, incarnation: int) -> None:
+        if not self.node.is_recovering or self.node.incarnation != incarnation:
+            return  # crashed again since the retry was scheduled
+        if self._collecting:
+            return
+        self.begin_recovery()
 
     def on_replay_complete(self) -> None:
         self.trace("complete")
@@ -114,6 +160,14 @@ class BlockingRecovery(RecoveryManager):
             # The defining intrusion: stop application progress until the
             # recovery (and any concurrent failure) resolves.
             self.node.block()
+        # On the reliable transport, messages queued behind the block
+        # have arrived at this host and their senders already count it
+        # toward f+1 replication, so the reply must include their
+        # piggybacked determinants (on the raw network the window is
+        # sub-millisecond and the seed's delivered-state-only reply is
+        # kept byte-identical).
+        if self.node.network.transport is not None:
+            self.node.protocol.absorb_piggybacks(self.node.blocked_app_messages())
         wire = self.node.protocol.local_depinfo_wire()
         requester = msg.src
         self.sync_reply_writes += 1

@@ -16,16 +16,93 @@ held in plain Python dictionaries keyed by name.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.sim.kernel import Simulator
+from repro.sim.rng import derive_seed
 from repro.sim.trace import TraceRecorder
 
 #: Per-operation latency (seek + rotation + controller), seconds.
 DEFAULT_OP_LATENCY = 0.020
 #: Sustained transfer bandwidth, bytes/second (mid-90s SCSI disk).
 DEFAULT_BANDWIDTH = 1_000_000.0
+
+
+class StorageFaultError(RuntimeError):
+    """An operation exhausted its retry budget (a non-transient fault)."""
+
+
+@dataclass
+class StorageRetryPolicy:
+    """Retry-with-backoff applied to faulted operations.
+
+    A failed attempt still costs the full operation duration (the
+    controller noticed the error only at the end), then waits
+    ``base_delay * multiplier**attempt`` (capped at ``max_delay``) before
+    trying again.  ``max_attempts`` bounds the total number of attempts;
+    exhausting it raises :class:`StorageFaultError` -- transient fault
+    configurations should make that practically impossible.
+    """
+
+    base_delay: float = 0.005
+    multiplier: float = 2.0
+    max_delay: float = 0.1
+    max_attempts: int = 50
+
+    def __post_init__(self) -> None:
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("retry delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier!r}")
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts!r}")
+
+    def delay_for(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (0-based)."""
+        return min(self.base_delay * (self.multiplier ** attempt), self.max_delay)
+
+
+@dataclass
+class StorageFaultModel:
+    """Transient I/O fault injection for one stable-storage device.
+
+    ``fail_prob`` fails each attempt independently (drawn from the
+    device's seeded stream); ``fail_ops`` fails specific operation
+    indices (0-based, matching the device's op counter, deterministic,
+    first attempt only); ``windows`` fail every attempt
+    started inside ``[start, end)`` -- an ``end`` of ``None`` never
+    heals, so pair it with a finite retry budget on purpose.
+    """
+
+    fail_prob: float = 0.0
+    fail_ops: Tuple[int, ...] = ()
+    windows: List[Tuple[float, Optional[float]]] = field(default_factory=list)
+    retry: StorageRetryPolicy = field(default_factory=StorageRetryPolicy)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fail_prob < 1.0:
+            raise ValueError(f"fail_prob must be in [0, 1), got {self.fail_prob!r}")
+        for start, end in self.windows:
+            if end is not None and end < start:
+                raise ValueError(f"fault window heals before it starts: {start} > {end}")
+
+    def add_window(self, start: float, end: Optional[float]) -> None:
+        self.windows.append((start, end))
+
+    def attempt_fails(
+        self, op_index: int, attempt: int, at: float, rng: random.Random
+    ) -> bool:
+        """Whether attempt number ``attempt`` (0-based) of op ``op_index``
+        starting at time ``at`` fails.  ``fail_ops`` entries are transient:
+        they fail only the first attempt, the retry succeeds."""
+        if attempt == 0 and op_index in self.fail_ops:
+            return True
+        for start, end in self.windows:
+            if at >= start and (end is None or at < end):
+                return True
+        return bool(self.fail_prob) and rng.random() < self.fail_prob
 
 
 @dataclass
@@ -37,6 +114,10 @@ class StableStorageStats:
     bytes_read: int = 0
     bytes_written: int = 0
     busy_time: float = 0.0
+    #: transient I/O faults injected (failed attempts that were retried)
+    faults_injected: int = 0
+    #: extra device time spent on failed attempts and backoff waits
+    retry_time: float = 0.0
     #: time callers spent waiting for synchronous operations, by node
     sync_stall_time: Dict[int, float] = field(default_factory=dict)
 
@@ -67,6 +148,8 @@ class StableStorage:
         op_latency: float = DEFAULT_OP_LATENCY,
         bandwidth_bps: float = DEFAULT_BANDWIDTH,
         trace: Optional[TraceRecorder] = None,
+        faults: Optional[StorageFaultModel] = None,
+        rng: Optional[random.Random] = None,
     ) -> None:
         if op_latency < 0:
             raise ValueError(f"op_latency must be non-negative, got {op_latency!r}")
@@ -77,6 +160,8 @@ class StableStorage:
         self.op_latency = op_latency
         self.bandwidth_bps = bandwidth_bps
         self.trace = trace
+        self.faults = faults
+        self.rng = rng
         self.stats = StableStorageStats()
         self._data: Dict[str, Any] = {}
         self._device_free_at = 0.0
@@ -84,18 +169,52 @@ class StableStorage:
         self._next_op_id = 0
 
     # ------------------------------------------------------------------
+    def _fault_rng(self) -> random.Random:
+        if self.rng is None:
+            self.rng = random.Random(derive_seed(0, f"storage.faults.{self.owner}"))
+        return self.rng
+
     def _op_duration(self, size_bytes: int) -> float:
         return self.op_latency + size_bytes / self.bandwidth_bps
+
+    def _faulted_start(self, op_id: int, start: float, duration: float) -> float:
+        """Push the successful attempt's start time past injected faults.
+
+        Each failed attempt occupies the device for the full operation
+        duration, then waits out the retry backoff.  Raises
+        :class:`StorageFaultError` once the retry budget is exhausted.
+        """
+        attempt = 0
+        rng = self._fault_rng()
+        while self.faults.attempt_fails(op_id, attempt, start, rng):
+            attempt += 1
+            if attempt >= self.faults.retry.max_attempts:
+                raise StorageFaultError(
+                    f"storage device {self.owner}: op {op_id} failed "
+                    f"{attempt} attempts (non-transient fault?)"
+                )
+            wasted = duration + self.faults.retry.delay_for(attempt - 1)
+            self.stats.faults_injected += 1
+            self.stats.retry_time += wasted
+            if self.trace is not None:
+                self.trace.record(
+                    self.sim.now, "storage", self.owner, "fault",
+                    op=op_id, attempt=attempt, retry_at=start + wasted,
+                )
+            start += wasted
+        return start
 
     def _schedule_op(self, size_bytes: int, done: Callable[[], None]) -> float:
         """Serialize on the device; returns completion time."""
         start = max(self.sim.now, self._device_free_at)
         duration = self._op_duration(size_bytes)
+        op_id = self._next_op_id
+        self._next_op_id += 1
+        if self.faults is not None:
+            start = self._faulted_start(op_id, start, duration)
         finish = start + duration
         self._device_free_at = finish
         self.stats.busy_time += duration
-        op_id = self._next_op_id
-        self._next_op_id += 1
 
         def complete() -> None:
             self._pending.pop(op_id, None)

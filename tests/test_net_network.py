@@ -153,9 +153,19 @@ def test_per_link_latency_override():
     assert times == [pytest.approx(0.1), pytest.approx(1.0)]
 
 
-def test_message_ids_unique():
-    a, b = msg(), msg()
-    assert a.msg_id != b.msg_id
+def test_message_ids_unique_per_network():
+    """msg_ids are stamped at transmit time from a per-network counter."""
+    sim, net = make_net()
+    net.register(1, lambda m: None)
+    a = net.send(msg())
+    b = net.send(msg())
+    assert (a.msg_id, b.msg_id) == (1, 2)
+    # a second network starts its own sequence -- two runs in one process
+    # never share id state (the counter is per instance, not module-global)
+    sim2, net2 = make_net()
+    net2.register(1, lambda m: None)
+    c = net2.send(msg())
+    assert c.msg_id == 1
 
 
 def test_network_stats_record():

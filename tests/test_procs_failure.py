@@ -6,8 +6,14 @@ from repro.procs.failure import (
     CrashPlan,
     FailureDetector,
     FailureInjector,
+    LinkFaultPlan,
+    PartitionPlan,
+    StorageFaultPlan,
     crash_at,
     crash_on,
+    link_faults_at,
+    partition_at,
+    storage_outage_at,
 )
 from repro.sim.kernel import Simulator
 from repro.sim.trace import TraceRecorder
@@ -73,6 +79,53 @@ class TestFailureDetector:
     def test_rejects_negative_delay(self):
         with pytest.raises(ValueError):
             FailureDetector(Simulator(), detection_delay=-1)
+
+    def test_crash_up_crash_announces_only_final_state(self):
+        """crash -> up -> crash inside one detection window: the stale
+        pending announcements are superseded; only the final 'down' fires."""
+        sim = Simulator()
+        detector = FailureDetector(sim, detection_delay=3.0, up_delay=1.0)
+        detector.register_node(1)
+        events = []
+        detector.add_listener(lambda n, s: events.append((sim.now, n, s)))
+        detector.notify_crash(1)  # 'down' pending for t=3.0
+        sim.schedule(0.5, detector.notify_up, 1)  # 'up' pending for t=1.5
+        sim.schedule(1.0, detector.notify_crash, 1)  # supersedes both
+        sim.run()
+        assert events == [(pytest.approx(4.0), 1, "down")]
+        assert detector.is_suspected(1)
+
+    def test_crash_up_crash_with_slow_up_announcement(self):
+        """Same race, but the 'up' is already pending when the second
+        crash arrives: the second crash must supersede it."""
+        sim = Simulator()
+        detector = FailureDetector(sim, detection_delay=1.0, up_delay=0.5)
+        detector.register_node(1)
+        events = []
+        detector.add_listener(lambda n, s: events.append((sim.now, n, s)))
+        detector.notify_crash(1)  # 'down' pending for t=1.0
+        sim.schedule(0.1, detector.notify_up, 1)  # 'up' pending for t=0.6
+        sim.schedule(0.3, detector.notify_crash, 1)  # supersedes both
+        sim.run()
+        assert events == [(pytest.approx(1.3), 1, "down")]
+        assert detector.is_suspected(1)
+
+    def test_up_crash_up_announces_only_up(self):
+        sim = Simulator()
+        detector = FailureDetector(sim, detection_delay=2.0, up_delay=1.0)
+        detector.register_node(1)
+        detector.notify_crash(1)
+        sim.run()
+        assert detector.is_suspected(1)
+        events = []
+        detector.add_listener(lambda n, s: events.append((sim.now, n, s)))
+        base = sim.now
+        detector.notify_up(1)  # pending for base+1.0
+        sim.schedule(0.2, detector.notify_crash, 1)  # pending for base+2.2
+        sim.schedule(0.4, detector.notify_up, 1)  # pending for base+1.4
+        sim.run()
+        assert events == [(pytest.approx(base + 1.4), 1, "up")]
+        assert not detector.is_suspected(1)
 
 
 class TestCrashPlans:
@@ -176,3 +229,144 @@ class TestFailureInjector:
         injector.add(crash_at(4, 2.0))
         sim.run()
         assert crashed == [4]
+
+
+class TestPlanValidation:
+    def test_immediate_with_delay_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            CrashPlan(node=1, category="x", action="y", immediate=True, delay=0.5)
+        with pytest.raises(ValueError):
+            crash_on(1, "x", "y", immediate=True, delay=0.5)
+        # immediate with zero delay stays valid
+        assert crash_on(1, "x", "y", immediate=True).immediate
+
+    def test_crash_plan_needs_node(self):
+        with pytest.raises(ValueError):
+            CrashPlan(at_time=1.0)
+
+    def test_link_plan_needs_both_endpoints_or_neither(self):
+        with pytest.raises(ValueError):
+            LinkFaultPlan(at_time=0.0, src=1, loss_prob=0.5)
+        with pytest.raises(ValueError):
+            link_faults_at(0.0, loss_prob=0.5, duration=0.0)
+        assert link_faults_at(0.0, loss_prob=0.5, src=0, dst=1).src == 0
+
+    def test_partition_plan_needs_two_groups(self):
+        with pytest.raises(ValueError):
+            PartitionPlan(at_time=0.0, groups=[{0, 1}])
+        assert len(partition_at([{0}, {1}], 1.0).groups) == 2
+
+    def test_storage_plan_needs_heal_or_probability(self):
+        with pytest.raises(ValueError):
+            StorageFaultPlan(at_time=0.0, node=1)  # permanent full outage
+        with pytest.raises(ValueError):
+            StorageFaultPlan(at_time=0.0, node=1, fail_prob=1.0)
+        assert storage_outage_at(1, 0.0, 0.5).duration == 0.5
+
+
+class TestUnifiedPlanner:
+    """Link / partition / storage plans through the FailureInjector."""
+
+    def make_net(self):
+        from repro.net.latency import ConstantLatency
+        from repro.net.network import Network
+        from repro.net.topology import full_mesh
+        from repro.sim.rng import RngRegistry
+
+        sim = Simulator()
+        trace = TraceRecorder()
+        net = Network(
+            sim, full_mesh(3), latency=ConstantLatency(0.001),
+            rngs=RngRegistry(0), trace=trace,
+        )
+        return sim, trace, net
+
+    def test_link_fault_plan_fires_and_reverts(self):
+        sim, trace, net = self.make_net()
+        injector = FailureInjector(
+            sim, trace, lambda n: None,
+            plans=[link_faults_at(1.0, loss_prob=1.0, duration=2.0)],
+            network=net,
+        )
+        injector.arm()
+        got = []
+        net.register(1, got.append)
+        sim.schedule_at(0.5, lambda: net.send(_msg()))  # before: delivered
+        sim.schedule_at(1.5, lambda: net.send(_msg()))  # during: lost
+        sim.schedule_at(3.5, lambda: net.send(_msg()))  # after revert: delivered
+        sim.run()
+        assert len(got) == 2
+        assert net.stats.drops_by_cause == {"loss": 1}
+        assert trace.count("inject", "link_faults") == 1
+        assert trace.count("inject", "link_faults_reverted") == 1
+
+    def test_partition_plan_cuts_and_heals_with_trace(self):
+        sim, trace, net = self.make_net()
+        injector = FailureInjector(
+            sim, trace, lambda n: None,
+            plans=[partition_at([{0}, {1, 2}], 1.0, duration=1.0)],
+            network=net,
+        )
+        injector.arm()
+        got = []
+        net.register(1, got.append)
+        sim.schedule_at(1.5, lambda: net.send(_msg()))  # severed
+        sim.schedule_at(2.5, lambda: net.send(_msg()))  # healed
+        sim.run()
+        assert len(got) == 1
+        assert net.stats.drops_by_cause == {"partition": 1}
+        assert trace.count("inject", "partition") == 1
+        assert trace.count("inject", "partition_healed") == 1
+
+    def test_storage_plan_opens_outage_window(self):
+        from repro.storage.stable import StableStorage, StorageRetryPolicy
+
+        sim = Simulator()
+        trace = TraceRecorder()
+        storage = StableStorage(sim, owner=0)
+        injector = FailureInjector(
+            sim, trace, lambda n: None,
+            plans=[storage_outage_at(0, 1.0, 0.5)],
+            storages={0: storage},
+        )
+        injector.arm()
+        finishes = []
+        sim.schedule_at(
+            1.1, lambda: storage.write("a", 1, 1000,
+                                       on_done=lambda: finishes.append(sim.now))
+        )
+        sim.run()
+        assert storage.faults is not None
+        assert storage.stats.faults_injected > 0
+        assert finishes and finishes[0] > 1.5  # succeeded after the heal
+
+    def test_trace_triggered_partition(self):
+        sim, trace, net = self.make_net()
+        plan = PartitionPlan(
+            category="recovery", action="start", groups=[{0}, {1, 2}],
+        )
+        injector = FailureInjector(
+            sim, trace, lambda n: None, plans=[plan], network=net
+        )
+        injector.arm()
+        sim.schedule_at(2.0, lambda: trace.record(sim.now, "recovery", 0, "start"))
+        sim.run()
+        assert net.faults is not None
+        assert net.faults.severed(0, 1, sim.now)
+
+    def test_link_plans_need_network(self):
+        sim = Simulator()
+        trace = TraceRecorder()
+        injector = FailureInjector(
+            sim, trace, lambda n: None,
+            plans=[link_faults_at(0.0, loss_prob=0.5)],
+        )
+        injector.arm()
+        with pytest.raises(RuntimeError):
+            sim.run()
+
+
+def _msg():
+    from repro.net.network import Message, MessageKind
+
+    return Message(src=0, dst=1, kind=MessageKind.APPLICATION, mtype="app")

@@ -125,3 +125,56 @@ class TestFailureDuringRecovery:
         system, result = run_system(config)
         assert result.consistent
         assert len(result.recovery_durations()) == 2
+
+
+class TestGatherRaces:
+    """Races between the gather and determinant copies still in flight.
+
+    FBL counts a destination toward f+1 replication at *send* time, so a
+    recovery gather can run while the only surviving copy of a needed
+    determinant sits in the network -- or, worse, in a blocked peer's
+    undelivered-message queue.  Found by the chaos harness
+    (fbl/blocking, seed 82): a partition delayed a piggyback carrier for
+    half a second; its two other believed hosts were exactly the two
+    crashed nodes; the carrier reached the last live host while that
+    host was blocked, and the host's reply -- composed from delivered
+    state only -- omitted the determinant the replay needed.
+    """
+
+    def test_chaos_seed_82_partitioned_carrier_recovers(self):
+        from test_chaos import chaos_config
+
+        config = chaos_config("fbl", "blocking", 2, 82)
+        system, result = run_system(config)
+        assert result.consistent
+        assert all(e.complete for e in result.episodes)
+        assert all(node.is_live for node in system.nodes)
+
+    def test_blocked_queue_piggybacks_reach_the_reply(self):
+        """Determinants queued behind a block must appear in the depinfo
+        reply (on the reliable transport, where carriers can be late)."""
+        from repro.net.network import Message, MessageKind
+
+        system = build_system(small_config(recovery="blocking"))
+        node = system.nodes[0]
+        node.start()
+        node.block()
+        carrier = Message(
+            src=1, dst=0, kind=MessageKind.APPLICATION, mtype="app",
+            payload={"data": {}}, ssn=0,
+            piggyback=[((1, 0, 3, 5), (1, 3))],
+        )
+        node.receive(carrier)
+        assert (1, 0, 3, 5) not in node.protocol.local_depinfo_wire()
+        node.protocol.absorb_piggybacks(node.blocked_app_messages())
+        assert (1, 0, 3, 5) in node.protocol.local_depinfo_wire()
+
+    def test_replay_gap_detection(self):
+        system = build_system(small_config(recovery="blocking"))
+        rec = system.nodes[0].recovery
+        me = 0
+        assert rec._replay_gap([]) == []
+        assert rec._replay_gap([(1, 0, me, 0), (1, 1, me, 1)]) == []
+        assert rec._replay_gap([(1, 0, me, 0), (1, 1, me, 2)]) == [1]
+        # other receivers' determinants are not this replay's problem
+        assert rec._replay_gap([(0, 0, 4, 7)]) == []

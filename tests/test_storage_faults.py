@@ -1,0 +1,134 @@
+"""Unit tests for transient stable-storage fault injection."""
+
+import random
+
+import pytest
+
+from repro.sim.kernel import Simulator
+from repro.storage.stable import (
+    StableStorage,
+    StorageFaultError,
+    StorageFaultModel,
+    StorageRetryPolicy,
+)
+
+
+def make_storage(faults=None, seed=1, **kw):
+    sim = Simulator()
+    storage = StableStorage(
+        sim, owner=0, faults=faults, rng=random.Random(seed), **kw
+    )
+    return sim, storage
+
+
+def test_retry_policy_validation_and_backoff():
+    with pytest.raises(ValueError):
+        StorageRetryPolicy(base_delay=-1)
+    with pytest.raises(ValueError):
+        StorageRetryPolicy(multiplier=0.9)
+    with pytest.raises(ValueError):
+        StorageRetryPolicy(max_attempts=0)
+    p = StorageRetryPolicy(base_delay=0.01, multiplier=2.0, max_delay=0.05)
+    assert p.delay_for(0) == pytest.approx(0.01)
+    assert p.delay_for(1) == pytest.approx(0.02)
+    assert p.delay_for(2) == pytest.approx(0.04)
+    assert p.delay_for(3) == pytest.approx(0.05)  # capped
+
+
+def test_fault_model_validation():
+    with pytest.raises(ValueError):
+        StorageFaultModel(fail_prob=1.0)
+    with pytest.raises(ValueError):
+        StorageFaultModel(windows=[(2.0, 1.0)])
+
+
+def test_no_faults_zero_overhead():
+    sim, storage = make_storage()
+    finishes = []
+    storage.write("a", 1, 1000, on_done=lambda: finishes.append(sim.now))
+    sim.run()
+    assert storage.stats.faults_injected == 0
+    assert storage.stats.retry_time == 0.0
+    assert finishes == [pytest.approx(0.021)]  # 20 ms + 1 ms transfer
+
+
+def test_scheduled_op_fault_fails_first_attempt_only():
+    faults = StorageFaultModel(
+        fail_ops=(0,), retry=StorageRetryPolicy(base_delay=0.005)
+    )
+    sim, storage = make_storage(faults=faults)
+    finishes = []
+    storage.write("a", 1, 1000, on_done=lambda: finishes.append(sim.now))
+    sim.run()
+    assert storage.stats.faults_injected == 1
+    # failed attempt (0.021) + backoff (0.005) + successful attempt (0.021)
+    assert finishes == [pytest.approx(0.047)]
+    assert storage.stats.retry_time == pytest.approx(0.026)
+    assert storage.peek("a") == 1  # the write still lands
+
+
+def test_window_fails_until_heal():
+    faults = StorageFaultModel(
+        windows=[(0.0, 0.1)],
+        retry=StorageRetryPolicy(base_delay=0.01, multiplier=1.0),
+    )
+    sim, storage = make_storage(faults=faults)
+    finishes = []
+    storage.write("a", 1, 1000, on_done=lambda: finishes.append(sim.now))
+    sim.run()
+    assert storage.stats.faults_injected >= 3
+    # the first attempt started after the window heals succeeds
+    assert finishes and finishes[0] > 0.1
+    assert storage.peek("a") == 1
+
+
+def test_permanent_window_exhausts_retries():
+    faults = StorageFaultModel(
+        windows=[(0.0, None)],
+        retry=StorageRetryPolicy(base_delay=0.001, max_attempts=5),
+    )
+    sim, storage = make_storage(faults=faults)
+    with pytest.raises(StorageFaultError):
+        storage.write("a", 1, 1000)
+
+
+def test_probabilistic_faults_deterministic_per_seed():
+    def run(seed):
+        faults = StorageFaultModel(fail_prob=0.4)
+        sim, storage = make_storage(faults=faults, seed=seed)
+        finishes = []
+        for i in range(10):
+            storage.write(f"k{i}", i, 1000, on_done=lambda: finishes.append(sim.now))
+        sim.run()
+        return finishes, storage.stats.faults_injected
+
+    assert run(3) == run(3)
+    f1, n1 = run(3)
+    f2, n2 = run(4)
+    assert (f1, n1) != (f2, n2)
+    assert n1 > 0 or n2 > 0
+
+
+def test_faulted_device_stays_serialized():
+    """Later ops queue behind the retries of earlier ones (one head)."""
+    faults = StorageFaultModel(
+        fail_ops=(0,), retry=StorageRetryPolicy(base_delay=0.005)
+    )
+    sim, storage = make_storage(faults=faults)
+    finishes = []
+    storage.write("a", 1, 1000, on_done=lambda: finishes.append(("a", sim.now)))
+    storage.write("b", 2, 1000, on_done=lambda: finishes.append(("b", sim.now)))
+    sim.run()
+    assert [name for name, _ in finishes] == ["a", "b"]
+    assert finishes[1][1] == pytest.approx(0.047 + 0.021)
+
+
+def test_abort_pending_still_works_with_faults():
+    faults = StorageFaultModel(fail_ops=(0,))
+    sim, storage = make_storage(faults=faults)
+    done = []
+    storage.write("a", 1, 1000, on_done=lambda: done.append("a"))
+    assert storage.abort_pending() == 1
+    sim.run()
+    assert done == []
+    assert not storage.contains("a")
