@@ -21,10 +21,14 @@ VICTIM = 1
 
 
 def run(recovery: str, n: int):
+    # the sweep only reads aggregates: counters-only traces keep memory
+    # flat as n grows, and the kernel profiler feeds the host-cost columns
     config = paper_config(
         f"e5-{recovery}-{n}", recovery=recovery, n=n,
         crashes=[crash_at(node=VICTIM, time=0.05)],
         hops=30,
+        keep_trace_events=False,
+        profile=True,
     )
     result = build_system(config).run()
     assert result.consistent
@@ -42,18 +46,22 @@ def test_exp5_scalability(benchmark):
         totals_blocking.append(blocking.total_blocked_time)
         messages["blocking"].append(blocking.recovery_messages())
         messages["nonblocking"].append(nonblocking.recovery_messages())
+        profile = nonblocking.extra["profile"]
         rows.append([
             n,
             f"{blocking.total_blocked_time:.3f}",
             f"{nonblocking.total_blocked_time:.3f}",
             blocking.recovery_messages(),
             nonblocking.recovery_messages(),
+            f"{profile['events_per_sec']:.0f}",
+            f"{profile['peak_rss_kb'] / 1024:.1f}",
         ])
     once(benchmark, lambda: run("nonblocking", 8))
     emit(
         "E5 one failure at increasing system size",
         ["n", "blk total blocked (s)", "nb total blocked (s)",
-         "blk recovery msgs", "nb recovery msgs"],
+         "blk recovery msgs", "nb recovery msgs",
+         "nb events/s (host)", "peak RSS (MB)"],
         rows,
     )
 

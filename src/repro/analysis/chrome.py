@@ -1,0 +1,142 @@
+"""Chrome trace-event export (Perfetto / ``chrome://tracing``).
+
+Converts a run's trace into the Trace Event Format JSON that Perfetto
+(https://ui.perfetto.dev) and ``chrome://tracing`` load directly:
+
+* every closed span becomes a complete ("X") event on the owning node's
+  track, open spans become begin ("B") events so truncation is visible;
+* selected point events (crash, restart, recovered, deliveries if asked)
+  become instant ("i") events;
+* each node gets a named thread via "M" metadata records, so the
+  timeline reads ``node 0 .. node n`` top to bottom.
+
+Simulated seconds map to trace microseconds (the format's native unit),
+so one second of virtual time reads as one second in the UI.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Dict, Iterable, List, Optional, Union
+
+from repro.sim.spans import Span, spans_from_trace
+from repro.sim.trace import TraceEvent, TraceRecorder
+
+#: trace-event timestamps are microseconds
+_US = 1_000_000.0
+
+#: point events worth showing as instants, by ``category.action``
+_INSTANT_EVENTS = {
+    "node.crash": "crash",
+    "node.restart_begin": "restart",
+    "node.recovered": "recovered",
+    "node.checkpoint": "checkpoint",
+    "detector.suspect": "suspect",
+}
+
+
+def _track(node: Optional[int]) -> int:
+    """Thread id for a node (None = system-wide events on tid 0)."""
+    return 0 if node is None else node + 1
+
+
+def chrome_trace_events(
+    source: Union[TraceRecorder, Iterable[TraceEvent]],
+    spans: Optional[List[Span]] = None,
+    include_instants: bool = True,
+) -> List[Dict[str, Any]]:
+    """Build the trace-event list (the ``traceEvents`` array)."""
+    events = list(getattr(source, "events", source))
+    if spans is None:
+        spans = spans_from_trace(events)
+    out: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": "repro simulation"},
+        },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": "system"},
+        },
+    ]
+    for node in sorted({s.node for s in spans if s.node is not None}
+                       | {e.node for e in events if e.node is not None}):
+        out.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": _track(node),
+                "args": {"name": f"node {node}"},
+            }
+        )
+    for span in spans:
+        args = {"span_id": span.span_id}
+        if span.parent is not None:
+            args["parent"] = span.parent
+        if span.links:
+            args["links"] = list(span.links)
+        args.update(span.attrs)
+        base = {
+            "name": span.kind,
+            "cat": span.kind.split(".", 1)[0],
+            "pid": 0,
+            "tid": _track(span.node),
+            "ts": span.start * _US,
+            "args": args,
+        }
+        if span.closed:
+            base["ph"] = "X"
+            base["dur"] = (span.end - span.start) * _US
+        else:
+            base["ph"] = "B"  # left open: the span never ended
+        out.append(base)
+    if include_instants:
+        for event in events:
+            key = f"{event.category}.{event.action}"
+            name = _INSTANT_EVENTS.get(key)
+            if name is None:
+                continue
+            out.append(
+                {
+                    "name": name,
+                    "cat": event.category,
+                    "ph": "i",
+                    "s": "t",  # thread-scoped instant
+                    "pid": 0,
+                    "tid": _track(event.node),
+                    "ts": event.time * _US,
+                    "args": dict(event.details),
+                }
+            )
+    return out
+
+
+def dump_chrome_trace(
+    source: Union[TraceRecorder, Iterable[TraceEvent]],
+    destination: Union[str, IO[str]],
+    include_instants: bool = True,
+) -> int:
+    """Write the Chrome trace JSON; returns the trace-event count.
+
+    ``destination`` is a path or an open text file.  The output is the
+    object form (``{"traceEvents": [...]}``), which both Perfetto and
+    ``chrome://tracing`` accept.
+    """
+    if isinstance(destination, str):
+        with open(destination, "w", encoding="utf-8") as handle:
+            return dump_chrome_trace(source, handle, include_instants)
+    events = chrome_trace_events(source, include_instants=include_instants)
+    json.dump(
+        {"traceEvents": events, "displayTimeUnit": "ms"},
+        destination,
+        default=str,
+    )
+    destination.write("\n")
+    return len(events)

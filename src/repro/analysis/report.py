@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.core.metrics import RunResult
+from repro.sim.spans import CriticalPath, Span, children_of
 
 
 def format_table(
@@ -71,4 +72,96 @@ def format_run_summary(result: RunResult, crashed: Optional[List[int]] = None) -
     if stats.duplicates_injected:
         lines.append(f"  duplicates injected: {stats.duplicates_injected}")
     lines.append(f"  consistent: {result.consistent}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# observability formatting (metrics registry, span trees, critical path)
+# ----------------------------------------------------------------------
+def format_metrics(
+    snapshot: Dict[str, Dict[str, Any]], subsystem: Optional[str] = None
+) -> str:
+    """Tabulate a :meth:`MetricsRegistry.snapshot` by subsystem."""
+    rows = []
+    for name in sorted(snapshot):
+        if subsystem is not None and not name.startswith(subsystem + "."):
+            continue
+        data = snapshot[name]
+        kind = data.get("type", "?")
+        if kind == "counter":
+            value = str(data["value"])
+        elif kind == "gauge":
+            value = f"{_fmt(data['value'])} (high {_fmt(data['high_water'])})"
+        else:  # histogram
+            value = (
+                f"n={data['count']} p50={_fmt(data['p50'])} "
+                f"p95={_fmt(data['p95'])} max={_fmt(data['max'])}"
+            )
+        rows.append([name, kind, value])
+    if not rows:
+        return "(no metrics)"
+    return format_table(["metric", "type", "value"], rows)
+
+
+def format_span_tree(spans: List[Span], node: Optional[int] = None) -> str:
+    """Indented span forest: roots first, children nested beneath."""
+    if node is not None:
+        keep = {s.span_id for s in spans if s.node == node}
+        spans = [s for s in spans if s.span_id in keep or s.parent in keep]
+    if not spans:
+        return "(no spans)"
+    by_id = {s.span_id: s for s in spans}
+    tree = children_of(spans)
+    lines: List[str] = []
+
+    def render(span: Span, depth: int) -> None:
+        end = f"{span.end:.6f}" if span.end is not None else "open"
+        extra = ""
+        if span.attrs:
+            keys = ", ".join(
+                f"{k}={v}" for k, v in sorted(span.attrs.items())
+            )
+            extra = f"  [{keys}]"
+        lines.append(
+            f"{'  ' * depth}#{span.span_id} {span.kind} "
+            f"n{span.node} {span.start:.6f} -> {end} "
+            f"({span.duration() * 1000:.2f} ms){extra}"
+        )
+        for child in tree.get(span.span_id, ()):
+            render(child, depth + 1)
+
+    roots = [
+        s
+        for s in spans
+        if s.parent is None or s.parent not in by_id
+    ]
+    for root in sorted(roots, key=lambda s: (s.start, s.span_id)):
+        render(root, 0)
+    return "\n".join(lines)
+
+
+def format_critical_path(path: CriticalPath) -> str:
+    """Narrate one recovery episode's critical path, component-first."""
+    lines = [
+        f"node {path.node}: recovery {path.start:.6f} -> {path.end:.6f} "
+        f"({path.total:.3f} s total, {path.gather_rounds} gather round(s))"
+    ]
+    components = path.components()
+    total = path.total or 1.0
+    for component in sorted(components, key=lambda c: -components[c]):
+        duration = components[component]
+        lines.append(
+            f"  {component:<10} {duration:>9.4f} s  "
+            f"({100.0 * duration / total:5.1f} %)"
+        )
+    lines.append("  segments:")
+    for segment in path.segments:
+        lines.append(
+            f"    {segment.start:.6f} -> {segment.end:.6f} "
+            f"{segment.kind:<22} -> {segment.component} "
+            f"({segment.duration * 1000:.2f} ms)"
+        )
+    lines.append(
+        f"  bounded by: {path.dominant()}"
+    )
     return "\n".join(lines)

@@ -9,7 +9,7 @@ tooling, and load them back for the in-library query and timeline tools.
 from __future__ import annotations
 
 import json
-from typing import IO, Iterable, Union
+from typing import IO, Iterable, Optional, Union
 
 from repro.sim.trace import TraceEvent, TraceRecorder
 
@@ -25,14 +25,44 @@ def event_to_dict(event: TraceEvent) -> dict:
     }
 
 
-def event_from_dict(data: dict) -> TraceEvent:
-    """Rebuild a trace event from its dict form."""
+def event_from_dict(data: dict, line: Optional[int] = None) -> TraceEvent:
+    """Rebuild a trace event from its dict form.
+
+    Validates the record instead of silently coercing: a missing field,
+    a non-numeric ``time``, or a ``node`` that is neither an int nor
+    ``null`` raises :class:`ValueError` -- naming the offending JSONL
+    line when ``line`` is given.
+    """
+
+    def fail(reason: str) -> "ValueError":
+        where = f"line {line}: " if line is not None else ""
+        return ValueError(f"malformed trace record: {where}{reason}")
+
+    if not isinstance(data, dict):
+        raise fail(f"expected an object, got {type(data).__name__}")
+    for field in ("time", "category", "node", "action"):
+        if field not in data:
+            raise fail(f"missing field {field!r}")
+    time = data["time"]
+    if isinstance(time, bool) or not isinstance(time, (int, float)):
+        raise fail(f"'time' must be a number, got {time!r}")
+    category, action = data["category"], data["action"]
+    if not isinstance(category, str) or not category:
+        raise fail(f"'category' must be a non-empty string, got {category!r}")
+    if not isinstance(action, str) or not action:
+        raise fail(f"'action' must be a non-empty string, got {action!r}")
+    node = data["node"]
+    if node is not None and (isinstance(node, bool) or not isinstance(node, int)):
+        raise fail(f"'node' must be an integer or null, got {node!r}")
+    details = data.get("details", {})
+    if not isinstance(details, dict):
+        raise fail(f"'details' must be an object, got {details!r}")
     return TraceEvent(
-        time=float(data["time"]),
-        category=str(data["category"]),
-        node=data["node"],
-        action=str(data["action"]),
-        details=dict(data.get("details", {})),
+        time=float(time),
+        category=category,
+        node=node,
+        action=action,
+        details=dict(details),
     )
 
 
@@ -61,12 +91,17 @@ def load_trace(source: Union[str, IO[str], Iterable[str]]) -> TraceRecorder:
         with open(source, "r", encoding="utf-8") as handle:
             return load_trace(handle)
     trace = TraceRecorder()
-    for line in source:
+    for lineno, line in enumerate(source, start=1):
         line = line.strip()
         if not line:
             continue
-        data = json.loads(line)
-        event = event_from_dict(data)
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"malformed trace record: line {lineno}: invalid JSON ({exc.msg})"
+            ) from exc
+        event = event_from_dict(data, line=lineno)
         trace.record(
             event.time, event.category, event.node, event.action, **event.details
         )

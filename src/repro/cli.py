@@ -1,20 +1,24 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three commands cover the common uses:
+Four commands cover the common uses:
 
 * ``run``     -- one simulation with chosen protocol/recovery/failures,
                  printed as a run summary;
 * ``compare`` -- the paper's head-to-head (blocking vs non-blocking, or
                  any set of stacks) on an identical scenario;
 * ``sweep``   -- vary one numeric knob (n, f, detection delay, storage
-                 latency, state size) and print one row per value.
+                 latency, state size) and print one row per value;
+* ``trace``   -- inspect a saved JSONL trace: filter, summarize, span
+                 trees, the recovery critical path, Chrome export.
 
 Examples::
 
     python -m repro run --protocol fbl --f 2 --recovery nonblocking \\
-        --crash 3@0.05
+        --crash 3@0.05 --spans --trace-out run.jsonl
     python -m repro compare --crash 3@0.05 --crash 5@0.06
     python -m repro sweep --knob n --values 4,8,16,32 --crash 1@0.05
+    python -m repro trace run.jsonl --critical-path
+    python -m repro trace run.jsonl --chrome-out run.chrome.json
 """
 
 from __future__ import annotations
@@ -153,6 +157,8 @@ def _crashed_nodes(config: SystemConfig) -> List[int]:
 # ----------------------------------------------------------------------
 def cmd_run(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
+    config.spans = args.spans or bool(args.trace_out)
+    config.profile = args.profile
     system = build_system(config)
     result = system.run()
     print(config.describe())
@@ -163,6 +169,25 @@ def cmd_run(args: argparse.Namespace) -> int:
 
         print()
         print(render_timeline(system.trace))
+    if args.metrics:
+        from repro.analysis.report import format_metrics
+
+        print()
+        print(format_metrics(result.extra["metrics"]))
+    if args.profile:
+        profile = result.extra["profile"]
+        print(
+            f"  profile: {profile['events_fired']} events in "
+            f"{profile['wall_elapsed'] * 1000:.1f} ms host time "
+            f"({profile['events_per_sec']:.0f} events/s), "
+            f"heap high-water {profile['heap_high_water']}, "
+            f"peak RSS {profile['peak_rss_kb'] / 1024:.1f} MB"
+        )
+    if args.trace_out:
+        from repro.analysis.trace_io import dump_trace
+
+        count = dump_trace(system.trace, args.trace_out)
+        print(f"  trace: wrote {count} events to {args.trace_out}")
     if result.outputs_committed:
         stats = summarize(result.output_latencies())
         print(
@@ -230,6 +255,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     exit_code = 0
     for value in values:
         config = _config_from_args(args, name=f"{args.knob}={value}", **{knob: value})
+        # sweeps only read aggregates; keep memory flat across many runs
+        config.keep_trace_events = False
         result = build_system(config).run()
         durations = result.recovery_durations()
         rows.append([
@@ -252,6 +279,81 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.analysis.trace_io import load_trace
+    from repro.sim.spans import recovery_critical_paths, spans_from_trace
+
+    try:
+        trace = load_trace(args.trace_file)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    events = trace.events
+    if args.node is not None:
+        events = [e for e in events if e.node == args.node]
+    if args.category:
+        events = [e for e in events if e.category == args.category]
+
+    did_something = False
+    if args.chrome_out:
+        from repro.analysis.chrome import dump_chrome_trace
+
+        count = dump_chrome_trace(trace, args.chrome_out)
+        print(f"wrote {count} trace events to {args.chrome_out}")
+        did_something = True
+
+    if args.critical_path:
+        from repro.analysis.report import format_critical_path
+
+        paths = recovery_critical_paths(trace, node=args.node)
+        if not paths:
+            print("no recovery episodes with spans found "
+                  "(was the run recorded with --spans?)")
+        for path in paths:
+            print(format_critical_path(path))
+        did_something = True
+
+    if args.spans:
+        from repro.analysis.report import format_span_tree
+
+        spans = spans_from_trace(trace)
+        print(format_span_tree(spans, node=args.node))
+        did_something = True
+
+    if args.timeline:
+        from repro.analysis.timeline import render_timeline
+
+        print(render_timeline(trace))
+        did_something = True
+
+    if args.tail:
+        for event in events[-args.tail:]:
+            print(
+                f"{event.time:.6f} [{event.category}.{event.action}] "
+                f"node={event.node} {event.details or ''}".rstrip()
+            )
+        did_something = True
+
+    if args.summary or not did_something:
+        counters: Dict[str, int] = {}
+        for event in events:
+            key = f"{event.category}.{event.action}"
+            counters[key] = counters.get(key, 0) + 1
+        span_count = sum(1 for e in events if e.category == "span")
+        nodes = sorted({e.node for e in events if e.node is not None})
+        first = events[0].time if events else 0.0
+        last = events[-1].time if events else 0.0
+        print(
+            f"{len(events)} events, {len(nodes)} nodes, "
+            f"virtual time {first:.6f} -> {last:.6f}"
+            + (f", {span_count // 2} spans" if span_count else "")
+        )
+        rows = [[key, counters[key]] for key in sorted(counters)]
+        print(format_table(["event", "count"], rows))
+    return 0
+
+
 # ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -265,6 +367,23 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--timeline", action="store_true",
         help="render an ASCII per-node timeline of the run",
+    )
+    run_parser.add_argument(
+        "--spans", action="store_true",
+        help="record causal spans (checkpoint rounds, recovery phases, ...)",
+    )
+    run_parser.add_argument(
+        "--profile", action="store_true",
+        help="profile the sim kernel (events/sec, hot handlers, peak RSS)",
+    )
+    run_parser.add_argument(
+        "--metrics", action="store_true",
+        help="print the metrics-registry snapshot after the summary",
+    )
+    run_parser.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="write the JSONL trace here (implies --spans); inspect "
+             "it later with `repro trace PATH`",
     )
     run_parser.set_defaults(fn=cmd_run)
 
@@ -283,6 +402,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--values", required=True, help="comma-separated values, e.g. 4,8,16"
     )
     sweep_parser.set_defaults(fn=cmd_sweep)
+
+    trace_parser = sub.add_parser(
+        "trace", help="inspect a saved JSONL trace (from run --trace-out)"
+    )
+    trace_parser.add_argument("trace_file", help="JSONL trace path")
+    trace_parser.add_argument("--node", type=int, default=None,
+                              help="restrict to one node")
+    trace_parser.add_argument("--category", default=None,
+                              help="restrict to one event category")
+    trace_parser.add_argument(
+        "--summary", action="store_true",
+        help="event-count summary (the default when nothing else is asked)",
+    )
+    trace_parser.add_argument(
+        "--tail", type=int, default=0, metavar="K",
+        help="print the last K (filtered) events",
+    )
+    trace_parser.add_argument(
+        "--spans", action="store_true",
+        help="print the span tree (requires a run recorded with --spans)",
+    )
+    trace_parser.add_argument(
+        "--timeline", action="store_true",
+        help="render the ASCII per-node timeline",
+    )
+    trace_parser.add_argument(
+        "--critical-path", action="store_true",
+        help="attribute each recovery episode's duration to components",
+    )
+    trace_parser.add_argument(
+        "--chrome-out", metavar="PATH", default=None,
+        help="export Chrome trace-event JSON (open in ui.perfetto.dev)",
+    )
+    trace_parser.set_defaults(fn=cmd_trace)
     return parser
 
 

@@ -173,6 +173,15 @@ class SystemConfig:
     #: protocol message types deferred while a node is blocked
     blocked_protocol_types: FrozenSet[str] = frozenset({"retransmit_data"})
 
+    # -- observability ------------------------------------------------------
+    #: record causal spans (repro.sim.spans) into the trace
+    spans: bool = False
+    #: enable wall-clock sim-kernel profiling (repro.sim.profile)
+    profile: bool = False
+    #: retain the full trace event list; False keeps only counters
+    #: (the counters-only fast path for large parameter sweeps)
+    keep_trace_events: bool = True
+
     # -- run control -----------------------------------------------------------
     #: stop at this virtual time; None runs to quiescence
     run_until: Optional[float] = None

@@ -93,6 +93,11 @@ class Node:
         self._crash_epoch = 0
         self.crash_count = 0
 
+        # open causal spans (repro.sim.spans); all None while disabled
+        self._episode_span: Optional[int] = None
+        self._phase_span: Optional[int] = None
+        self._block_span: Optional[int] = None
+
         protocol.attach(self)
         recovery.attach(self)
 
@@ -106,6 +111,32 @@ class Node:
     @property
     def is_recovering(self) -> bool:
         return self.state == NodeState.RECOVERING
+
+    # ------------------------------------------------------------------
+    # causal spans
+    # ------------------------------------------------------------------
+    def _span_phase(self, kind: Optional[str]) -> None:
+        """Close the current episode phase span and open ``kind``.
+
+        Recovery phases are contiguous by construction: each phase ends
+        at the exact instant the next begins, so the critical-path
+        extractor can partition the episode without gaps.
+        """
+        spans = self.trace.spans
+        if not spans.enabled:
+            return
+        now = self.sim.now
+        if self._phase_span is not None:
+            spans.end(self._phase_span, now)
+            self._phase_span = None
+        if kind is not None:
+            self._phase_span = spans.begin(
+                kind, self.node_id, now, parent=self._episode_span
+            )
+
+    def episode_span(self) -> Optional[int]:
+        """The open ``recovery.episode`` span id (for child spans)."""
+        return self._episode_span
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -129,6 +160,8 @@ class Node:
             return
         if self.blocked:
             self.metrics.block_end(self.node_id, self.sim.now)
+            self.trace.spans.end(self._block_span, self.sim.now, aborted=True)
+            self._block_span = None
             self.blocked = False
             self._blocked_queue.clear()
         self.state = NodeState.CRASHED
@@ -142,6 +175,25 @@ class Node:
         self.protocol.on_crash()
         self.recovery.on_crash()
         self.metrics.start_episode(self.node_id, self.sim.now)
+        spans = self.trace.spans
+        if spans.enabled:
+            # a crash mid-recovery aborts the old episode; the new one
+            # links to it so the trace shows the causal chain
+            self._span_phase(None)
+            superseded = self._episode_span
+            if superseded is not None:
+                spans.end(superseded, self.sim.now, aborted=True)
+            self._episode_span = spans.begin(
+                "recovery.episode",
+                self.node_id,
+                self.sim.now,
+                links=(superseded,),
+                crash_count=self.crash_count,
+            )
+            self._phase_span = spans.begin(
+                "recovery.detect", self.node_id, self.sim.now,
+                parent=self._episode_span,
+            )
         self.trace.record(self.sim.now, "node", self.node_id, "crash")
         self.detector.notify_crash(self.node_id)
         # The watchdog restarts the process once the failure is detected
@@ -164,6 +216,7 @@ class Node:
         episode = self.metrics.episode_of(self.node_id)
         if episode is not None:
             episode.restart_time = self.sim.now
+        self._span_phase("recovery.restore")
         self.network.register(self.node_id, self.receive)
         self.trace.record(self.sim.now, "node", self.node_id, "restart_begin")
         self.checkpoints.restore(self._on_restored)
@@ -193,6 +246,7 @@ class Node:
         episode = self.metrics.episode_of(self.node_id)
         if episode is not None:
             episode.restored_time = self.sim.now
+        self._span_phase("recovery.gather")
         self.trace.record(
             self.sim.now,
             "node",
@@ -207,6 +261,18 @@ class Node:
             self.recovery.on_control(msg)
         self.recovery.begin_recovery()
 
+    def mark_replay_start(self) -> None:
+        """Recovery manager has the depinfo in hand; replay begins now.
+
+        Centralizes what every recovery manager used to do by hand:
+        stamp the episode's ``replay_start_time`` and flip the episode
+        phase span from gather to replay.
+        """
+        episode = self.metrics.episode_of(self.node_id)
+        if episode is not None:
+            episode.replay_start_time = self.sim.now
+        self._span_phase("recovery.replay")
+
     def complete_recovery(self) -> None:
         """Recovery manager finished; the process is live again."""
         self.state = NodeState.LIVE
@@ -214,6 +280,15 @@ class Node:
         if episode is not None:
             episode.replayed_deliveries = self.metrics.replayed.get(self.node_id, 0)
         self.metrics.finish_episode(self.node_id, self.sim.now)
+        self._span_phase(None)
+        if self._episode_span is not None:
+            self.trace.spans.end(
+                self._episode_span,
+                self.sim.now,
+                incarnation=self.incarnation,
+                replayed=self.metrics.replayed.get(self.node_id, 0),
+            )
+            self._episode_span = None
         self.oracle.on_rollback(self.node_id, self.app.delivered_count)
         self.trace.record(
             self.sim.now,
@@ -326,6 +401,20 @@ class Node:
             "delivered_ids": sorted(self.delivered_ids),
             "protocol": self.protocol.checkpoint_extra(),
         }
+        spans = self.trace.spans
+        on_done = self.protocol.on_checkpoint
+        if spans.enabled:
+            ckpt_span = spans.begin(
+                "node.checkpoint", self.node_id, self.sim.now,
+                bootstrap=bootstrap,
+            )
+
+            def on_done(ckpt: Checkpoint, _done=on_done) -> None:
+                spans.end(
+                    ckpt_span, self.sim.now, checkpoint_id=ckpt.checkpoint_id
+                )
+                _done(ckpt)
+
         checkpoint = self.checkpoints.save(
             delivered_count=self.app.delivered_count,
             app_state=self.app.snapshot(),
@@ -333,7 +422,7 @@ class Node:
             state_bytes=self.config.state_bytes,
             taken_at=self.sim.now,
             extra=extra,
-            on_done=self.protocol.on_checkpoint,
+            on_done=on_done,
             bootstrap=bootstrap,
         )
         self.trace.record(
@@ -391,6 +480,9 @@ class Node:
         if not self.blocked and self.is_live:
             self.blocked = True
             self.metrics.block_start(self.node_id, self.sim.now)
+            self._block_span = self.trace.spans.begin(
+                "node.blocked", self.node_id, self.sim.now
+            )
             self.trace.record(self.sim.now, "node", self.node_id, "block")
 
     def unblock(self) -> None:
@@ -399,6 +491,8 @@ class Node:
             return
         self.blocked = False
         self.metrics.block_end(self.node_id, self.sim.now)
+        self.trace.spans.end(self._block_span, self.sim.now)
+        self._block_span = None
         self.trace.record(self.sim.now, "node", self.node_id, "unblock")
         queued, self._blocked_queue = self._blocked_queue, []
         for msg in queued:

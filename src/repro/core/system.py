@@ -12,6 +12,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.config import SystemConfig
 from repro.core.metrics import MetricsCollector, RunResult
+from repro.core.metrics_registry import MetricsRegistry
 from repro.core.node import Node, NodeState
 from repro.core.oracle import ConsistencyOracle, OracleViolation
 from repro.core.output import OutputDevice
@@ -45,7 +46,15 @@ class System:
         self.config = config
         self.sim = Simulator()
         self.rngs = RngRegistry(config.seed)
-        self.trace = TraceRecorder()
+        self.trace = TraceRecorder(keep_events=config.keep_trace_events)
+        if config.spans:
+            self.trace.spans.enable()
+        self.profiler = None
+        if config.profile:
+            from repro.sim.profile import SimProfiler
+
+            self.profiler = SimProfiler().attach(self.sim)
+        self.registry = MetricsRegistry()
         self.metrics = MetricsCollector()
         from repro.core.oracle import NullOracle
         from repro.protocols import PROTOCOLS
@@ -68,6 +77,7 @@ class System:
             trace=self.trace,
             faults=fault_model,
         )
+        self.network.registry = self.registry
         self.transport = None
         if config.transport == "reliable":
             from repro.net.transport import ReliableTransport, TransportParams
@@ -78,6 +88,7 @@ class System:
                 params=TransportParams(**config.transport_params),
                 trace=self.trace,
             )
+            self.transport.registry = self.registry
         self.detector = FailureDetector(
             self.sim,
             detection_delay=config.detection_delay,
@@ -110,6 +121,7 @@ class System:
                 recovery=recovery,
                 output_device=self.output_device,
             )
+            node.storage.registry = self.registry
             self.nodes.append(node)
 
         # detector events fan out to every node's recovery manager
@@ -124,6 +136,7 @@ class System:
             storages={node.node_id: node.storage for node in self.nodes},
         )
         self._started = False
+        self._registry_finalized = False
 
     # ------------------------------------------------------------------
     def _on_peer_status(self, node_id: int, status: str) -> None:
@@ -243,6 +256,30 @@ class System:
         }
         if self.transport is not None:
             extra["transport_stats"] = self.transport.stats.as_dict()
+
+        # recovery-level instruments are derived once per run (the
+        # per-event ones were fed live by net/storage/transport)
+        if not self._registry_finalized:
+            self._registry_finalized = True
+            episode_hist = self.registry.histogram("recovery.episode_duration")
+            for episode in self.metrics.episodes:
+                if episode.complete:
+                    episode_hist.observe(episode.total_duration)
+            block_hist = self.registry.histogram("recovery.block_duration")
+            for interval in self.metrics.block_intervals:
+                if interval.end is not None:
+                    block_hist.observe(interval.duration)
+            self.registry.counter("recovery.episodes").inc(len(self.metrics.episodes))
+            self.registry.counter("recovery.gather_restarts").inc(
+                sum(e.gather_restarts for e in self.metrics.episodes)
+            )
+            self.registry.counter("protocol.piggyback_determinants").inc(
+                piggyback_count
+            )
+        self.registry.gauge("sim.events_processed").set(self.sim.events_processed)
+        extra["metrics"] = self.registry.snapshot()
+        if self.profiler is not None:
+            extra["profile"] = self.profiler.snapshot()
 
         return RunResult(
             config_name=self.config.name,

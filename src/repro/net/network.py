@@ -175,6 +175,8 @@ class Network:
         self.faults = faults
         #: set by ReliableTransport when one is layered on this network
         self.transport = None
+        #: optional repro.core.metrics_registry.MetricsRegistry (set by System)
+        self.registry = None
         self.stats = NetworkStats()
         self._handlers: Dict[int, Callable[[Message], None]] = {}
         self._channel_clock: Dict[Tuple[int, int], float] = {}
@@ -232,6 +234,12 @@ class Network:
             self.stats.record_retransmit(message.size_bytes)
         else:
             self.stats.record(message.kind, message.size_bytes)
+        if self.registry is not None:
+            self.registry.counter("net.messages_sent").inc()
+            self.registry.counter("net.bytes_sent").inc(message.size_bytes)
+            self.registry.histogram("net.message_bytes").observe(
+                message.size_bytes
+            )
         if self.trace is not None:
             self.trace.record(
                 self.sim.now,

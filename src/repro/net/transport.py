@@ -126,12 +126,51 @@ class ReliableTransport:
         self.network = network
         self.params = params or TransportParams()
         self.trace = trace
+        #: optional repro.core.metrics_registry.MetricsRegistry (set by System)
+        self.registry = None
         self.stats = TransportStats()
         self._send_seq: Dict[Channel, int] = {}
         self._epoch: Dict[Channel, int] = {}
         self._pending: Dict[Channel, Dict[int, _InFlight]] = {}
         self._recv: Dict[Channel, _RecvState] = {}
+        # per-channel retransmit-epoch spans: first retransmit opens one,
+        # the last outstanding retransmitted seq being acked (or the
+        # channel giving up / resetting) closes it
+        self._retx_span: Dict[Channel, int] = {}
+        self._retx_seqs: Dict[Channel, set] = {}
         network.transport = self
+
+    # ------------------------------------------------------------------
+    # retransmit-epoch spans
+    # ------------------------------------------------------------------
+    def _retx_note(self, channel: Channel, seq: int) -> None:
+        if self.trace is None or not self.trace.spans.enabled:
+            return
+        seqs = self._retx_seqs.setdefault(channel, set())
+        seqs.add(seq)
+        if channel not in self._retx_span:
+            span = self.trace.spans.begin(
+                "transport.retransmit_epoch",
+                channel[0],
+                self.sim.now,
+                dst=channel[1],
+            )
+            if span is not None:
+                self._retx_span[channel] = span
+
+    def _retx_resolve(self, channel: Channel, seq: int) -> None:
+        seqs = self._retx_seqs.get(channel)
+        if seqs is None:
+            return
+        seqs.discard(seq)
+        if not seqs:
+            self._retx_close(channel)
+
+    def _retx_close(self, channel: Channel, **attrs) -> None:
+        self._retx_seqs.pop(channel, None)
+        span = self._retx_span.pop(channel, None)
+        if span is not None:
+            self.trace.spans.end(span, self.sim.now, **attrs)
 
     # ------------------------------------------------------------------
     # sender side
@@ -183,6 +222,9 @@ class ReliableTransport:
             return
         # retransmit a clone so the copy already in flight keeps its
         # own msg_id/send_time in the trace
+        self._retx_note(channel, seq)
+        if self.registry is not None:
+            self.registry.counter("transport.retransmits").inc()
         clone = replace(entry.message)
         self.network.transmit(clone, retransmit=True)
         self._arm(channel, seq, entry)
@@ -193,6 +235,7 @@ class ReliableTransport:
         for entry in pending.values():
             if entry.handle is not None:
                 entry.handle.cancel()
+        self._retx_close(channel, gave_up=True)
         self.stats.aborted_on_reset += len(pending)
         self._epoch[channel] = self._epoch.get(channel, 0) + 1
         self._send_seq[channel] = 0
@@ -212,6 +255,7 @@ class ReliableTransport:
             entry = pending.pop(seq)
             if entry.handle is not None:
                 entry.handle.cancel()
+            self._retx_resolve(channel, seq)
 
     # ------------------------------------------------------------------
     # receiver side
@@ -255,6 +299,8 @@ class ReliableTransport:
         if not self.network.is_registered(dst):
             return  # receiver crashed while draining its buffer
         self.stats.acks_sent += 1
+        if self.registry is not None:
+            self.registry.counter("transport.acks_sent").inc()
         self.network.transmit(
             Message(
                 src=dst,
@@ -295,6 +341,7 @@ class ReliableTransport:
                 for entry in pending.values():
                     if entry.handle is not None:
                         entry.handle.cancel()
+                self._retx_close(channel, aborted=True)
                 self.stats.aborted_on_reset += len(pending)
         for channel in list(self._epoch.keys() | self._send_seq.keys()
                             | self._recv.keys()):

@@ -71,6 +71,8 @@ class FamilyBasedLogging(LogBasedProtocol):
         self._unstable: Dict[Tuple[int, int], Determinant] = {}
         self._next_flush_id = 0
         self.output_flushes = 0
+        # open protocol.det_flush spans, keyed by (target, pushed dets)
+        self._flush_spans: Dict[Tuple[int, Tuple], int] = {}
 
     @property
     def replication_target(self) -> int:
@@ -198,6 +200,17 @@ class FamilyBasedLogging(LogBasedProtocol):
                 per_target.setdefault(target, []).append(det)
         for target, dets in sorted(per_target.items()):
             self.output_flushes += 1
+            if node.trace.spans.enabled:
+                key = (target, tuple(d.to_tuple() for d in dets))
+                span = node.trace.spans.begin(
+                    "protocol.det_flush",
+                    me,
+                    node.sim.now,
+                    target=target,
+                    determinants=len(dets),
+                )
+                if span is not None and key not in self._flush_spans:
+                    self._flush_spans[key] = span
             node.network.send(
                 Message(
                     src=me,
@@ -230,6 +243,10 @@ class FamilyBasedLogging(LogBasedProtocol):
         )
 
     def _on_det_push_ack(self, msg: Message) -> None:
+        key = (msg.src, tuple(tuple(d) for d in msg.payload["dets"]))
+        span = self._flush_spans.pop(key, None)
+        if span is not None:
+            self.node.trace.spans.end(span, self.node.sim.now)
         for det_tuple in msg.payload["dets"]:
             det = Determinant.from_tuple(tuple(det_tuple))
             self.det_log.note_logged_at(det, msg.src)
@@ -332,6 +349,9 @@ class FamilyBasedLogging(LogBasedProtocol):
     def on_crash(self) -> None:
         super().on_crash()
         self._unstable.clear()
+        for span in self._flush_spans.values():
+            self.node.trace.spans.end(span, self.node.sim.now, aborted=True)
+        self._flush_spans.clear()
 
     def _on_depinfo_loaded(self) -> None:
         self._rebuild_unstable()

@@ -109,9 +109,7 @@ class BlockingRecovery(RecoveryManager):
                 label=f"recovery.gather_retry:{self.node.node_id}",
             )
             return
-        episode = self.node.metrics.episode_of(self.node.node_id)
-        if episode is not None:
-            episode.replay_start_time = self.node.sim.now
+        self.node.mark_replay_start()
         self.trace("replay_handoff", determinants=len(merged_wire))
         self.node.protocol.begin_replay(merged_wire)
 

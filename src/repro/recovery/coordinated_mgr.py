@@ -74,9 +74,7 @@ class CoordinatedRecovery(RecoveryManager):
             {"round": target, "epoch": new_epoch},
             body_bytes=16,
         )
-        episode = self.node.metrics.episode_of(self.node.node_id)
-        if episode is not None:
-            episode.replay_start_time = self.node.sim.now
+        self.node.mark_replay_start()
         self.node.protocol.rollback_to_round(target, new_epoch, self._rolled_back)
 
     def _rolled_back(self) -> None:

@@ -23,9 +23,7 @@ class LocalRecovery(RecoveryManager):
 
     def begin_recovery(self) -> None:
         """Everything needed is already local (loaded by restore_stable)."""
-        episode = self.node.metrics.episode_of(self.node.node_id)
-        if episode is not None:
-            episode.replay_start_time = self.node.sim.now
+        self.node.mark_replay_start()
         self.trace("local_replay")
         self.node.protocol.begin_replay([])
 

@@ -65,12 +65,18 @@ class NonblockingRecovery(RecoveryManager):
         self._depinfo_replies: Dict[int, List[Any]] = {}
         self._incvector: Dict[int, int] = {}
         self._poll_timer: Optional[PeriodicTimer] = None
+        self._round_span: Optional[int] = None
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def on_crash(self) -> None:
         self._stop_poll()
+        if self._round_span is not None:
+            self.node.trace.spans.end(
+                self._round_span, self.node.sim.now, aborted=True
+            )
+            self._round_span = None
         self.ord = None
         self.role = "idle"
         self.phase = None
@@ -203,9 +209,7 @@ class NonblockingRecovery(RecoveryManager):
         for peer, inc in msg.payload["incvector"].items():
             current = self.node.incvector.get(peer, 0)
             self.node.incvector[peer] = max(current, inc)
-        episode = self.node.metrics.episode_of(self.node.node_id)
-        if episode is not None:
-            episode.replay_start_time = self.node.sim.now
+        self.node.mark_replay_start()
         self.trace("replay_handoff", leader=msg.src)
         self.node.protocol.begin_replay(msg.payload["wire"])
 
@@ -299,6 +303,20 @@ class NonblockingRecovery(RecoveryManager):
         self._depinfo_replies.clear()
         self._depinfo_expected.clear()
         members = [p for p in self.known_recovering if p != self.node.node_id]
+        spans = self.node.trace.spans
+        if spans.enabled:
+            superseded = self._round_span
+            if superseded is not None:
+                spans.end(superseded, self.node.sim.now, restarted=True)
+            self._round_span = spans.begin(
+                "recovery.gather_round",
+                self.node.node_id,
+                self.node.sim.now,
+                parent=self.node.episode_span(),
+                links=(superseded,),
+                round=self._gather_round,
+                members=sorted(members),
+            )
         self.trace("gather_start", round=self._gather_round, members=sorted(members))
         for member in sorted(members):
             self.send_control(
@@ -417,9 +435,12 @@ class NonblockingRecovery(RecoveryManager):
             {"served": served},
             body_bytes=8 + 8 * len(served),
         )
-        episode = self.node.metrics.episode_of(self.node.node_id)
-        if episode is not None:
-            episode.replay_start_time = self.node.sim.now
+        if self._round_span is not None:
+            self.node.trace.spans.end(
+                self._round_span, self.node.sim.now, determinants=len(merged_wire)
+            )
+            self._round_span = None
+        self.node.mark_replay_start()
         self.node.protocol.begin_replay(merged_wire)
 
     # ------------------------------------------------------------------

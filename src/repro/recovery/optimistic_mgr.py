@@ -23,9 +23,7 @@ class OptimisticRecovery(RecoveryManager):
     name = "optimistic"
 
     def begin_recovery(self) -> None:
-        episode = self.node.metrics.episode_of(self.node.node_id)
-        if episode is not None:
-            episode.replay_start_time = self.node.sim.now
+        self.node.mark_replay_start()
         self.trace("local_replay")
         self.node.protocol.begin_replay([])
 

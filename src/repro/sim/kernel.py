@@ -42,6 +42,8 @@ class Simulator:
         self._events_processed = 0
         self._running = False
         self._stopped = False
+        #: optional repro.sim.profile.SimProfiler; None = direct dispatch
+        self.profiler: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # clock
@@ -100,6 +102,8 @@ class Simulator:
         event = Event(time, self._seq, fn, args, kwargs, priority=priority, label=label)
         self._seq += 1
         heapq.heappush(self._heap, event)
+        if self.profiler is not None:
+            self.profiler.note_heap_depth(len(self._heap))
         return EventHandle(event)
 
     # ------------------------------------------------------------------
@@ -117,7 +121,10 @@ class Simulator:
                 continue
             self._now = event.time
             self._events_processed += 1
-            event.fire()
+            if self.profiler is None:
+                event.fire()
+            else:
+                self.profiler.fire(event)
             return True
         return False
 
@@ -144,6 +151,7 @@ class Simulator:
         self._running = True
         self._stopped = False
         fired = 0
+        profiler = self.profiler  # hoisted: one branch per event when off
         try:
             while self._heap and not self._stopped:
                 if max_events is not None and fired >= max_events:
@@ -159,7 +167,10 @@ class Simulator:
                 self._now = event.time
                 self._events_processed += 1
                 fired += 1
-                event.fire()
+                if profiler is None:
+                    event.fire()
+                else:
+                    profiler.fire(event)
             else:
                 if until is not None and not self._stopped and self._now < until:
                     self._now = until

@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
+from repro.sim.spans import SpanTracker
+
 
 @dataclass(frozen=True)
 class TraceEvent:
@@ -55,6 +57,8 @@ class TraceRecorder:
         self.events: List[TraceEvent] = []
         self.counters: Dict[str, int] = {}
         self._subscribers: List[Callable[[TraceEvent], None]] = []
+        #: causal-span layer (disabled until ``spans.enable()``)
+        self.spans = SpanTracker(self)
 
     # ------------------------------------------------------------------
     def record(

@@ -163,9 +163,12 @@ class StableStorage:
         self.faults = faults
         self.rng = rng
         self.stats = StableStorageStats()
+        #: optional repro.core.metrics_registry.MetricsRegistry (set by System)
+        self.registry = None
         self._data: Dict[str, Any] = {}
         self._device_free_at = 0.0
         self._pending: Dict[int, Any] = {}
+        self._op_spans: Dict[int, int] = {}
         self._next_op_id = 0
 
     # ------------------------------------------------------------------
@@ -204,7 +207,9 @@ class StableStorage:
             start += wasted
         return start
 
-    def _schedule_op(self, size_bytes: int, done: Callable[[], None]) -> float:
+    def _schedule_op(
+        self, size_bytes: int, done: Callable[[], None], kind: str = "op"
+    ) -> float:
         """Serialize on the device; returns completion time."""
         start = max(self.sim.now, self._device_free_at)
         duration = self._op_duration(size_bytes)
@@ -215,9 +220,26 @@ class StableStorage:
         finish = start + duration
         self._device_free_at = finish
         self.stats.busy_time += duration
+        if self.trace is not None and self.trace.spans.enabled:
+            # span covers request -> durable: queueing and injected
+            # retries included, which is the latency callers experience
+            span = self.trace.spans.begin(
+                f"storage.{kind}", self.owner, self.sim.now, size=size_bytes
+            )
+            if span is not None:
+                self._op_spans[op_id] = span
+        if self.registry is not None:
+            self.registry.histogram("storage.op_latency").observe(
+                finish - self.sim.now
+            )
+            self.registry.counter("storage.ops").inc()
+            self.registry.counter("storage.bytes").inc(size_bytes)
 
         def complete() -> None:
             self._pending.pop(op_id, None)
+            span = self._op_spans.pop(op_id, None)
+            if span is not None:
+                self.trace.spans.end(span, self.sim.now)
             done()
 
         self._pending[op_id] = self.sim.schedule_at(finish, complete, label="stable_op")
@@ -235,6 +257,10 @@ class StableStorage:
         for handle in self._pending.values():
             handle.cancel()
         self._pending.clear()
+        if self._op_spans and self.trace is not None:
+            for span in self._op_spans.values():
+                self.trace.spans.end(span, self.sim.now, aborted=True)
+        self._op_spans.clear()
         self._device_free_at = self.sim.now
         return count
 
@@ -268,7 +294,7 @@ class StableStorage:
             if on_done is not None:
                 on_done()
 
-        finish = self._schedule_op(size_bytes, done)
+        finish = self._schedule_op(size_bytes, done, kind="write")
         if stall_node is not None:
             self.stats.add_stall(stall_node, finish - self.sim.now)
         return finish
@@ -294,7 +320,7 @@ class StableStorage:
         def done() -> None:
             on_done(self._data.get(name))
 
-        finish = self._schedule_op(size_bytes, done)
+        finish = self._schedule_op(size_bytes, done, kind="read")
         if stall_node is not None:
             self.stats.add_stall(stall_node, finish - self.sim.now)
         return finish
@@ -334,7 +360,7 @@ class StableStorage:
             if on_done is not None:
                 on_done()
 
-        finish = self._schedule_op(size_bytes, done)
+        finish = self._schedule_op(size_bytes, done, kind="log_append")
         if stall_node is not None:
             self.stats.add_stall(stall_node, finish - self.sim.now)
         return finish
@@ -363,7 +389,7 @@ class StableStorage:
         def done() -> None:
             on_done(entries)
 
-        finish = self._schedule_op(size, done)
+        finish = self._schedule_op(size, done, kind="log_read")
         if stall_node is not None:
             self.stats.add_stall(stall_node, finish - self.sim.now)
         return finish

@@ -31,6 +31,9 @@ from repro.procs.failure import crash_at, storage_outage_at
 
 RUNS_PER_COMBO = int(os.environ.get("CHAOS_RUNS_PER_COMBO", "30"))
 SEED_BASE = int(os.environ.get("CHAOS_SEED_BASE", "0"))
+#: when set, a failing trial dumps its JSONL trace + span summary here
+#: (CI uploads the directory as a workflow artifact)
+ARTIFACT_DIR = os.environ.get("CHAOS_ARTIFACT_DIR", "")
 
 #: (protocol, recovery, max concurrent crashes the protocol tolerates)
 COMBOS = [
@@ -89,6 +92,9 @@ def chaos_config(protocol: str, recovery: str, max_crashes: int, seed: int) -> S
     return SystemConfig(
         n=n,
         seed=seed,
+        # spans cost no simulated events, and a failing trial's dump is
+        # far more useful with recovery phases attributed
+        spans=True,
         name=f"chaos-{protocol}-{recovery}-{seed}",
         protocol=protocol,
         protocol_params=params,
@@ -116,6 +122,27 @@ def run_trial(protocol, recovery, max_crashes, seed):
     return config, system, result
 
 
+def dump_failure_artifacts(config, system) -> None:
+    """Preserve a failing trial's evidence for post-mortem.
+
+    Writes ``<name>.trace.jsonl`` (replayable with ``repro trace``) and
+    ``<name>.spans.txt`` (the span forest) under ``CHAOS_ARTIFACT_DIR``;
+    a no-op when the env var is unset (local runs).
+    """
+    if not ARTIFACT_DIR:
+        return
+    from repro.analysis.report import format_span_tree
+    from repro.analysis.trace_io import dump_trace
+    from repro.sim.spans import spans_from_trace
+
+    os.makedirs(ARTIFACT_DIR, exist_ok=True)
+    base = os.path.join(ARTIFACT_DIR, config.name)
+    dump_trace(system.trace, base + ".trace.jsonl")
+    with open(base + ".spans.txt", "w", encoding="utf-8") as handle:
+        handle.write(format_span_tree(spans_from_trace(system.trace)))
+        handle.write("\n")
+
+
 @pytest.mark.parametrize("protocol,recovery,max_crashes", COMBOS,
                          ids=[f"{p}-{r}" for p, r, _ in COMBOS])
 def test_chaos_no_violations_and_eventual_recovery(protocol, recovery, max_crashes):
@@ -123,19 +150,23 @@ def test_chaos_no_violations_and_eventual_recovery(protocol, recovery, max_crash
         seed = SEED_BASE + trial
         config, system, result = run_trial(protocol, recovery, max_crashes, seed)
         context = f"{config.name} (crashes={len(config.crashes)})"
-        assert result.consistent, (
-            f"{context}: oracle violations {result.oracle_violations[:3]}"
-        )
-        assert all(node.is_live for node in system.nodes), (
-            f"{context}: nodes left non-live "
-            f"{[n.node_id for n in system.nodes if not n.is_live]}"
-        )
-        assert all(e.complete for e in result.episodes), (
-            f"{context}: unfinished recovery episodes"
-        )
-        assert len(result.episodes) >= len(config.crashes), context
-        assert result.end_time < 60.0, f"{context}: ran to {result.end_time}"
-        assert result.final_progress > 0, context
+        try:
+            assert result.consistent, (
+                f"{context}: oracle violations {result.oracle_violations[:3]}"
+            )
+            assert all(node.is_live for node in system.nodes), (
+                f"{context}: nodes left non-live "
+                f"{[n.node_id for n in system.nodes if not n.is_live]}"
+            )
+            assert all(e.complete for e in result.episodes), (
+                f"{context}: unfinished recovery episodes"
+            )
+            assert len(result.episodes) >= len(config.crashes), context
+            assert result.end_time < 60.0, f"{context}: ran to {result.end_time}"
+            assert result.final_progress > 0, context
+        except AssertionError:
+            dump_failure_artifacts(config, system)
+            raise
 
 
 def test_chaos_trial_is_deterministic():

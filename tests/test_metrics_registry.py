@@ -1,0 +1,129 @@
+"""Tests for the named-instrument metrics registry."""
+
+import pytest
+
+from repro.core.metrics_registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    _percentile,
+)
+from repro.experiments import single_failure
+
+
+# ----------------------------------------------------------------------
+# instruments
+# ----------------------------------------------------------------------
+def test_counter_increments_and_rejects_negative():
+    c = Counter("net.messages_sent")
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    with pytest.raises(ValueError):
+        c.inc(-1)
+    assert c.value == 5
+
+
+def test_gauge_tracks_high_water():
+    g = Gauge("sim.events_processed")
+    g.set(10)
+    g.add(-3)
+    assert g.value == 7
+    assert g.high_water == 10
+    g.set(50)
+    assert g.high_water == 50
+
+
+def test_histogram_percentiles_nearest_rank():
+    h = Histogram("storage.op_latency")
+    for v in [5, 1, 4, 2, 3]:
+        h.observe(v)
+    snap = h.snapshot()
+    assert snap["count"] == 5
+    assert snap["sum"] == 15
+    assert snap["mean"] == 3
+    assert snap["p50"] == 3
+    assert snap["p95"] == 5
+    assert snap["max"] == 5
+
+
+def test_empty_histogram_snapshot_is_zeros():
+    snap = Histogram("storage.op_latency").snapshot()
+    assert snap["count"] == 0
+    assert snap["p50"] == 0 and snap["p95"] == 0 and snap["max"] == 0
+
+
+def test_percentile_edge_cases():
+    assert _percentile([10.0], 0.5) == 10.0
+    assert _percentile([1.0, 2.0], 0.0) == 1.0
+    assert _percentile([1.0, 2.0], 1.0) == 2.0
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+def test_registration_is_idempotent():
+    reg = MetricsRegistry()
+    a = reg.counter("net.messages_sent")
+    b = reg.counter("net.messages_sent")
+    assert a is b
+    assert len(reg) == 1
+
+
+def test_names_validated_against_subsystems():
+    reg = MetricsRegistry()
+    with pytest.raises(ValueError):
+        reg.counter("nodotname")
+    with pytest.raises(ValueError):
+        reg.counter("bogus_subsystem.thing")
+    # every documented subsystem is accepted
+    for subsystem in ("net", "transport", "storage", "protocol", "recovery", "sim"):
+        reg.counter(f"{subsystem}.ok")
+
+
+def test_type_conflicts_rejected():
+    reg = MetricsRegistry()
+    reg.counter("net.messages_sent")
+    with pytest.raises(ValueError):
+        reg.gauge("net.messages_sent")
+    with pytest.raises(ValueError):
+        reg.histogram("net.messages_sent")
+
+
+def test_snapshot_by_subsystem():
+    reg = MetricsRegistry()
+    reg.counter("net.messages_sent").inc(7)
+    reg.histogram("storage.op_latency").observe(0.02)
+    reg.gauge("sim.events_processed").set(100)
+    full = reg.snapshot()
+    assert set(full) == {
+        "net.messages_sent", "storage.op_latency", "sim.events_processed"
+    }
+    assert full["net.messages_sent"] == {"type": "counter", "value": 7}
+    net_only = reg.snapshot(subsystem="net")
+    assert set(net_only) == {"net.messages_sent"}
+
+
+# ----------------------------------------------------------------------
+# a real run feeds the registry
+# ----------------------------------------------------------------------
+def test_run_populates_registry_and_result():
+    system = single_failure(recovery="nonblocking")
+    result = system.run()
+    metrics = result.extra["metrics"]
+    assert metrics["net.messages_sent"]["value"] > 0
+    assert metrics["net.bytes_sent"]["value"] > 0
+    assert metrics["storage.ops"]["value"] >= 1
+    assert metrics["recovery.episodes"]["value"] == 1
+    hist = metrics["recovery.episode_duration"]
+    assert hist["count"] == 1
+    assert hist["max"] == pytest.approx(result.episodes[0].total_duration)
+    assert metrics["sim.events_processed"]["value"] == result.extra["events_processed"]
+
+
+def test_summarize_twice_does_not_double_count():
+    system = single_failure(recovery="nonblocking")
+    system.run()
+    again = system.summarize()
+    assert again.extra["metrics"]["recovery.episodes"]["value"] == 1
