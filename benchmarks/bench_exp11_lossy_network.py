@@ -24,6 +24,12 @@ LOSS_RATES = [0.0, 0.02, 0.05, 0.1, 0.2]
 TRANSPORT = {"max_retries": 30}
 
 
+def _config(recovery, loss):
+    return lossy_network(
+        recovery=recovery, loss=loss, victim=VICTIM, transport_params=TRANSPORT
+    ).config
+
+
 def run(recovery, loss):
     system = lossy_network(
         recovery=recovery, loss=loss, victim=VICTIM, transport_params=TRANSPORT
@@ -36,11 +42,22 @@ def run(recovery, loss):
 
 @pytest.mark.benchmark(group="exp11")
 def test_exp11_loss_rate_sweep(benchmark):
+    from repro.runner import run_results
+
+    points = [(recovery, loss) for loss in LOSS_RATES
+              for recovery in ("blocking", "nonblocking")]
+    results = run_results([_config(recovery, loss) for recovery, loss in points])
+    by_point = {}
+    for (recovery, loss), result in zip(points, results):
+        assert result.consistent
+        assert result.recovery_durations(), f"no recovery at loss={loss}"
+        by_point[(recovery, loss)] = result
+
     rows = []
     measurements = {}
     for loss in LOSS_RATES:
-        blocking = run("blocking", loss)
-        nonblocking = run("nonblocking", loss)
+        blocking = by_point[("blocking", loss)]
+        nonblocking = by_point[("nonblocking", loss)]
         measurements[loss] = (blocking, nonblocking)
         rows.append([
             f"{loss * 100:g}%",

@@ -25,8 +25,8 @@ DEVICES = [
 STATE_SIZES = [100_000, 1_000_000, 10_000_000]
 
 
-def run(recovery, op_latency, bandwidth, state_bytes=1_000_000):
-    config = paper_config(
+def _config(recovery, op_latency, bandwidth, state_bytes=1_000_000):
+    return paper_config(
         f"e3-{recovery}-{op_latency}-{state_bytes}",
         recovery=recovery,
         crashes=[crash_at(node=VICTIM, time=0.05)],
@@ -34,18 +34,37 @@ def run(recovery, op_latency, bandwidth, state_bytes=1_000_000):
         storage_bandwidth=bandwidth,
         state_bytes=state_bytes,
     )
-    result = build_system(config).run()
+
+
+def run(recovery, op_latency, bandwidth, state_bytes=1_000_000):
+    result = build_system(_config(recovery, op_latency, bandwidth, state_bytes)).run()
     assert result.consistent
     return result
+
+
+def _run_pairs(points):
+    """Run (blocking, nonblocking) result pairs for each config-kwargs
+    point through the parallel trial runner."""
+    from repro.runner import run_results
+
+    configs = [
+        _config(recovery, *point)
+        for point in points
+        for recovery in ("blocking", "nonblocking")
+    ]
+    results = run_results(configs)
+    for result in results:
+        assert result.consistent
+    return [(results[i], results[i + 1]) for i in range(0, len(results), 2)]
 
 
 @pytest.mark.benchmark(group="exp3")
 def test_exp3_device_speed_sweep(benchmark):
     rows = []
     measurements = {}
-    for label, op_latency, bandwidth in DEVICES:
-        blocking = run("blocking", op_latency, bandwidth)
-        nonblocking = run("nonblocking", op_latency, bandwidth)
+    pairs = _run_pairs([(op_latency, bandwidth)
+                        for _, op_latency, bandwidth in DEVICES])
+    for (label, op_latency, bandwidth), (blocking, nonblocking) in zip(DEVICES, pairs):
         measurements[label] = (blocking, nonblocking)
         rows.append([
             label,
@@ -73,9 +92,8 @@ def test_exp3_process_size_sweep(benchmark):
     rows = []
     nb_blocked = []
     blk_blocked = []
-    for state_bytes in STATE_SIZES:
-        blocking = run("blocking", 0.020, 1e6, state_bytes)
-        nonblocking = run("nonblocking", 0.020, 1e6, state_bytes)
+    pairs = _run_pairs([(0.020, 1e6, state_bytes) for state_bytes in STATE_SIZES])
+    for state_bytes, (blocking, nonblocking) in zip(STATE_SIZES, pairs):
         nb_blocked.append(nonblocking.total_blocked_time)
         blk_blocked.append(blocking.mean_blocked_time(exclude=[VICTIM]))
         rows.append([

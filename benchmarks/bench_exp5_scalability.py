@@ -20,29 +20,47 @@ SIZES = [4, 8, 16, 32]
 VICTIM = 1
 
 
-def run(recovery: str, n: int):
+def _config(recovery: str, n: int):
     # the sweep only reads aggregates: counters-only traces keep memory
     # flat as n grows, and the kernel profiler feeds the host-cost columns
-    config = paper_config(
+    return paper_config(
         f"e5-{recovery}-{n}", recovery=recovery, n=n,
         crashes=[crash_at(node=VICTIM, time=0.05)],
         hops=30,
         keep_trace_events=False,
         profile=True,
     )
-    result = build_system(config).run()
+
+
+def run(recovery: str, n: int):
+    result = build_system(_config(recovery, n)).run()
     assert result.consistent
     return result
 
 
+def run_grid():
+    """Every (recovery, n) point through the parallel trial runner
+    (worker count from ``REPRO_JOBS``; identical results at any count)."""
+    from repro.runner import run_results
+
+    points = [(recovery, n) for n in SIZES for recovery in ("blocking", "nonblocking")]
+    results = run_results([_config(recovery, n) for recovery, n in points])
+    grid = {}
+    for point, result in zip(points, results):
+        assert result.consistent
+        grid[point] = result
+    return grid
+
+
 @pytest.mark.benchmark(group="exp5")
 def test_exp5_scalability(benchmark):
+    grid = run_grid()
     rows = []
     totals_blocking = []
     messages = {"blocking": [], "nonblocking": []}
     for n in SIZES:
-        blocking = run("blocking", n)
-        nonblocking = run("nonblocking", n)
+        blocking = grid[("blocking", n)]
+        nonblocking = grid[("nonblocking", n)]
         totals_blocking.append(blocking.total_blocked_time)
         messages["blocking"].append(blocking.recovery_messages())
         messages["nonblocking"].append(nonblocking.recovery_messages())
@@ -82,7 +100,10 @@ def test_exp5_scalability(benchmark):
 
 @pytest.mark.benchmark(group="exp5")
 def test_exp5_nonblocking_zero_at_every_size(benchmark):
-    results = {n: run("nonblocking", n) for n in SIZES}
+    from repro.runner import run_results
+
+    results = run_results([_config("nonblocking", n) for n in SIZES])
     once(benchmark, lambda: run("nonblocking", SIZES[0]))
-    for n, result in results.items():
+    for n, result in zip(SIZES, results):
+        assert result.consistent
         assert result.total_blocked_time == 0.0, f"n={n} blocked"

@@ -20,25 +20,38 @@ from paper_setup import emit, once, paper_config
 P, Q = 3, 5
 
 
-def run(crashes, name, detection_delay=3.0):
-    config = paper_config(
+def _config(crashes, name, detection_delay=3.0):
+    return paper_config(
         f"e8-{name}", recovery="nonblocking", crashes=crashes,
         detection_delay=detection_delay,
     )
-    system = build_system(config)
-    result = system.run()
+
+
+def run(crashes, name, detection_delay=3.0):
+    result = build_system(_config(crashes, name, detection_delay)).run()
     assert result.consistent
     return result
 
 
+def _run_batch(configs):
+    from repro.runner import run_results
+
+    results = run_results(configs)
+    for result in results:
+        assert result.consistent
+    return results
+
+
 @pytest.mark.benchmark(group="exp8")
 def test_exp8_gather_restart_cost(benchmark):
-    single = run([crash_at(P, 0.05)], "single")
-    after_reply = run(
-        [crash_at(P, 0.05),
-         crash_on(Q, "recovery", "depinfo_request_received", match_node=Q)],
-        "after-reply",
-    )
+    single, after_reply = _run_batch([
+        _config([crash_at(P, 0.05)], "single"),
+        _config(
+            [crash_at(P, 0.05),
+             crash_on(Q, "recovery", "depinfo_request_received", match_node=Q)],
+            "after-reply",
+        ),
+    ])
     before_reply = once(benchmark, lambda: run(
         [crash_at(P, 0.05),
          crash_on(Q, "net", "deliver", match_node=Q,
@@ -96,8 +109,11 @@ def test_exp8_detection_delay_dominates(benchmark):
     delays = [0.5, 1.5, 3.0, 6.0]
     rows = []
     durations = []
-    for delay in delays:
-        result = run([crash_at(P, 0.05)], f"detect-{delay}", detection_delay=delay)
+    results = _run_batch([
+        _config([crash_at(P, 0.05)], f"detect-{delay}", detection_delay=delay)
+        for delay in delays
+    ])
+    for delay, result in zip(delays, results):
         total = result.recovery_durations()[0]
         durations.append(total)
         rows.append([

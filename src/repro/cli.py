@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands cover the common uses:
+Five commands cover the common uses:
 
 * ``run``     -- one simulation with chosen protocol/recovery/failures,
                  printed as a run summary;
@@ -8,15 +8,22 @@ Four commands cover the common uses:
                  any set of stacks) on an identical scenario;
 * ``sweep``   -- vary one numeric knob (n, f, detection delay, storage
                  latency, state size) and print one row per value;
+* ``grid``    -- cartesian product over several knobs x seeds, fanned
+                 across worker processes (``--jobs``);
 * ``trace``   -- inspect a saved JSONL trace: filter, summarize, span
                  trees, the recovery critical path, Chrome export.
+
+``sweep`` and ``grid`` execute their trials through the parallel runner
+(:mod:`repro.runner`); ``--jobs 1`` and ``--jobs N`` print identical
+tables, the trials just finish sooner.
 
 Examples::
 
     python -m repro run --protocol fbl --f 2 --recovery nonblocking \\
         --crash 3@0.05 --spans --trace-out run.jsonl
     python -m repro compare --crash 3@0.05 --crash 5@0.06
-    python -m repro sweep --knob n --values 4,8,16,32 --crash 1@0.05
+    python -m repro sweep --knob n --values 4,8,16,32 --crash 1@0.05 --jobs 4
+    python -m repro grid --knob n=4,8,16 --knob loss=0.0,0.05 --seeds 3
     python -m repro trace run.jsonl --critical-path
     python -m repro trace run.jsonl --chrome-out run.chrome.json
 """
@@ -183,6 +190,12 @@ def cmd_run(args: argparse.Namespace) -> int:
             f"heap high-water {profile['heap_high_water']}, "
             f"peak RSS {profile['peak_rss_kb'] / 1024:.1f} MB"
         )
+    kernel = result.extra["kernel"]
+    print(
+        f"  kernel: {result.extra['events_processed']} events fired, "
+        f"{kernel['live_events']} live / {kernel['pending_events']} queued "
+        f"at end, {kernel['compactions']} heap compactions"
+    )
     if args.trace_out:
         from repro.analysis.trace_io import dump_trace
 
@@ -249,15 +262,19 @@ SWEEP_KNOBS = {
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.runner import run_results
+
     knob, caster = SWEEP_KNOBS[args.knob]
     values = [caster(v) for v in args.values.split(",")]
-    rows = []
-    exit_code = 0
+    configs = []
     for value in values:
         config = _config_from_args(args, name=f"{args.knob}={value}", **{knob: value})
         # sweeps only read aggregates; keep memory flat across many runs
         config.keep_trace_events = False
-        result = build_system(config).run()
+        configs.append(config)
+    rows = []
+    exit_code = 0
+    for value, result in zip(values, run_results(configs, jobs=args.jobs)):
         durations = result.recovery_durations()
         rows.append([
             value,
@@ -276,6 +293,89 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         title=f"sweep over {args.knob} ({args.protocol} + "
               f"{args.recovery or DEFAULT_RECOVERY[args.protocol]})",
     ))
+    return exit_code
+
+
+def _parse_grid_knob(text: str):
+    """``NAME=V1,V2,...`` with NAME from :data:`SWEEP_KNOBS`."""
+    name, _, values_text = text.partition("=")
+    if name not in SWEEP_KNOBS or not values_text:
+        raise argparse.ArgumentTypeError(
+            f"grid knob must look like NAME=V1,V2 with NAME in "
+            f"{sorted(SWEEP_KNOBS)}, got {text!r}"
+        )
+    _, caster = SWEEP_KNOBS[name]
+    try:
+        return name, [caster(v) for v in values_text.split(",")]
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"bad value in {text!r}: {exc}") from exc
+
+
+def cmd_grid(args: argparse.Namespace) -> int:
+    """Cartesian product over ``--knob`` axes x ``--seeds`` repetitions,
+    executed through the parallel runner; one aggregated row per point."""
+    import itertools
+
+    from repro.runner import TrialRunner, TrialSpec, merge_metrics
+
+    knobs = args.knob or []
+    if not knobs:
+        print("error: grid needs at least one --knob NAME=V1,V2", file=sys.stderr)
+        return 2
+    specs: List[Any] = []
+    labels: List[str] = []
+    for combo in itertools.product(*(values for _, values in knobs)):
+        overrides = {
+            SWEEP_KNOBS[name][0]: value
+            for (name, _), value in zip(knobs, combo)
+        }
+        label = ",".join(
+            f"{name}={value}" for (name, _), value in zip(knobs, combo)
+        )
+        config = _config_from_args(args, name=label, **overrides)
+        config.keep_trace_events = False
+        labels.append(label)
+        for rep in range(args.seeds):
+            # the same seed derivation as ExperimentRunner._reseed, so a
+            # grid point reproduces the equivalent repeated serial run
+            specs.append(TrialSpec(
+                config=config, seed=args.seed + rep * 10_007, label=label,
+            ))
+
+    results = TrialRunner(jobs=args.jobs).run(specs)
+    by_label: Dict[str, List[Any]] = {}
+    for trial in results:
+        by_label.setdefault(trial.label, []).append(trial.summary)
+
+    rows = []
+    exit_code = 0
+    for label in labels:
+        runs = by_label[label]
+        durations = [d for r in runs for d in r.recovery_durations()]
+        consistent = all(r.consistent for r in runs)
+        rows.append([
+            label,
+            len(runs),
+            f"{max(durations):.2f}" if durations else "-",
+            f"{sum(r.total_blocked_time for r in runs) / len(runs):.3f}",
+            sum(r.recovery_messages() for r in runs),
+            min(r.final_progress for r in runs),
+            "yes" if consistent else "NO",
+        ])
+        if not consistent:
+            exit_code = 1
+    print(format_table(
+        ["point", "runs", "worst recovery (s)", "mean blocked (s)",
+         "ctl msgs", "min progress", "consistent"],
+        rows,
+        title=f"grid over {' x '.join(name for name, _ in knobs)} "
+              f"x {args.seeds} seed(s) ({args.protocol} + "
+              f"{args.recovery or DEFAULT_RECOVERY[args.protocol]})",
+    ))
+    merged = merge_metrics(results)
+    events_gauge = merged.get("sim.events_processed")
+    total_events = int(events_gauge.value) if events_gauge is not None else 0
+    print(f"{len(results)} trials, {total_events} simulated events")
     return exit_code
 
 
@@ -401,7 +501,30 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--values", required=True, help="comma-separated values, e.g. 4,8,16"
     )
+    sweep_parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: $REPRO_JOBS, else cpu_count-1; "
+             "1 = in-process serial; the table is identical either way)",
+    )
     sweep_parser.set_defaults(fn=cmd_sweep)
+
+    grid_parser = sub.add_parser(
+        "grid", help="cartesian sweep over several knobs x seeds, in parallel"
+    )
+    _add_common(grid_parser)
+    grid_parser.add_argument(
+        "--knob", type=_parse_grid_knob, action="append", metavar="NAME=V1,V2",
+        help=f"repeatable grid axis; NAME in {sorted(SWEEP_KNOBS)}",
+    )
+    grid_parser.add_argument(
+        "--seeds", type=int, default=1,
+        help="repetitions per grid point with derived seeds",
+    )
+    grid_parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: $REPRO_JOBS, else cpu_count-1)",
+    )
+    grid_parser.set_defaults(fn=cmd_grid)
 
     trace_parser = sub.add_parser(
         "trace", help="inspect a saved JSONL trace (from run --trace-out)"

@@ -175,6 +175,64 @@ class MetricsRegistry:
             for name in self.names(subsystem)
         }
 
+    # ------------------------------------------------------------------
+    # cross-trial merging (repro.runner)
+    # ------------------------------------------------------------------
+    def dump(self) -> Dict[str, Dict[str, Any]]:
+        """Mergeable, picklable state of every metric.
+
+        Unlike :meth:`snapshot` this keeps histograms' raw samples, so
+        dumps from independent trials can be combined *exactly* with
+        :meth:`merge` -- percentiles of the merged distribution, not an
+        average of per-trial percentiles.
+        """
+        out: Dict[str, Dict[str, Any]] = {}
+        for name in self.names():
+            instrument = self._metrics[name]
+            if isinstance(instrument, Counter):
+                out[name] = {"type": "counter", "value": instrument.value}
+            elif isinstance(instrument, Gauge):
+                out[name] = {
+                    "type": "gauge",
+                    "value": instrument.value,
+                    "high_water": instrument.high_water,
+                }
+            else:
+                out[name] = {
+                    "type": "histogram",
+                    "samples": list(instrument.samples),
+                }
+        return out
+
+    @classmethod
+    def merge(cls, dumps: List[Dict[str, Dict[str, Any]]]) -> "MetricsRegistry":
+        """Combine per-trial :meth:`dump` outputs into one registry.
+
+        Counters sum; gauges sum their values and take the max
+        high-water; histograms concatenate raw samples.  Merging is done
+        strictly in the order given (the runner passes dumps in spec
+        order), so the result is identical however the trials were
+        scheduled.
+        """
+        merged = cls()
+        for dump in dumps:
+            for name, state in dump.items():
+                kind = state["type"]
+                if kind == "counter":
+                    merged.counter(name).inc(state["value"])
+                elif kind == "gauge":
+                    gauge = merged.gauge(name)
+                    gauge.value += state["value"]
+                    if state["high_water"] > gauge.high_water:
+                        gauge.high_water = state["high_water"]
+                elif kind == "histogram":
+                    histogram = merged.histogram(name)
+                    for sample in state["samples"]:
+                        histogram.observe(sample)
+                else:  # pragma: no cover - corrupt dump
+                    raise ValueError(f"unknown metric type {kind!r} for {name!r}")
+        return merged
+
     def __len__(self) -> int:
         return len(self._metrics)
 

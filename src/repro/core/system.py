@@ -240,6 +240,9 @@ class System:
             "piggyback_bytes": DETERMINANT_BYTES * piggyback_count,
             "piggyback_determinants": piggyback_count,
             "safety_checked": all_live,
+            "non_live_nodes": [
+                node.node_id for node in self.nodes if not node.is_live
+            ],
             "outputs": {
                 "count": len(self.output_device),
                 "duplicates_filtered": self.output_device.duplicates_filtered,
@@ -253,6 +256,11 @@ class System:
             },
             "trace_counters": dict(self.trace.counters),
             "events_processed": self.sim.events_processed,
+            "kernel": {
+                "live_events": self.sim.live_events,
+                "pending_events": self.sim.pending_events,
+                "compactions": self.sim.compactions,
+            },
         }
         if self.transport is not None:
             extra["transport_stats"] = self.transport.stats.as_dict()

@@ -175,12 +175,44 @@ class Network:
         self.faults = faults
         #: set by ReliableTransport when one is layered on this network
         self.transport = None
-        #: optional repro.core.metrics_registry.MetricsRegistry (set by System)
-        self.registry = None
+        #: pre-bound metric instruments (see the ``registry`` setter)
+        self._registry = None
+        self._ctr_messages = None
+        self._ctr_bytes = None
+        self._hist_bytes = None
+        # pre-bound trace emitters: one per (category, action) on the
+        # per-message hot path, so transmit/deliver skip the per-call key
+        # build (and TraceEvent construction on counters-only sweeps)
+        if trace is not None:
+            self._emit_send = trace.emitter("net", "send")
+            self._emit_retransmit = trace.emitter("net", "retransmit")
+            self._emit_lose = trace.emitter("net", "lose")
+            self._emit_drop = trace.emitter("net", "drop")
+            self._emit_deliver = trace.emitter("net", "deliver")
         self.stats = NetworkStats()
         self._handlers: Dict[int, Callable[[Message], None]] = {}
         self._channel_clock: Dict[Tuple[int, int], float] = {}
         self._msg_ids = itertools.count(1)
+
+    @property
+    def registry(self):
+        """Optional :class:`~repro.core.metrics_registry.MetricsRegistry`.
+
+        Assigned by :class:`~repro.core.system.System` after construction;
+        the setter pre-binds the per-message instruments so ``transmit``
+        pays attribute loads instead of name resolution per message.
+        """
+        return self._registry
+
+    @registry.setter
+    def registry(self, registry) -> None:
+        self._registry = registry
+        if registry is None:
+            self._ctr_messages = self._ctr_bytes = self._hist_bytes = None
+        else:
+            self._ctr_messages = registry.counter("net.messages_sent")
+            self._ctr_bytes = registry.counter("net.bytes_sent")
+            self._hist_bytes = registry.histogram("net.message_bytes")
 
     # ------------------------------------------------------------------
     # fault model
@@ -229,27 +261,25 @@ class Network:
             raise ValueError(f"no link {src}->{dst} in topology")
         message.send_time = self.sim.now
         message.msg_id = next(self._msg_ids)
+        size = message.size_bytes  # header+body+piggyback walk, once
 
         if retransmit:
-            self.stats.record_retransmit(message.size_bytes)
+            self.stats.record_retransmit(size)
         else:
-            self.stats.record(message.kind, message.size_bytes)
-        if self.registry is not None:
-            self.registry.counter("net.messages_sent").inc()
-            self.registry.counter("net.bytes_sent").inc(message.size_bytes)
-            self.registry.histogram("net.message_bytes").observe(
-                message.size_bytes
-            )
+            self.stats.record(message.kind, size)
+        if self._registry is not None:
+            self._ctr_messages.inc()
+            self._ctr_bytes.inc(size)
+            self._hist_bytes.observe(size)
         if self.trace is not None:
-            self.trace.record(
+            emit = self._emit_retransmit if retransmit else self._emit_send
+            emit(
                 self.sim.now,
-                "net",
                 src,
-                "retransmit" if retransmit else "send",
                 dst=dst,
                 mtype=message.mtype,
                 kind=message.kind.value,
-                size=message.size_bytes,
+                size=size,
                 msg_id=message.msg_id,
             )
 
@@ -261,11 +291,9 @@ class Network:
             if decision.dropped:
                 self.stats.record_drop(message.kind, decision.drop_cause)
                 if self.trace is not None:
-                    self.trace.record(
+                    self._emit_lose(
                         self.sim.now,
-                        "net",
                         src,
-                        "lose",
                         dst=dst,
                         mtype=message.mtype,
                         cause=decision.drop_cause,
@@ -275,7 +303,7 @@ class Network:
 
         model = self.topology.link_latency(src, dst) or self.latency
         rng = self.rngs.stream("net.latency")
-        delay = model.sample(message.size_bytes, rng)
+        delay = model.sample(size, rng)
 
         channel = (src, dst)
         if decision is not None and decision.extra_delay > 0:
@@ -293,7 +321,7 @@ class Network:
             dup_rng = self.rngs.stream("net.faults")
             for _ in range(decision.duplicates):
                 self.stats.duplicates_injected += 1
-                dup_delay = model.sample(message.size_bytes, dup_rng)
+                dup_delay = model.sample(size, dup_rng)
                 self.sim.schedule_at(
                     self.sim.now + dup_delay,
                     self._deliver,
@@ -350,22 +378,18 @@ class Network:
         if handler is None:
             self.stats.record_drop(message.kind, "no_handler")
             if self.trace is not None:
-                self.trace.record(
+                self._emit_drop(
                     self.sim.now,
-                    "net",
                     message.dst,
-                    "drop",
                     src=message.src,
                     mtype=message.mtype,
                     msg_id=message.msg_id,
                 )
             return
         if self.trace is not None:
-            self.trace.record(
+            self._emit_deliver(
                 self.sim.now,
-                "net",
                 message.dst,
-                "deliver",
                 src=message.src,
                 mtype=message.mtype,
                 kind=message.kind.value,

@@ -9,7 +9,10 @@ internals.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
 
 
 class Event:
@@ -18,9 +21,16 @@ class Event:
     Events are created through :meth:`repro.sim.kernel.Simulator.schedule`;
     user code normally only sees the :class:`EventHandle` wrapper, which
     supports cancellation.
+
+    ``kwargs`` is ``None`` on the hot path (no keyword arguments were
+    passed to ``schedule``); :meth:`fire` then calls ``fn(*args)``
+    directly without allocating or expanding a dict.
     """
 
-    __slots__ = ("time", "priority", "seq", "fn", "args", "kwargs", "cancelled", "label")
+    __slots__ = (
+        "time", "priority", "seq", "fn", "args", "kwargs",
+        "cancelled", "label", "in_heap",
+    )
 
     def __init__(
         self,
@@ -37,9 +47,12 @@ class Event:
         self.seq = seq
         self.fn = fn
         self.args = args
-        self.kwargs = kwargs or {}
+        self.kwargs = kwargs if kwargs else None
         self.cancelled = False
         self.label = label
+        #: maintained by the kernel: True while sitting in the heap.  Lets
+        #: cancellation know whether the live-event counter must move.
+        self.in_heap = False
 
     def sort_key(self) -> Tuple[float, int, int]:
         """Total order used by the kernel's heap."""
@@ -48,10 +61,15 @@ class Event:
     def fire(self) -> None:
         """Invoke the callback unless the event was cancelled."""
         if not self.cancelled:
-            self.fn(*self.args, **self.kwargs)
+            if self.kwargs is None:
+                self.fn(*self.args)
+            else:
+                self.fn(*self.args, **self.kwargs)
 
     def __lt__(self, other: "Event") -> bool:
-        return self.sort_key() < other.sort_key()
+        return (self.time, self.priority, self.seq) < (
+            other.time, other.priority, other.seq
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
@@ -64,13 +82,17 @@ class EventHandle:
 
     The kernel hands one of these back from every ``schedule`` call.
     Cancellation is lazy: the event stays in the heap but is skipped when
-    popped, which is O(1) and keeps the heap consistent.
+    popped, which is O(1) and keeps the heap consistent.  The handle
+    reports the cancellation to the owning simulator so it can keep an
+    exact live-event count and compact the heap when dead timers pile up
+    (see :meth:`repro.sim.kernel.Simulator.live_events`).
     """
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_sim")
 
-    def __init__(self, event: Event) -> None:
+    def __init__(self, event: Event, sim: Optional["Simulator"] = None) -> None:
         self._event = event
+        self._sim = sim
 
     @property
     def time(self) -> float:
@@ -84,7 +106,12 @@ class EventHandle:
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
-        self._event.cancelled = True
+        event = self._event
+        if event.cancelled:
+            return
+        event.cancelled = True
+        if self._sim is not None and event.in_heap:
+            self._sim._note_cancelled()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"EventHandle({self._event!r})"

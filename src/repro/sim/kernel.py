@@ -5,14 +5,35 @@ else in the reproduction (network, stable storage, failure detector,
 protocol state machines) is expressed as callbacks scheduled on one
 simulator instance, so a whole distributed execution is a single
 deterministic event loop.
+
+Hot-path notes
+--------------
+The kernel is the inner loop of every sweep and chaos trial, so it keeps
+two exact counters instead of scanning the heap:
+
+* cancellation is lazy (a cancelled event stays queued and is skipped on
+  pop), but the kernel counts cancelled-while-queued events so
+  :attr:`Simulator.live_events` and :meth:`Simulator.drain` are O(1);
+* when cancelled corpses dominate the heap -- the retransmit-timer
+  pattern, where an ack cancels a far-deadline timer long before it
+  would fire -- the heap is *compacted*: corpses are filtered out and
+  the survivors re-heapified.  Compaction only removes events that can
+  never fire, so event order (and therefore every run) is unchanged.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 from repro.sim.events import Event, EventHandle
+
+#: Compaction is considered only once the heap holds this many entries
+#: (small heaps never pay the rebuild) ...
+COMPACT_MIN_HEAP = 1024
+#: ... and at least this fraction of them are cancelled corpses.  At 0.5
+#: the rebuild cost amortises to O(1) per cancellation.
+COMPACT_RATIO = 0.5
 
 
 class SimulationError(RuntimeError):
@@ -26,6 +47,13 @@ class Simulator:
     ----------
     start_time:
         Initial value of the virtual clock, in seconds.
+    compact_min_heap:
+        Heap size below which cancelled corpses are never compacted away
+        (``None`` disables compaction entirely -- the seed's behaviour,
+        kept for benchmarking the difference).
+    compact_ratio:
+        Fraction of the heap that must be cancelled before a compaction
+        triggers.
 
     Notes
     -----
@@ -35,13 +63,24 @@ class Simulator:
       otherwise.  This is what makes runs reproducible.
     """
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(
+        self,
+        start_time: float = 0.0,
+        compact_min_heap: Optional[int] = COMPACT_MIN_HEAP,
+        compact_ratio: float = COMPACT_RATIO,
+    ) -> None:
         self._now = float(start_time)
         self._heap: List[Event] = []
         self._seq = 0
         self._events_processed = 0
         self._running = False
         self._stopped = False
+        #: cancelled events still sitting in the heap (exact, maintained
+        #: by EventHandle.cancel via _note_cancelled and by the pop sites)
+        self._heap_cancelled = 0
+        self._compact_min_heap = compact_min_heap
+        self._compact_ratio = compact_ratio
+        self._compactions = 0
         #: optional repro.sim.profile.SimProfiler; None = direct dispatch
         self.profiler: Optional[Any] = None
 
@@ -63,6 +102,19 @@ class Simulator:
         """Number of events still in the heap (including cancelled ones)."""
         return len(self._heap)
 
+    @property
+    def live_events(self) -> int:
+        """Number of queued events that will actually fire.
+
+        Unlike :attr:`pending_events` this excludes lazily-cancelled
+        corpses; it is maintained incrementally, never by scanning."""
+        return len(self._heap) - self._heap_cancelled
+
+    @property
+    def compactions(self) -> int:
+        """Times the heap was rebuilt to shed cancelled corpses."""
+        return self._compactions
+
     # ------------------------------------------------------------------
     # scheduling
     # ------------------------------------------------------------------
@@ -83,7 +135,7 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay!r} seconds in the past")
-        return self.schedule_at(self._now + delay, fn, *args, priority=priority, label=label, **kwargs)
+        return self._push(self._now + delay, fn, args, kwargs, priority, label)
 
     def schedule_at(
         self,
@@ -99,12 +151,50 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time!r}, clock is already at t={self._now!r}"
             )
+        return self._push(time, fn, args, kwargs, priority, label)
+
+    def _push(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        args: Tuple[Any, ...],
+        kwargs: Optional[dict],
+        priority: int,
+        label: str,
+    ) -> EventHandle:
         event = Event(time, self._seq, fn, args, kwargs, priority=priority, label=label)
+        event.in_heap = True
         self._seq += 1
         heapq.heappush(self._heap, event)
         if self.profiler is not None:
-            self.profiler.note_heap_depth(len(self._heap))
-        return EventHandle(event)
+            self.profiler.note_heap_depth(len(self._heap) - self._heap_cancelled)
+        return EventHandle(event, self)
+
+    # ------------------------------------------------------------------
+    # cancellation bookkeeping / compaction
+    # ------------------------------------------------------------------
+    def _note_cancelled(self) -> None:
+        """An in-heap event was just cancelled (called by EventHandle)."""
+        self._heap_cancelled += 1
+        threshold = self._compact_min_heap
+        if (
+            threshold is not None
+            and len(self._heap) >= threshold
+            and self._heap_cancelled >= len(self._heap) * self._compact_ratio
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled corpses and re-heapify the survivors.
+
+        Events are totally ordered by ``(time, priority, seq)``, so the
+        rebuilt heap pops in exactly the order the old one would have --
+        compaction is invisible to the simulation."""
+        survivors = [e for e in self._heap if not e.cancelled]
+        self._heap = survivors
+        heapq.heapify(survivors)
+        self._heap_cancelled = 0
+        self._compactions += 1
 
     # ------------------------------------------------------------------
     # execution
@@ -117,7 +207,9 @@ class Simulator:
         """
         while self._heap:
             event = heapq.heappop(self._heap)
+            event.in_heap = False
             if event.cancelled:
+                self._heap_cancelled -= 1
                 continue
             self._now = event.time
             self._events_processed += 1
@@ -151,19 +243,23 @@ class Simulator:
         self._running = True
         self._stopped = False
         fired = 0
+        heap = self._heap
         profiler = self.profiler  # hoisted: one branch per event when off
         try:
-            while self._heap and not self._stopped:
+            while heap and not self._stopped:
                 if max_events is not None and fired >= max_events:
                     break
-                event = self._heap[0]
+                event = heap[0]
                 if event.cancelled:
-                    heapq.heappop(self._heap)
+                    heapq.heappop(heap)
+                    event.in_heap = False
+                    self._heap_cancelled -= 1
                     continue
                 if until is not None and event.time > until:
                     self._now = until
                     break
-                heapq.heappop(self._heap)
+                heapq.heappop(heap)
+                event.in_heap = False
                 self._now = event.time
                 self._events_processed += 1
                 fired += 1
@@ -171,6 +267,7 @@ class Simulator:
                     event.fire()
                 else:
                     profiler.fire(event)
+                heap = self._heap  # compaction may have swapped the list
             else:
                 if until is not None and not self._stopped and self._now < until:
                     self._now = until
@@ -185,7 +282,7 @@ class Simulator:
     def drain(self, max_events: int = 10_000_000) -> float:
         """Run until the heap is empty.  Raises if ``max_events`` trips."""
         self.run(max_events=max_events)
-        if any(not e.cancelled for e in self._heap):
+        if self.live_events:
             raise SimulationError(
                 f"drain exceeded {max_events} events with work remaining"
             )
@@ -194,5 +291,5 @@ class Simulator:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Simulator(now={self._now:.6f}, pending={len(self._heap)}, "
-            f"processed={self._events_processed})"
+            f"live={self.live_events}, processed={self._events_processed})"
         )

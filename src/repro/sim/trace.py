@@ -42,6 +42,46 @@ class TraceEvent:
         return True
 
 
+class BoundEmitter:
+    """A pre-bound trace emitter for one ``(category, action)`` pair.
+
+    Hot paths (the network's per-message ``send``/``deliver`` traces)
+    record thousands of events with the same category and action; binding
+    them once skips the per-call ``f"{category}.{action}"`` key build and
+    keeps the counters-only fast path (no :class:`TraceEvent` allocated
+    when nothing would consume it) in one place.  Obtained from
+    :meth:`TraceRecorder.emitter`.
+    """
+
+    __slots__ = ("_trace", "category", "action", "_key")
+
+    def __init__(self, trace: "TraceRecorder", category: str, action: str) -> None:
+        self._trace = trace
+        self.category = category
+        self.action = action
+        self._key = category + "." + action
+
+    def __call__(
+        self, time: float, node: Optional[int], **details: Any
+    ) -> Optional[TraceEvent]:
+        """Equivalent to ``trace.record(time, category, node, action, ...)``."""
+        trace = self._trace
+        counters = trace.counters
+        key = self._key
+        counters[key] = counters.get(key, 0) + 1
+        if not trace.keep_events and not trace._subscribers:
+            return None
+        event = TraceEvent(time, self.category, node, self.action, details)
+        if trace.keep_events:
+            trace.events.append(event)
+        for subscriber in trace._subscribers:
+            subscriber(event)
+        return event
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BoundEmitter({self._key})"
+
+
 class TraceRecorder:
     """Append-only trace with counters and simple query support.
 
@@ -50,6 +90,10 @@ class TraceRecorder:
     keep_events:
         If ``False`` only the counters are maintained; useful for large
         parameter sweeps where the full event list would dominate memory.
+        Events are then not even constructed unless a subscriber is
+        attached (subscribers -- the failure injector -- must still see
+        every event, and may come and go mid-run, so the check is made
+        per call).
     """
 
     def __init__(self, keep_events: bool = True) -> None:
@@ -68,16 +112,27 @@ class TraceRecorder:
         node: Optional[int],
         action: str,
         **details: Any,
-    ) -> TraceEvent:
-        """Append one event and bump its ``category.action`` counter."""
-        event = TraceEvent(time, category, node, action, details)
+    ) -> Optional[TraceEvent]:
+        """Bump the ``category.action`` counter and append one event.
+
+        Returns ``None`` on the counters-only fast path (``keep_events``
+        off and nobody subscribed); the counter is bumped either way, so
+        the audit totals are identical whichever path runs.
+        """
         key = f"{category}.{action}"
         self.counters[key] = self.counters.get(key, 0) + 1
+        if not self.keep_events and not self._subscribers:
+            return None
+        event = TraceEvent(time, category, node, action, details)
         if self.keep_events:
             self.events.append(event)
         for subscriber in self._subscribers:
             subscriber(event)
         return event
+
+    def emitter(self, category: str, action: str) -> BoundEmitter:
+        """A pre-bound fast-path recorder for one ``category.action``."""
+        return BoundEmitter(self, category, action)
 
     def subscribe(self, callback: Callable[[TraceEvent], None]) -> None:
         """Invoke ``callback`` on every subsequent event.

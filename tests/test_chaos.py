@@ -12,7 +12,11 @@ with the reliable transport, and asserts the paper's invariants:
 * the whole trial is deterministic per ``(combo, seed)``.
 
 ``CHAOS_RUNS_PER_COMBO`` (env var, default 30) scales the sweep; the CI
-chaos job runs the same suite under a fixed seed base.
+chaos job runs the same suite under a fixed seed base.  Trials execute
+through :class:`repro.runner.TrialRunner` (worker count from
+``REPRO_JOBS``, serial by default), and since every trial is
+deterministic, a failing one is replayed in-process to capture its
+trace for the artifact dump.
 
 Crash counts respect each protocol's failure budget: FBL(f=2) gets up
 to two overlapping crashes, Manetho (f = n) too; the single-failure
@@ -122,6 +126,36 @@ def run_trial(protocol, recovery, max_crashes, seed):
     return config, system, result
 
 
+def check_invariants(config, result):
+    """The paper's invariants, on a (possibly worker-produced) result.
+
+    Returns a list of violation descriptions; empty means the trial
+    passed.  Everything asserted here must live on the picklable
+    :class:`RunResult` so trials can run in worker processes.
+    """
+    context = f"{config.name} (crashes={len(config.crashes)})"
+    failures = []
+    if not result.consistent:
+        failures.append(
+            f"{context}: oracle violations {result.oracle_violations[:3]}"
+        )
+    non_live = result.extra["non_live_nodes"]
+    if non_live:
+        failures.append(f"{context}: nodes left non-live {non_live}")
+    if not all(e.complete for e in result.episodes):
+        failures.append(f"{context}: unfinished recovery episodes")
+    if len(result.episodes) < len(config.crashes):
+        failures.append(
+            f"{context}: {len(result.episodes)} episodes for "
+            f"{len(config.crashes)} crashes"
+        )
+    if result.end_time >= 60.0:
+        failures.append(f"{context}: ran to {result.end_time}")
+    if result.final_progress <= 0:
+        failures.append(f"{context}: no progress")
+    return failures
+
+
 def dump_failure_artifacts(config, system) -> None:
     """Preserve a failing trial's evidence for post-mortem.
 
@@ -146,27 +180,21 @@ def dump_failure_artifacts(config, system) -> None:
 @pytest.mark.parametrize("protocol,recovery,max_crashes", COMBOS,
                          ids=[f"{p}-{r}" for p, r, _ in COMBOS])
 def test_chaos_no_violations_and_eventual_recovery(protocol, recovery, max_crashes):
-    for trial in range(RUNS_PER_COMBO):
-        seed = SEED_BASE + trial
-        config, system, result = run_trial(protocol, recovery, max_crashes, seed)
-        context = f"{config.name} (crashes={len(config.crashes)})"
-        try:
-            assert result.consistent, (
-                f"{context}: oracle violations {result.oracle_violations[:3]}"
-            )
-            assert all(node.is_live for node in system.nodes), (
-                f"{context}: nodes left non-live "
-                f"{[n.node_id for n in system.nodes if not n.is_live]}"
-            )
-            assert all(e.complete for e in result.episodes), (
-                f"{context}: unfinished recovery episodes"
-            )
-            assert len(result.episodes) >= len(config.crashes), context
-            assert result.end_time < 60.0, f"{context}: ran to {result.end_time}"
-            assert result.final_progress > 0, context
-        except AssertionError:
+    from repro.runner import TrialRunner, TrialSpec
+
+    configs = [
+        chaos_config(protocol, recovery, max_crashes, SEED_BASE + trial)
+        for trial in range(RUNS_PER_COMBO)
+    ]
+    trials = TrialRunner().run(TrialSpec(config=c) for c in configs)
+    for config, trial in zip(configs, trials):
+        failures = check_invariants(config, trial.summary)
+        if failures:
+            # the trial is deterministic per (combo, seed): replay it
+            # in-process to recover the trace the worker didn't ship back
+            _, system, _ = run_trial(protocol, recovery, max_crashes, config.seed)
             dump_failure_artifacts(config, system)
-            raise
+            raise AssertionError("; ".join(failures))
 
 
 def test_chaos_trial_is_deterministic():

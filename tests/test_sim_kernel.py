@@ -206,3 +206,85 @@ def test_not_reentrant():
     sim.schedule(1.0, nested)
     sim.run()
     assert len(errors) == 1
+
+
+# ----------------------------------------------------------------------
+# live-event counting and heap compaction
+# ----------------------------------------------------------------------
+def test_live_events_excludes_cancelled():
+    sim = Simulator()
+    handles = [sim.schedule(float(i + 1), lambda: None) for i in range(5)]
+    assert sim.live_events == 5 == sim.pending_events
+    handles[0].cancel()
+    handles[3].cancel()
+    assert sim.pending_events == 5  # corpses stay queued (lazy cancel)
+    assert sim.live_events == 3
+    handles[0].cancel()  # idempotent: counted once
+    assert sim.live_events == 3
+    sim.run()
+    assert sim.live_events == 0 == sim.pending_events
+    assert sim.events_processed == 3
+
+
+def test_cancel_after_fire_does_not_corrupt_counter():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    sim.run()
+    handle.cancel()  # already popped: must not decrement live accounting
+    assert sim.live_events == 0
+    assert sim.pending_events == 0
+
+
+def test_compaction_sheds_cancelled_corpses():
+    sim = Simulator(compact_min_heap=64, compact_ratio=0.5)
+    # the retransmit pattern: cancel each far timer soon after arming it
+    prev = None
+    for _ in range(500):
+        if prev is not None:
+            prev.cancel()
+        prev = sim.schedule(100.0, lambda: None)
+    assert sim.compactions > 0
+    # corpses were shed: the heap stays near its live size
+    assert sim.pending_events < 128
+    assert sim.live_events == 1
+
+
+def test_compaction_preserves_firing_order_and_results():
+    def workload(sim):
+        fired = []
+        prev = None
+        for i in range(300):
+            if prev is not None and i % 3:
+                prev.cancel()
+            prev = sim.schedule(50.0 + i * 0.001, fired.append, i)
+            sim.schedule(0.001 * i, fired.append, 1000 + i)
+        sim.run()
+        return fired, sim.events_processed
+
+    compacting = Simulator(compact_min_heap=32, compact_ratio=0.25)
+    disabled = Simulator(compact_min_heap=None)
+    assert workload(compacting) == workload(disabled)
+    assert compacting.compactions > 0
+    assert disabled.compactions == 0
+
+
+def test_compaction_disabled_with_none():
+    sim = Simulator(compact_min_heap=None)
+    prev = None
+    for _ in range(2000):
+        if prev is not None:
+            prev.cancel()
+        prev = sim.schedule(100.0, lambda: None)
+    assert sim.compactions == 0
+    assert sim.pending_events == 2000  # every corpse still queued
+    assert sim.live_events == 1
+
+
+def test_drain_is_exact_with_cancelled_leftovers():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    doomed = sim.schedule(2.0, lambda: None)
+    doomed.cancel()
+    # drain must not confuse the cancelled leftover with remaining work
+    sim.drain(max_events=10)
+    assert sim.events_processed == 1
