@@ -1,9 +1,13 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five commands cover the common uses:
+Six commands cover the common uses:
 
 * ``run``     -- one simulation with chosen protocol/recovery/failures,
-                 printed as a run summary;
+                 printed as a run summary (``--sanitize`` runs the
+                 online invariant monitor alongside);
+* ``check``   -- re-run one scenario as N tie-break replicas and diff
+                 the outcomes: a semantic divergence means the scenario
+                 hides a schedule race (see docs/SANITIZER.md);
 * ``compare`` -- the paper's head-to-head (blocking vs non-blocking, or
                  any set of stacks) on an identical scenario;
 * ``sweep``   -- vary one numeric knob (n, f, detection delay, storage
@@ -21,6 +25,8 @@ Examples::
 
     python -m repro run --protocol fbl --f 2 --recovery nonblocking \\
         --crash 3@0.05 --spans --trace-out run.jsonl
+    python -m repro run --protocol manetho --crash 2@0.05 --sanitize
+    python -m repro check --protocol fbl --crash 2@0.03 --replicas 3 --seeds 0,7
     python -m repro compare --crash 3@0.05 --crash 5@0.06
     python -m repro sweep --knob n --values 4,8,16,32 --crash 1@0.05 --jobs 4
     python -m repro grid --knob n=4,8,16 --knob loss=0.0,0.05 --seeds 3
@@ -166,6 +172,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     config.spans = args.spans or bool(args.trace_out)
     config.profile = args.profile
+    config.sanitize = args.sanitize
     system = build_system(config)
     result = system.run()
     print(config.describe())
@@ -207,12 +214,83 @@ def cmd_run(args: argparse.Namespace) -> int:
             f"  output commits: {result.outputs_committed} "
             f"(p50 {stats.p50 * 1000:.2f} ms, max {stats.maximum * 1000:.1f} ms)"
         )
+    exit_code = 0
+    if args.sanitize:
+        report = result.extra["sanitizer"]
+        checks = ", ".join(
+            f"{name} x{count}" for name, count in sorted(report["checks"].items())
+        )
+        print(f"  sanitizer: {report['events_seen']} events checked ({checks})")
+        if not report["clean"]:
+            print("\nSANITIZER VIOLATIONS:")
+            for violation in report["violations"][:10]:
+                chain = " <- ".join(
+                    f"{link['kind']}#{link['span']}"
+                    for link in violation["span_chain"]
+                )
+                where = f" [{chain}]" if chain else ""
+                print(
+                    f"  [{violation['invariant']}] t={violation['time']:.6f} "
+                    f"node={violation['node']}: {violation['detail']}{where}"
+                )
+            exit_code = 1
     if not result.consistent:
         print("\nINCONSISTENT RUN -- oracle violations:")
         for violation in result.oracle_violations[:10]:
             print(f"  {violation}")
-        return 1
-    return 0
+        exit_code = 1
+    return exit_code
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    """Tie-break replica diff: flag scenarios hiding schedule races."""
+    import json
+    import os
+
+    from repro.sanitizer.differ import check_trial
+
+    seeds = (
+        [int(s) for s in args.seeds.split(",")] if args.seeds else [args.seed]
+    )
+    rows = []
+    reports = []
+    exit_code = 0
+    for seed in seeds:
+        config = _config_from_args(args)
+        config.seed = seed
+        config.name = f"check-{config.protocol}-s{seed}"
+        config.sanitize = not args.no_sanitize
+        report = check_trial(config, replicas=args.replicas, jobs=args.jobs)
+        reports.append(report)
+        semantic = report.replicas[0].semantic
+        rows.append([
+            seed,
+            args.replicas,
+            "yes" if semantic["consistent"] else "NO",
+            {None: "-", True: "yes", False: "NO"}[semantic["sanitizer_clean"]],
+            len(report.strict_drift),
+            "none" if report.ok else f"{len(report.divergences)} DIVERGENT",
+        ])
+        if not report.ok:
+            exit_code = 1
+    print(format_table(
+        ["seed", "replicas", "consistent", "sanitizer", "timing drift",
+         "divergence"],
+        rows,
+        title=f"tie-break schedule check ({args.protocol} + "
+              f"{args.recovery or DEFAULT_RECOVERY[args.protocol]})",
+    ))
+    for report in reports:
+        for line in report.divergences:
+            print(f"  seed {report.seed}: {line}")
+    if args.report_dir:
+        os.makedirs(args.report_dir, exist_ok=True)
+        for report in reports:
+            path = os.path.join(args.report_dir, f"check-seed{report.seed}.json")
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(report.as_dict(), handle, indent=2, default=str)
+        print(f"  reports: wrote {len(reports)} file(s) to {args.report_dir}")
+    return exit_code
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
@@ -485,7 +563,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the JSONL trace here (implies --spans); inspect "
              "it later with `repro trace PATH`",
     )
+    run_parser.add_argument(
+        "--sanitize", action="store_true",
+        help="run the online invariant monitor (repro.sanitizer) over "
+             "the trace stream; violations fail the run",
+    )
     run_parser.set_defaults(fn=cmd_run)
+
+    check_parser = sub.add_parser(
+        "check", help="diff tie-break schedule replicas of one scenario"
+    )
+    _add_common(check_parser)
+    check_parser.add_argument(
+        "--replicas", type=int, default=3,
+        help="replicas per seed: one canonical + N-1 perturbed (default 3)",
+    )
+    check_parser.add_argument(
+        "--seeds", default=None, metavar="S1,S2",
+        help="comma-separated seeds to check (default: just --seed)",
+    )
+    check_parser.add_argument(
+        "--no-sanitize", action="store_true",
+        help="skip the invariant monitor inside each replica",
+    )
+    check_parser.add_argument(
+        "--report-dir", metavar="DIR", default=None,
+        help="write one JSON report per seed here (CI artifacts)",
+    )
+    check_parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: $REPRO_JOBS, else cpu_count-1)",
+    )
+    check_parser.set_defaults(fn=cmd_check)
 
     compare_parser = sub.add_parser("compare", help="compare recovery algorithms")
     _add_common(compare_parser)

@@ -181,6 +181,13 @@ class SystemConfig:
     #: retain the full trace event list; False keeps only counters
     #: (the counters-only fast path for large parameter sweeps)
     keep_trace_events: bool = True
+    #: run the online invariant monitor (repro.sanitizer) over the trace
+    #: stream; implies spans so violations carry causal span chains
+    sanitize: bool = False
+    #: perturb same-instant event ordering in the kernel with this seed
+    #: (None = the seed's exact FIFO order); used by `repro check` to
+    #: flag hidden schedule races across replicas
+    tiebreak_seed: Optional[int] = None
 
     # -- run control -----------------------------------------------------------
     #: stop at this virtual time; None runs to quiescence

@@ -402,18 +402,21 @@ class Node:
             "protocol": self.protocol.checkpoint_extra(),
         }
         spans = self.trace.spans
-        on_done = self.protocol.on_checkpoint
-        if spans.enabled:
-            ckpt_span = spans.begin(
-                "node.checkpoint", self.node_id, self.sim.now,
-                bootstrap=bootstrap,
-            )
+        ckpt_span = spans.begin(
+            "node.checkpoint", self.node_id, self.sim.now, bootstrap=bootstrap,
+        )
 
-            def on_done(ckpt: Checkpoint, _done=on_done) -> None:
-                spans.end(
-                    ckpt_span, self.sim.now, checkpoint_id=ckpt.checkpoint_id
-                )
-                _done(ckpt)
+        def on_done(ckpt: Checkpoint, _done=self.protocol.on_checkpoint) -> None:
+            spans.end(ckpt_span, self.sim.now, checkpoint_id=ckpt.checkpoint_id)
+            # the checkpoint is now on stable storage: deliveries below its
+            # count can never be replayed, so rolled-back causal archives
+            # under that horizon are dead weight (oracle + sanitizer GC)
+            self.trace.record(
+                self.sim.now, "node", self.node_id, "checkpoint_durable",
+                checkpoint_id=ckpt.checkpoint_id, delivered=ckpt.delivered_count,
+            )
+            self.oracle.on_gc(self.node_id, ckpt.delivered_count)
+            _done(ckpt)
 
         checkpoint = self.checkpoints.save(
             delivered_count=self.app.delivered_count,

@@ -12,6 +12,18 @@ correctness properties the paper proves in Section 4:
   delivery that survived at any process must itself have survived -- no
   live process may be left an orphan of a rolled-back delivery.
 
+The causal record itself (sends, deliveries, rollback archives, the
+happens-before closure) lives in the shared
+:class:`~repro.sanitizer.causal.CausalGraph`, which the online
+:class:`~repro.sanitizer.monitor.Sanitizer` uses for the same checks
+mid-run; the oracle layers the replay-determinism bookkeeping (state
+digests) on top and audits safety once at the end.
+
+Rollback archives are bounded: :meth:`ConsistencyOracle.on_gc` prunes
+entries below a node's durable-checkpoint horizon, mirroring the
+protocols' own garbage collection, so long sweeps no longer grow memory
+linearly with rolled-back history.
+
 Violations are collected, not raised, so a failing run can still be
 inspected; the test suite asserts ``oracle.violations == []``.
 """
@@ -19,7 +31,9 @@ inspected; the test suite asserts ``oracle.violations == []``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Set, Tuple
+
+from repro.sanitizer.causal import CausalGraph
 
 
 @dataclass(frozen=True)
@@ -45,16 +59,9 @@ class ConsistencyOracle:
     """
 
     def __init__(self) -> None:
-        # (sender, ssn, dst) -> number of deliveries sender had made at send time
-        self._send_context: Dict[Tuple[int, int, int], int] = {}
-        # (receiver, rsn) -> (sender, ssn)
-        self._delivery: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        self.graph = CausalGraph()
         # (receiver, rsn) -> digest after the delivery
         self._digest: Dict[Tuple[int, int], str] = {}
-        # archives of permanently rolled-back events, kept so the safety
-        # check can still traverse the causal edges they induced
-        self._rolled_back_delivery: Dict[Tuple[int, int], Tuple[int, int]] = {}
-        self._rolled_back_sends: Dict[Tuple[int, int, int], int] = {}
         self.violations: List[OracleViolation] = []
 
     # ------------------------------------------------------------------
@@ -66,11 +73,8 @@ class ConsistencyOracle:
         Replay determinism requires a regenerated send to occur at the
         same point in the sender's delivery sequence.
         """
-        key = (sender, ssn, dst)
-        previous = self._send_context.get(key)
-        if previous is None:
-            self._send_context[key] = deliveries_so_far
-        elif previous != deliveries_so_far:
+        previous = self.graph.record_send(sender, ssn, dst, deliveries_so_far)
+        if previous is not None and previous != deliveries_so_far:
             self.violations.append(
                 OracleViolation(
                     kind="send-divergence",
@@ -87,9 +91,8 @@ class ConsistencyOracle:
     ) -> None:
         """Record a delivery (or its replay)."""
         key = (receiver, rsn)
-        previous = self._delivery.get(key)
+        previous = self.graph.record_delivery(receiver, rsn, sender, ssn)
         if previous is None:
-            self._delivery[key] = (sender, ssn)
             self._digest[key] = digest
             return
         if previous != (sender, ssn):
@@ -103,7 +106,7 @@ class ConsistencyOracle:
                     ),
                 )
             )
-        elif self._digest[key] != digest:
+        elif self._digest.get(key) != digest:
             self.violations.append(
                 OracleViolation(
                     kind="replay-digest",
@@ -123,45 +126,22 @@ class ConsistencyOracle:
         delivery that depended on them, because its antecedent events are
         reconstructed from the surviving record.
         """
-        stale_deliveries = [
-            key for key in self._delivery if key[0] == node and key[1] >= final_count
-        ]
-        for key in stale_deliveries:
-            self._rolled_back_delivery[key] = self._delivery.pop(key)
+        for key in self.graph.roll_back(node, final_count):
             self._digest.pop(key, None)
-        stale_sends = [
-            key
-            for key, context in self._send_context.items()
-            if key[0] == node and context > final_count
-        ]
-        for key in stale_sends:
-            self._rolled_back_sends[key] = self._send_context.pop(key)
+
+    def on_gc(self, node: int, covered: int) -> None:
+        """A durable checkpoint covers ``covered`` deliveries of ``node``:
+        archived rolled-back entries below that horizon can never feed a
+        future violation (see :meth:`CausalGraph.prune`) and are dropped,
+        keeping the archives bounded on long runs."""
+        self.graph.prune(node, covered)
 
     # ------------------------------------------------------------------
     # end-of-run checks
     # ------------------------------------------------------------------
     def _antecedents(self, event: Tuple[int, int]) -> Set[Tuple[int, int]]:
         """Backward closure of one delivery event in the happens-before DAG."""
-        seen: Set[Tuple[int, int]] = set()
-        stack = [event]
-        while stack:
-            node, rsn = stack.pop()
-            if (node, rsn) in seen or rsn < 0:
-                continue
-            seen.add((node, rsn))
-            if rsn > 0:
-                stack.append((node, rsn - 1))
-            delivered = self._delivery.get((node, rsn))
-            if delivered is None:
-                delivered = self._rolled_back_delivery.get((node, rsn))
-            if delivered is not None:
-                sender, ssn = delivered
-                context = self._send_context.get((sender, ssn, node))
-                if context is None:
-                    context = self._rolled_back_sends.get((sender, ssn, node))
-                if context is not None and context > 0:
-                    stack.append((sender, context - 1))
-        return seen
+        return self.graph.antecedents(event)
 
     def check_safety(self, final_histories: Dict[int, List[Tuple[int, int]]]) -> None:
         """Verify no surviving delivery depends on a rolled-back delivery.
@@ -192,7 +172,7 @@ class ConsistencyOracle:
                     )
                 )
                 continue
-            recorded = self._delivery.get((node, rsn))
+            recorded = self.graph.delivery.get((node, rsn))
             if recorded is not None and recorded != tuple(history[rsn]):
                 self.violations.append(
                     OracleViolation(
@@ -212,11 +192,11 @@ class ConsistencyOracle:
 
     def deliveries_recorded(self) -> int:
         """Total distinct delivery events observed."""
-        return len(self._delivery)
+        return len(self.graph.delivery)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"ConsistencyOracle(deliveries={len(self._delivery)}, "
+            f"ConsistencyOracle(deliveries={len(self.graph.delivery)}, "
             f"violations={len(self.violations)})"
         )
 
@@ -239,6 +219,9 @@ class NullOracle(ConsistencyOracle):
         pass
 
     def on_rollback(self, node: int, final_count: int) -> None:
+        pass
+
+    def on_gc(self, node: int, covered: int) -> None:
         pass
 
     def check_safety(self, final_histories: Dict[int, List[Tuple[int, int]]]) -> None:

@@ -44,16 +44,23 @@ class System:
     def __init__(self, config: SystemConfig) -> None:
         config.validate()
         self.config = config
-        self.sim = Simulator()
+        self.sim = Simulator(tiebreak_seed=config.tiebreak_seed)
         self.rngs = RngRegistry(config.seed)
         self.trace = TraceRecorder(keep_events=config.keep_trace_events)
-        if config.spans:
+        if config.spans or config.sanitize:
+            # the sanitizer needs span events to attach causal chains
             self.trace.spans.enable()
         self.profiler = None
         if config.profile:
             from repro.sim.profile import SimProfiler
 
             self.profiler = SimProfiler().attach(self.sim)
+        self.sanitizer = None
+        if config.sanitize:
+            from repro.sanitizer.monitor import Sanitizer
+
+            self.sanitizer = Sanitizer(config)
+            self.trace.subscribe(self.sanitizer.on_event)
         self.registry = MetricsRegistry()
         self.metrics = MetricsCollector()
         from repro.core.oracle import NullOracle
@@ -288,6 +295,9 @@ class System:
         extra["metrics"] = self.registry.snapshot()
         if self.profiler is not None:
             extra["profile"] = self.profiler.snapshot()
+        if self.sanitizer is not None:
+            self.sanitizer.finalize()
+            extra["sanitizer"] = self.sanitizer.report()
 
         return RunResult(
             config_name=self.config.name,

@@ -179,6 +179,10 @@ class LogBasedProtocol(LoggingProtocol):
         ssn = node.next_ssn(dst)
         self.send_log.log(dst, ssn, payload, body_bytes)
         node.oracle.on_send(node.node_id, ssn, dst, node.app.delivered_count)
+        node.trace.record(
+            node.sim.now, "app", node.node_id, "send",
+            dst=dst, ssn=ssn, deliveries=node.app.delivered_count,
+        )
         piggyback = self._piggyback_for(dst)
         self.piggyback_determinants_sent += len(piggyback)
         node.network.send(

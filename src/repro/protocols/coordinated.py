@@ -341,7 +341,11 @@ class CoordinatedCheckpointing(LoggingProtocol):
                 (dst, dict(payload), body) for dst, payload, body in self._held_sends
             ],
         }
-        node.trace.record(node.sim.now, "snapshot", node.node_id, "snap", round=round_id)
+        node.trace.record(
+            node.sim.now, "snapshot", node.node_id, "snap", round=round_id,
+            delivered=node.app.delivered_count,
+            sent=dict(self.sent_count), recv=dict(self.recv_count),
+        )
         self._round_counts[round_id] = node.app.delivered_count
 
         def durable() -> None:
@@ -390,6 +394,12 @@ class CoordinatedCheckpointing(LoggingProtocol):
             self.committed_round = round_id
             self._committed_count = self._round_counts.get(
                 round_id, self._committed_count
+            )
+            # per-node commit point: outputs up to ``covered`` deliveries
+            # are recoverable from the committed cut from here on
+            self.node.trace.record(
+                self.node.sim.now, "snapshot", self.node.node_id, "committed",
+                round=round_id, covered=self._committed_count,
             )
             self.node.storage.write(f"committed:{self.node.node_id}", round_id, 8)
             self._release_committed_outputs()
@@ -450,7 +460,7 @@ class CoordinatedCheckpointing(LoggingProtocol):
             self._held_sends = []
             node.trace.record(
                 node.sim.now, "snapshot", node.node_id, "rolled_back",
-                round=round_id, epoch=new_epoch,
+                round=round_id, epoch=new_epoch, covered=self._committed_count,
             )
             if was_live:
                 node.unblock()

@@ -90,18 +90,34 @@ class FamilyBasedLogging(LogBasedProtocol):
         """Refresh the unstable cache for one determinant."""
         key = det.delivery_id
         if self._det_stable(det):
-            self._unstable.pop(key, None)
+            was = self._unstable.pop(key, None)
+            if was is not None and det.receiver == self.node.node_id:
+                # one of our own deliveries just crossed the f+1 (or
+                # stable-host) threshold: outputs at this rsn are safe
+                self.node.trace.record(
+                    self.node.sim.now, "protocol", self.node.node_id,
+                    "det_stable", rsn=det.rsn, sender=det.sender, ssn=det.ssn,
+                )
             if self._pending_outputs and det.receiver == self.node.node_id:
                 self._check_pending_outputs()
         else:
             self._unstable[key] = det
 
     def _rebuild_unstable(self) -> None:
-        self._unstable = {
-            det.delivery_id: det
-            for det in self.det_log.determinants()
-            if not self._det_stable(det)
-        }
+        me = self.node.node_id
+        self._unstable = {}
+        for det in self.det_log.determinants():
+            if not self._det_stable(det):
+                self._unstable[det.delivery_id] = det
+            elif det.receiver == me:
+                # a determinant can arrive already stable (restored from
+                # a checkpoint, or loaded from gathered depinfo) and so
+                # never transit the unstable cache; re-announce it so the
+                # stability record covers the whole log
+                self.node.trace.record(
+                    self.node.sim.now, "protocol", me, "det_stable",
+                    rsn=det.rsn, sender=det.sender, ssn=det.ssn,
+                )
 
     def _piggyback_for(self, dst: int) -> List[Tuple[Tuple[int, int, int, int], Tuple[int, ...]]]:
         items = []
@@ -230,6 +246,10 @@ class FamilyBasedLogging(LogBasedProtocol):
             self.det_log.add(det, logged_at=(msg.src, self.node.node_id))
             self._track(det)
             stored.append(det.to_tuple())
+        self.node.trace.record(
+            self.node.sim.now, "protocol", self.node.node_id, "det_store",
+            src=msg.src, dets=stored,
+        )
         self.node.network.send(
             Message(
                 src=self.node.node_id,
@@ -247,6 +267,10 @@ class FamilyBasedLogging(LogBasedProtocol):
         span = self._flush_spans.pop(key, None)
         if span is not None:
             self.node.trace.spans.end(span, self.node.sim.now)
+        self.node.trace.record(
+            self.node.sim.now, "protocol", self.node.node_id, "det_ack",
+            src=msg.src, dets=[tuple(d) for d in msg.payload["dets"]],
+        )
         for det_tuple in msg.payload["dets"]:
             det = Determinant.from_tuple(tuple(det_tuple))
             self.det_log.note_logged_at(det, msg.src)

@@ -59,6 +59,13 @@ class ManethoLogging(FamilyBasedLogging):
         self.stable_writes_pending += 1
 
         def done() -> None:
+            # durable on disk regardless of whether the volatile copy
+            # survived an intervening crash -- the restart log read will
+            # find it, so outputs at this rsn are recoverable from here on
+            self.node.trace.record(
+                self.node.sim.now, "protocol", self.node.node_id, "det_durable",
+                rsn=det.rsn, sender=det.sender, ssn=det.ssn,
+            )
             self.stable_writes_pending -= 1
             # The determinant object is in the det log unless we crashed
             # and lost the volatile copy; only mark stability if present.

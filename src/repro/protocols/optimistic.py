@@ -90,6 +90,10 @@ class OptimisticLogging(LogBasedProtocol):
         ssn = node.next_ssn(dst)
         self.send_log.log(dst, ssn, payload, body_bytes)
         node.oracle.on_send(node.node_id, ssn, dst, node.app.delivered_count)
+        node.trace.record(
+            node.sim.now, "app", node.node_id, "send",
+            dst=dst, ssn=ssn, deliveries=node.app.delivered_count,
+        )
         dep = dict(self.dep)
         dep[node.node_id] = (node.incarnation, node.app.delivered_count)
         node.network.send(
@@ -200,6 +204,10 @@ class OptimisticLogging(LogBasedProtocol):
 
     def _entry_logged(self, sender: int, ssn: int) -> None:
         self._logged_upto += 1
+        self.node.trace.record(
+            self.node.sim.now, "protocol", self.node.node_id, "log_commit",
+            index=self._logged_upto,
+        )
         self._check_pending_outputs()
         satisfied = [
             peer for peer, need in self._stable_watchers.items()

@@ -70,6 +70,11 @@ class PessimisticLogging(LogBasedProtocol):
         def logged() -> None:
             if node.crash_count != epoch or not node.is_live:
                 return  # crashed while the write was in flight
+            # the record is durable; only now may the delivery happen
+            node.trace.record(
+                node.sim.now, "protocol", node.node_id, "log_commit",
+                sender=sender, ssn=ssn, rsn=det.rsn,
+            )
             self._pending_log.discard((sender, ssn))
             self._send_msg_ack(sender, ssn)
             self._deliver(sender, ssn, data, None)

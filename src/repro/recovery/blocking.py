@@ -171,6 +171,9 @@ class BlockingRecovery(RecoveryManager):
         self.sync_reply_writes += 1
 
         def send_reply() -> None:
+            # the synchronous write has completed; only now may the
+            # reply leave this host (the blocking algorithm's contract)
+            self.trace("reply_durable", requester=requester, determinants=len(wire))
             self.send_control(
                 requester,
                 "recovery_reply",

@@ -180,6 +180,9 @@ class NonblockingRecovery(RecoveryManager):
             current = self.node.incvector.get(peer, 0)
             self.node.incvector[peer] = max(current, inc)
         wire = self.node.protocol.local_depinfo_wire()
+        # sent straight from volatile state, before any stable write: this
+        # ordering IS the paper's no-blocking claim, so announce it
+        self.trace("depinfo_reply_sent", leader=msg.src, determinants=len(wire))
         self.send_control(
             msg.src,
             "depinfo_reply",

@@ -1,0 +1,11 @@
+"""Online correctness tooling: invariant monitor + causal bookkeeping.
+
+The differ (:mod:`repro.sanitizer.differ`) is imported lazily by the
+CLI; keeping it out of this namespace avoids pulling the parallel
+runner into every ``--sanitize`` run.
+"""
+
+from repro.sanitizer.causal import CausalGraph
+from repro.sanitizer.monitor import Sanitizer, SanitizerViolation
+
+__all__ = ["CausalGraph", "Sanitizer", "SanitizerViolation"]

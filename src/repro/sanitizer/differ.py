@@ -1,0 +1,193 @@
+"""Schedule-perturbation differ: the engine behind ``repro check``.
+
+A discrete-event run is deterministic, but determinism can *hide*
+schedule races: a protocol that only works because two same-instant
+events happen to fire in FIFO order will pass every seeded test and
+fail on the first real machine.  The kernel's ``tiebreak_seed``
+(:class:`~repro.sim.kernel.Simulator`) makes same-instant ordering a
+controlled perturbation; this module re-runs one trial as ``N``
+replicas -- replica 0 canonical (no perturbation), replicas 1..N-1
+under derived tie-break seeds -- and diffs the outcomes.
+
+What must and must not match
+----------------------------
+Perturbing tie order legitimately changes *timing*: the network's
+latency-jitter stream is shared, so a reshuffled schedule draws
+different jitter for the same messages, and end times, state digests
+and message interleavings all drift.  Those are reported as
+**strict** (informational) fields.  What a correct protocol must
+preserve under any legal schedule is the **semantic** fingerprint:
+
+* the oracle found no violation (``consistent``),
+* the sanitizer found no violation (when enabled),
+* every node is live at the end,
+* every recovery episode that started also completed,
+* the run made progress.
+
+A replica whose semantic fingerprint differs from replica 0's -- or
+which is unhealthy outright -- is a divergence: the trial hides a
+schedule race.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.core.config import SystemConfig
+from repro.core.metrics import RunResult
+from repro.runner import TrialRunner, TrialSpec
+
+
+def derive_tiebreak_seed(seed: int, replica: int) -> Optional[int]:
+    """Deterministic per-replica tie-break seed; replica 0 is canonical."""
+    if replica == 0:
+        return None
+    return (seed * 1_000_003 + replica * 7_919 + 0x5EED) & 0x7FFF_FFFF
+
+
+def semantic_fingerprint(summary: RunResult) -> Dict[str, Any]:
+    """The schedule-invariant outcome of a run (must match across replicas)."""
+    sanitizer = summary.extra.get("sanitizer")
+    return {
+        "consistent": summary.consistent,
+        "sanitizer_clean": None if sanitizer is None else sanitizer["clean"],
+        "non_live_nodes": list(summary.extra.get("non_live_nodes", [])),
+        "episodes_complete": all(e.complete for e in summary.episodes),
+        "progressed": summary.final_progress > 0,
+    }
+
+
+def strict_fingerprint(summary: RunResult) -> Dict[str, Any]:
+    """Timing-sensitive outcome (informational: tie perturbation reshuffles
+    the shared latency-jitter stream, so these may legitimately differ)."""
+    return {
+        "digests": dict(summary.digests),
+        "end_time": summary.end_time,
+        "messages": summary.network.messages,
+        "delivered": dict(summary.extra.get("final_delivered_counts", {})),
+        "outputs": summary.extra.get("outputs", {}).get("count", 0),
+    }
+
+
+def _health_problems(semantic: Dict[str, Any]) -> List[str]:
+    problems = []
+    if not semantic["consistent"]:
+        problems.append("oracle violations")
+    if semantic["sanitizer_clean"] is False:
+        problems.append("sanitizer violations")
+    if semantic["non_live_nodes"]:
+        problems.append(f"non-live nodes {semantic['non_live_nodes']}")
+    if not semantic["episodes_complete"]:
+        problems.append("incomplete recovery episode")
+    if not semantic["progressed"]:
+        problems.append("no progress")
+    return problems
+
+
+@dataclass
+class ReplicaOutcome:
+    """One replica's run, reduced to its fingerprints."""
+
+    replica: int
+    tiebreak_seed: Optional[int]
+    semantic: Dict[str, Any]
+    strict: Dict[str, Any]
+    sanitizer: Optional[Dict[str, Any]] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "replica": self.replica,
+            "tiebreak_seed": self.tiebreak_seed,
+            "semantic": dict(self.semantic),
+            "strict": dict(self.strict),
+            "sanitizer": self.sanitizer,
+        }
+
+
+@dataclass
+class CheckReport:
+    """Outcome of one ``repro check`` trial across all replicas."""
+
+    name: str
+    seed: int
+    replicas: List[ReplicaOutcome]
+    #: semantic failures: the trial hides a schedule race (gating)
+    divergences: List[str] = field(default_factory=list)
+    #: strict-field drift between replicas (informational)
+    strict_drift: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "ok": self.ok,
+            "divergences": list(self.divergences),
+            "strict_drift": list(self.strict_drift),
+            "replicas": [r.as_dict() for r in self.replicas],
+        }
+
+
+def check_trial(
+    config: SystemConfig,
+    replicas: int = 3,
+    jobs: Optional[int] = None,
+) -> CheckReport:
+    """Run ``config`` as ``replicas`` tie-break replicas and diff them.
+
+    Replica 0 runs the canonical FIFO schedule; the others perturb
+    same-instant event ordering with seeds derived from ``config.seed``.
+    All replicas (including 0) run through the parallel
+    :class:`~repro.runner.TrialRunner`, so a check costs roughly one
+    trial of wall-clock when enough workers are available.
+    """
+    if replicas < 2:
+        raise ValueError(f"need at least 2 replicas to diff, got {replicas!r}")
+    specs = []
+    for replica in range(replicas):
+        variant = copy.deepcopy(config)
+        variant.tiebreak_seed = derive_tiebreak_seed(config.seed, replica)
+        specs.append(TrialSpec(config=variant, label=f"replica-{replica}"))
+    trials = TrialRunner(jobs=jobs).run(specs)
+
+    outcomes = []
+    for replica, trial in enumerate(trials):
+        summary = trial.summary
+        outcomes.append(
+            ReplicaOutcome(
+                replica=replica,
+                tiebreak_seed=derive_tiebreak_seed(config.seed, replica),
+                semantic=semantic_fingerprint(summary),
+                strict=strict_fingerprint(summary),
+                sanitizer=summary.extra.get("sanitizer"),
+            )
+        )
+
+    report = CheckReport(name=config.name, seed=config.seed, replicas=outcomes)
+    canonical = outcomes[0]
+    for outcome in outcomes:
+        for problem in _health_problems(outcome.semantic):
+            report.divergences.append(
+                f"replica {outcome.replica} "
+                f"(tiebreak={outcome.tiebreak_seed}): {problem}"
+            )
+        if outcome.replica == 0:
+            continue
+        for key, value in outcome.semantic.items():
+            if value != canonical.semantic[key]:
+                report.divergences.append(
+                    f"replica {outcome.replica} diverged on {key}: "
+                    f"{canonical.semantic[key]!r} -> {value!r}"
+                )
+        for key, value in outcome.strict.items():
+            if value != canonical.strict[key]:
+                report.strict_drift.append(
+                    f"replica {outcome.replica}: {key} differs "
+                    f"(legitimate timing drift)"
+                )
+    return report

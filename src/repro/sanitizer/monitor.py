@@ -1,0 +1,630 @@
+"""Online invariant monitor over the trace stream.
+
+The :class:`~repro.core.oracle.ConsistencyOracle` audits a run's *end
+state*; by then the schedule that produced a violation is gone.  The
+:class:`Sanitizer` subscribes to the live trace stream
+(:meth:`repro.sim.trace.TraceRecorder.subscribe`) and checks each
+invariant *at the event where it can first be violated*, attaching the
+causal span chain that was open at that moment.  Like the kernel
+profiler, it costs nothing when off: ``System`` only builds and
+subscribes it under ``config.sanitize``.
+
+Invariants checked (see ``docs/SANITIZER.md`` for the mapping to paper
+sections):
+
+``orphan-free``
+    No process delivers a message whose send was rolled back, and no
+    live process ends up causally dependent on a rolled-back delivery
+    (paper Theorem 1 / Section 2).  Checked at ``app.deliver`` against
+    the shared :class:`~repro.sanitizer.causal.CausalGraph`, and at
+    ``node.recovered`` by intersecting every live peer's frontier
+    antecedents with the just-archived deliveries.  The frontier check
+    is deferred until virtual time advances past the recovery instant:
+    queued retransmissions and regenerated sends land at the exact
+    completion timestamp, re-occupying slots the ``delivered`` count
+    did not yet include, and only a slot still empty once the clock
+    moves is a lost delivery someone can be orphaned by.  Optimistic
+    logging
+    *creates* orphans by design and kills them asynchronously, so there
+    the finding is held pending and only reported if the orphaned
+    process never rolls back (checked in :meth:`Sanitizer.finalize`).
+    Coordinated checkpointing replaces replay with divergent
+    re-execution, so per-delivery causal checks do not apply; it is
+    covered by the cut-consistency invariant instead.
+
+``commit-order``
+    An output at receipt order ``rsn`` commits only once every delivery
+    in ``(checkpoint horizon, rsn]`` is recoverable: determinant stable
+    at f+1 hosts (FBL family), receipt durably logged (pessimistic /
+    optimistic), or covered by a committed snapshot line (coordinated).
+    Checked at ``output.commit``.
+
+``det-complete``
+    FBL's acknowledged determinant push: a pusher may count a host
+    toward the f+1 replication target only after that host reported
+    storing the determinant.  Checked at ``protocol.det_ack`` against
+    the ``protocol.det_store`` events the storer emitted.
+
+``write-order``
+    Stable-storage ordering vs. the commit protocol: pessimistic
+    logging must not deliver before the receipt-log write commits
+    (checked at ``app.deliver`` against ``protocol.log_commit``), and
+    Manetho must not mark a determinant host-stable without a durable
+    log write behind it (checked at ``protocol.det_stable`` against
+    ``protocol.det_durable``).  One documented exemption: after local
+    replay, pessimistic delivers traffic that was in flight during the
+    restore without logging it first -- those messages are unacked at
+    their senders and will be retransmitted if the receiver fails
+    again, so the deliveries (flagged by sharing the ``node.recovered``
+    timestamp) are recoverable and legitimate.
+
+``cut-consistent``
+    Every committed coordinated snapshot round is a consistent cut: all
+    ``n`` processes snapshotted the round and every channel's sent
+    count equals the peer's received count (checked at
+    ``snapshot.commit``), and a rollback sends every process to the
+    same round (checked at ``snapshot.rolled_back``).
+
+``no-block``
+    The paper's non-blocking guarantee (Section 3): under
+    ``recovery="nonblocking"`` a live process never suspends
+    application progress, for any reason, at any point.  Any
+    ``node.block`` event is a violation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.sanitizer.causal import CausalGraph
+from repro.sim.spans import SpanChainTracker
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.config import SystemConfig
+    from repro.sim.trace import TraceEvent
+
+#: protocols whose recovery re-executes divergently; the per-delivery
+#: causal-graph checks do not apply to them
+GRAPH_FREE_PROTOCOLS = frozenset({"coordinated"})
+#: protocols gating outputs on determinant stability (f+1 replication)
+FBL_FAMILY = frozenset({"fbl", "sender_based", "manetho"})
+
+
+@dataclass
+class SanitizerViolation:
+    """One invariant violation, caught at the violating event."""
+
+    invariant: str
+    node: Optional[int]
+    time: float
+    detail: str
+    #: innermost-first causal span chain open at the violating event
+    span_chain: List[Dict[str, Any]] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "invariant": self.invariant,
+            "node": self.node,
+            "time": self.time,
+            "detail": self.detail,
+            "span_chain": list(self.span_chain),
+        }
+
+    def __str__(self) -> str:
+        chain = " <- ".join(
+            f"{link['kind']}#{link['span']}" for link in self.span_chain
+        )
+        where = f" [{chain}]" if chain else ""
+        return (
+            f"[{self.invariant}] t={self.time:.6f} node={self.node}: "
+            f"{self.detail}{where}"
+        )
+
+
+class Sanitizer:
+    """Event-driven invariant checker for one run.
+
+    Attach with ``trace.subscribe(sanitizer.on_event)``; call
+    :meth:`finalize` after the run (flushes pending optimistic-orphan
+    findings) and :meth:`report` for a picklable summary.  The monitor
+    only *observes*: it never schedules events, draws randomness, or
+    touches protocol state, so enabling it cannot perturb a run.
+    """
+
+    def __init__(self, config: "SystemConfig") -> None:
+        self.protocol = config.protocol
+        self.recovery = config.recovery
+        self.n = config.n
+        self.graph = CausalGraph()
+        self.chains = SpanChainTracker()
+        self.violations: List[SanitizerViolation] = []
+        self.events_seen = 0
+        self.checks: Dict[str, int] = {}
+
+        # -- per-node run state ----------------------------------------
+        self._delivered: Dict[int, int] = {}
+        self._live: Dict[int, bool] = {}
+        self._recovered_at: Dict[int, float] = {}
+        #: deliveries covered by the latest durable checkpoint
+        self._horizon: Dict[int, int] = {}
+        #: deferred recovery-instant orphan checks, oldest first:
+        #: (time, recovered node, rolled-back delivery slots); judged
+        #: once the clock advances past the recovery instant, ignoring
+        #: slots a live delivery re-occupied in the meantime
+        self._stale_pending: List[Tuple[float, int, Set[Tuple[int, int]]]] = []
+
+        # -- FBL family ------------------------------------------------
+        #: owner -> rsns whose determinants reached stability
+        self._stable_rsns: Dict[int, Set[int]] = {}
+        #: owner -> rsns with a durable determinant write (manetho)
+        self._durable_rsns: Dict[int, Set[int]] = {}
+        #: (storer, determinant tuple) pairs confirmed stored
+        self._det_stored: Set[Tuple[int, tuple]] = set()
+
+        # -- pessimistic -----------------------------------------------
+        #: (receiver, sender, ssn) with a committed receipt-log write
+        self._pess_logged: Set[Tuple[int, int, int]] = set()
+        #: deliveries exempted as recoverable in-flight replay leftovers
+        self._pess_unlogged_ok: Set[Tuple[int, int, int]] = set()
+
+        # -- optimistic ------------------------------------------------
+        #: mirror of the protocol's logged-prefix counter
+        self._opt_logged: Dict[int, int] = {}
+        #: (receiver, rsn) -> pending orphan-delivery finding
+        self._pending_orphans: Dict[Tuple[int, int], SanitizerViolation] = {}
+        #: (peer, frontier rsn) -> pending orphaned-process finding
+        self._pending_frontiers: Dict[Tuple[int, int], SanitizerViolation] = {}
+
+        # -- coordinated -----------------------------------------------
+        #: round -> node -> (delivered, sent counts, recv counts)
+        self._snaps: Dict[int, Dict[int, Tuple[int, Dict, Dict]]] = {}
+        #: per-node delivered count covered by the committed round
+        self._cover: Dict[int, int] = {}
+        #: rollback epoch -> the single round it must target
+        self._rollback_round: Dict[int, int] = {}
+
+        self._handlers: Dict[
+            Tuple[str, str], Callable[["TraceEvent"], None]
+        ] = {
+            ("span", "begin"): self.chains.on_event,
+            ("span", "end"): self.chains.on_event,
+            ("app", "send"): self._on_send,
+            ("app", "deliver"): self._on_deliver,
+            ("node", "start"): self._on_start,
+            ("node", "crash"): self._on_crash,
+            ("node", "recovered"): self._on_recovered,
+            ("node", "checkpoint_durable"): self._on_checkpoint_durable,
+            ("node", "block"): self._on_block,
+            ("protocol", "det_stable"): self._on_det_stable,
+            ("protocol", "det_durable"): self._on_det_durable,
+            ("protocol", "det_store"): self._on_det_store,
+            ("protocol", "det_ack"): self._on_det_ack,
+            ("protocol", "log_commit"): self._on_log_commit,
+            ("replay", "done"): self._on_replay_done,
+            ("output", "commit"): self._on_output_commit,
+            ("snapshot", "snap"): self._on_snap,
+            ("snapshot", "commit"): self._on_snapshot_commit,
+            ("snapshot", "committed"): self._on_snapshot_committed,
+            ("snapshot", "rolled_back"): self._on_rolled_back,
+        }
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def on_event(self, event: "TraceEvent") -> None:
+        self.events_seen += 1
+        if self._stale_pending and event.time > self._stale_pending[0][0]:
+            self._flush_stale_pending(event.time)
+        handler = self._handlers.get((event.category, event.action))
+        if handler is not None:
+            handler(event)
+
+    def _check(self, invariant: str) -> None:
+        self.checks[invariant] = self.checks.get(invariant, 0) + 1
+
+    def _make(
+        self, invariant: str, node: Optional[int], time: float, detail: str
+    ) -> SanitizerViolation:
+        return SanitizerViolation(
+            invariant=invariant,
+            node=node,
+            time=time,
+            detail=detail,
+            span_chain=self.chains.chain(node),
+        )
+
+    def _flag(
+        self, invariant: str, node: Optional[int], time: float, detail: str
+    ) -> None:
+        self.violations.append(self._make(invariant, node, time, detail))
+
+    # ------------------------------------------------------------------
+    # causal bookkeeping + orphan freedom
+    # ------------------------------------------------------------------
+    def _on_send(self, event: "TraceEvent") -> None:
+        d = event.details
+        if event.node is None:
+            return
+        self.graph.record_send(event.node, d["ssn"], d["dst"], d["deliveries"])
+
+    def _on_deliver(self, event: "TraceEvent") -> None:
+        receiver = event.node
+        if receiver is None:
+            return
+        d = event.details
+        sender, ssn, rsn = d["sender"], d["ssn"], d["rsn"]
+        self.graph.record_delivery(receiver, rsn, sender, ssn)
+        self._delivered[receiver] = rsn + 1
+        if self.protocol not in GRAPH_FREE_PROTOCOLS:
+            self._check("orphan-free")
+            if self.graph.send_is_rolled_back(sender, ssn, receiver):
+                detail = (
+                    f"delivered message ({sender}, ssn {ssn}) at rsn {rsn} "
+                    f"but its send was rolled back and never re-executed"
+                )
+                finding = self._make("orphan-free", receiver, event.time, detail)
+                if self.protocol == "optimistic":
+                    # orphans are transient by design; must die by rollback
+                    self._pending_orphans[(receiver, rsn)] = finding
+                else:
+                    self.violations.append(finding)
+        if self.protocol == "pessimistic":
+            self._check("write-order")
+            key = (receiver, sender, ssn)
+            if key not in self._pess_logged:
+                if event.time == self._recovered_at.get(receiver):
+                    # replay leftover: in flight during the restore, still
+                    # unacked at its sender, hence recoverable (see module
+                    # docstring) -- remember it for the commit-order check
+                    self._pess_unlogged_ok.add(key)
+                else:
+                    self._flag(
+                        "write-order",
+                        receiver,
+                        event.time,
+                        f"delivered ({sender}, ssn {ssn}) at rsn {rsn} "
+                        f"before its receipt-log write committed",
+                    )
+
+    # ------------------------------------------------------------------
+    # node lifecycle
+    # ------------------------------------------------------------------
+    def _on_start(self, event: "TraceEvent") -> None:
+        if event.node is not None:
+            self._live[event.node] = True
+            self._cover.setdefault(event.node, 0)
+
+    def _on_crash(self, event: "TraceEvent") -> None:
+        node = event.node
+        if node is None:
+            return
+        self._live[node] = False
+        if self.protocol == "optimistic":
+            self._opt_logged[node] = 0
+        if self.protocol in GRAPH_FREE_PROTOCOLS:
+            self._cover[node] = 0
+
+    def _on_recovered(self, event: "TraceEvent") -> None:
+        node = event.node
+        if node is None:
+            return
+        self._live[node] = True
+        self._recovered_at[node] = event.time
+        final = event.details["delivered"]
+        self._delivered[node] = final
+        if self.protocol == "optimistic":
+            self._clear_pending(node, final)
+        if self.protocol in GRAPH_FREE_PROTOCOLS:
+            return
+        stale = self.graph.roll_back(node, final)
+        if stale:
+            self._stale_pending.append((event.time, node, set(stale)))
+
+    def _flush_stale_pending(self, now: float) -> None:
+        """Judge deferred recovery rollbacks once the clock passed them.
+
+        A slot re-occupied by a live delivery in the meantime -- the
+        queued retransmissions and regenerated sends that land at the
+        recovery instant itself -- has been restored; only a slot still
+        empty when the clock moves is a lost delivery someone can be
+        orphaned by.
+        """
+        while self._stale_pending and self._stale_pending[0][0] < now:
+            time, node, stale_keys = self._stale_pending.pop(0)
+            lost = {k for k in stale_keys if k not in self.graph.delivery}
+            if lost:
+                self._check_recovery_orphans(time, node, lost)
+
+    def _check_recovery_orphans(
+        self, time: float, node: int, stale_set: Set[Tuple[int, int]]
+    ) -> None:
+        self._check("orphan-free")
+        for peer, count in sorted(self._delivered.items()):
+            if peer == node or count <= 0 or not self._live.get(peer, False):
+                continue
+            frontier = (peer, count - 1)
+            tainted = self.graph.antecedents(frontier) & stale_set
+            if not tainted:
+                continue
+            detail = (
+                f"live process depends on deliveries "
+                f"{sorted(tainted)} rolled back by node {node}'s recovery"
+            )
+            finding = self._make("orphan-free", peer, time, detail)
+            if self.protocol == "optimistic":
+                # legitimate until the peer fails to roll itself back
+                self._pending_frontiers[frontier] = finding
+            else:
+                self.violations.append(finding)
+
+    def _clear_pending(self, node: int, final: int) -> None:
+        """A rollback to ``final`` deliveries undoes this node's orphaned
+        state at any rsn >= ``final``."""
+        for key in [k for k in self._pending_orphans if k[0] == node and k[1] >= final]:
+            del self._pending_orphans[key]
+        for key in [
+            k for k in self._pending_frontiers if k[0] == node and k[1] >= final
+        ]:
+            del self._pending_frontiers[key]
+
+    def _on_checkpoint_durable(self, event: "TraceEvent") -> None:
+        node = event.node
+        if node is None:
+            return
+        covered = event.details["delivered"]
+        self._horizon[node] = max(self._horizon.get(node, 0), covered)
+        self.graph.prune(node, covered)
+
+    def _on_block(self, event: "TraceEvent") -> None:
+        self._check("no-block")
+        if self.recovery == "nonblocking":
+            self._flag(
+                "no-block",
+                event.node,
+                event.time,
+                "live process suspended application progress under the "
+                "non-blocking recovery algorithm",
+            )
+
+    # ------------------------------------------------------------------
+    # determinant stability (FBL family)
+    # ------------------------------------------------------------------
+    def _on_det_stable(self, event: "TraceEvent") -> None:
+        node = event.node
+        if node is None:
+            return
+        rsn = event.details["rsn"]
+        self._stable_rsns.setdefault(node, set()).add(rsn)
+        if self.protocol == "manetho":
+            self._check("write-order")
+            if rsn not in self._durable_rsns.get(node, set()):
+                self._flag(
+                    "write-order",
+                    node,
+                    event.time,
+                    f"determinant for rsn {rsn} marked host-stable without "
+                    f"a durable log write behind it",
+                )
+
+    def _on_det_durable(self, event: "TraceEvent") -> None:
+        if event.node is not None:
+            self._durable_rsns.setdefault(event.node, set()).add(
+                event.details["rsn"]
+            )
+
+    def _on_det_store(self, event: "TraceEvent") -> None:
+        storer = event.node
+        if storer is None:
+            return
+        for det in event.details["dets"]:
+            self._det_stored.add((storer, tuple(det)))
+
+    def _on_det_ack(self, event: "TraceEvent") -> None:
+        pusher = event.node
+        storer = event.details["src"]
+        for det in event.details["dets"]:
+            self._check("det-complete")
+            if (storer, tuple(det)) not in self._det_stored:
+                self._flag(
+                    "det-complete",
+                    pusher,
+                    event.time,
+                    f"push of determinant {tuple(det)} acknowledged by node "
+                    f"{storer} before the store was recorded there",
+                )
+
+    # ------------------------------------------------------------------
+    # receipt logs (pessimistic / optimistic)
+    # ------------------------------------------------------------------
+    def _on_log_commit(self, event: "TraceEvent") -> None:
+        node = event.node
+        if node is None:
+            return
+        d = event.details
+        if self.protocol == "pessimistic":
+            self._pess_logged.add((node, d["sender"], d["ssn"]))
+        elif self.protocol == "optimistic":
+            current = self._opt_logged.get(node, 0)
+            self._opt_logged[node] = max(current, d["index"])
+
+    def _on_replay_done(self, event: "TraceEvent") -> None:
+        if self.protocol == "optimistic" and event.node is not None:
+            self._opt_logged[event.node] = event.details["delivered"]
+
+    # ------------------------------------------------------------------
+    # output commit ordering
+    # ------------------------------------------------------------------
+    def _on_output_commit(self, event: "TraceEvent") -> None:
+        if event.details.get("duplicate"):
+            return  # a replayed re-request; the first release was checked
+        node = event.node
+        if node is None:
+            return
+        rsn = event.details["output_id"][1]
+        time = event.time
+        self._check("commit-order")
+        if self.protocol in FBL_FAMILY:
+            horizon = self._horizon.get(node, 0)
+            stable = self._stable_rsns.get(node, set())
+            missing = [r for r in range(horizon, rsn + 1) if r not in stable]
+            if missing:
+                self._flag(
+                    "commit-order",
+                    node,
+                    time,
+                    f"output at rsn {rsn} committed with unstable "
+                    f"determinants at rsns {missing[:6]} "
+                    f"(checkpoint horizon {horizon})",
+                )
+        elif self.protocol == "pessimistic":
+            delivered = self.graph.delivery_at(node, rsn)
+            if delivered is not None:
+                sender, ssn = delivered
+                key = (node, sender, ssn)
+                if key not in self._pess_logged and key not in self._pess_unlogged_ok:
+                    self._flag(
+                        "commit-order",
+                        node,
+                        time,
+                        f"output at rsn {rsn} committed before the delivery's "
+                        f"receipt-log write",
+                    )
+        elif self.protocol == "optimistic":
+            logged = self._opt_logged.get(node, 0)
+            if logged < rsn + 1:
+                self._flag(
+                    "commit-order",
+                    node,
+                    time,
+                    f"output at rsn {rsn} committed with only {logged} "
+                    f"deliveries durably logged",
+                )
+        elif self.protocol == "coordinated":
+            cover = self._cover.get(node, 0)
+            if rsn >= cover:
+                self._flag(
+                    "commit-order",
+                    node,
+                    time,
+                    f"output at rsn {rsn} committed but the committed "
+                    f"snapshot line only covers {cover} deliveries",
+                )
+
+    # ------------------------------------------------------------------
+    # coordinated snapshot rounds
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _count(counts: Dict[Any, int], peer: int) -> int:
+        """Channel counter lookup tolerant of int/str keys."""
+        value = counts.get(peer)
+        if value is None:
+            value = counts.get(str(peer), 0)
+        return value
+
+    def _on_snap(self, event: "TraceEvent") -> None:
+        node = event.node
+        d = event.details
+        if node is None or "delivered" not in d:
+            return  # pre-sanitizer trace without enriched snap events
+        self._snaps.setdefault(d["round"], {})[node] = (
+            d["delivered"],
+            dict(d["sent"]),
+            dict(d["recv"]),
+        )
+
+    def _on_snapshot_commit(self, event: "TraceEvent") -> None:
+        round_id = event.details["round"]
+        snaps = self._snaps.get(round_id, {})
+        self._check("cut-consistent")
+        missing = [p for p in range(self.n) if p not in snaps]
+        if missing:
+            if snaps:  # silent when snap events carry no counters (old trace)
+                self._flag(
+                    "cut-consistent",
+                    event.node,
+                    event.time,
+                    f"round {round_id} committed without snapshots from "
+                    f"nodes {missing}",
+                )
+            return
+        for a in range(self.n):
+            _, sent_a, _ = snaps[a]
+            for b in range(self.n):
+                if a == b:
+                    continue
+                sent = self._count(sent_a, b)
+                recv = self._count(snaps[b][2], a)
+                if sent != recv:
+                    self._flag(
+                        "cut-consistent",
+                        event.node,
+                        event.time,
+                        f"round {round_id} committed an inconsistent cut: "
+                        f"channel {a}->{b} sent {sent} but received {recv}",
+                    )
+        # older rounds can no longer commit or be rolled back to
+        for done in [r for r in self._snaps if r < round_id]:
+            del self._snaps[done]
+
+    def _on_snapshot_committed(self, event: "TraceEvent") -> None:
+        if event.node is not None:
+            self._cover[event.node] = event.details["covered"]
+
+    def _on_rolled_back(self, event: "TraceEvent") -> None:
+        node = event.node
+        d = event.details
+        if node is None:
+            return
+        if "covered" in d:
+            self._cover[node] = d["covered"]
+        epoch = d.get("epoch")
+        round_id = d["round"]
+        if epoch is None:
+            return
+        self._check("cut-consistent")
+        expected = self._rollback_round.setdefault(epoch, round_id)
+        if round_id != expected:
+            self._flag(
+                "cut-consistent",
+                node,
+                event.time,
+                f"rollback epoch {epoch} sent node {node} to round "
+                f"{round_id} while others rolled back to round {expected}",
+            )
+
+    # ------------------------------------------------------------------
+    # end of run
+    # ------------------------------------------------------------------
+    def finalize(self) -> None:
+        """Promote pending findings that the run never resolved."""
+        self._flush_stale_pending(float("inf"))
+        for (node, rsn), finding in sorted(self._pending_orphans.items()):
+            finding.detail += (
+                f" (still orphaned at rsn {rsn} when the run ended)"
+            )
+            self.violations.append(finding)
+        self._pending_orphans.clear()
+        for (node, rsn), finding in sorted(self._pending_frontiers.items()):
+            finding.detail += " (the process never rolled itself back)"
+            self.violations.append(finding)
+        self._pending_frontiers.clear()
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def report(self) -> Dict[str, Any]:
+        """Picklable summary for ``RunResult.extra['sanitizer']``."""
+        return {
+            "clean": self.clean,
+            "events_seen": self.events_seen,
+            "checks": dict(self.checks),
+            "violations": [v.as_dict() for v in self.violations],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Sanitizer(protocol={self.protocol!r}, "
+            f"violations={len(self.violations)}, events={self.events_seen})"
+        )

@@ -24,6 +24,7 @@ two exact counters instead of scanning the heap:
 from __future__ import annotations
 
 import heapq
+import random
 from typing import Any, Callable, List, Optional, Tuple
 
 from repro.sim.events import Event, EventHandle
@@ -54,6 +55,15 @@ class Simulator:
     compact_ratio:
         Fraction of the heap that must be cancelled before a compaction
         triggers.
+    tiebreak_seed:
+        Off (``None``) by default.  When set, events scheduled for the
+        same instant at the same priority fire in a seeded-random order
+        instead of FIFO.  Any such ordering is *legal* for a discrete-
+        event simulation -- the model never promises FIFO across
+        components -- so a run whose results change under a tie-break
+        shuffle has a hidden schedule race.  ``repro check`` exploits
+        this: it re-runs a trial under several tie-break seeds and diffs
+        the outcomes (see :mod:`repro.sanitizer.differ`).
 
     Notes
     -----
@@ -68,10 +78,16 @@ class Simulator:
         start_time: float = 0.0,
         compact_min_heap: Optional[int] = COMPACT_MIN_HEAP,
         compact_ratio: float = COMPACT_RATIO,
+        tiebreak_seed: Optional[int] = None,
     ) -> None:
         self._now = float(start_time)
         self._heap: List[Event] = []
         self._seq = 0
+        #: None keeps the seed's exact FIFO tie order; a seeded RNG makes
+        #: same-instant ordering a controlled perturbation (repro check)
+        self._tiebreak_rng = (
+            random.Random(tiebreak_seed) if tiebreak_seed is not None else None
+        )
         self._events_processed = 0
         self._running = False
         self._stopped = False
@@ -162,7 +178,14 @@ class Simulator:
         priority: int,
         label: str,
     ) -> EventHandle:
-        event = Event(time, self._seq, fn, args, kwargs, priority=priority, label=label)
+        # FIFO by default; under a tie-break shuffle the jitter occupies
+        # the high bits so it dominates same-instant ordering, while the
+        # monotonic counter in the low 40 bits keeps every seq unique
+        # (and the whole run deterministic for a given tiebreak_seed).
+        seq = self._seq
+        if self._tiebreak_rng is not None:
+            seq = (self._tiebreak_rng.getrandbits(20) << 40) | seq
+        event = Event(time, seq, fn, args, kwargs, priority=priority, label=label)
         event.in_heap = True
         self._seq += 1
         heapq.heappush(self._heap, event)

@@ -134,6 +134,68 @@ class SpanTracker:
         return len(self._open)
 
 
+class SpanChainTracker:
+    """Online span bookkeeping for trace subscribers.
+
+    Feed every event a subscriber receives to :meth:`on_event`; the
+    tracker keeps, per node, the stack of currently-open spans.
+    :meth:`chain` then answers "what was node ``x`` doing?" as the parent
+    chain of its innermost open span -- the causal attribution the
+    sanitizer attaches to a violation, and far cheaper than rebuilding
+    the full span forest with :func:`spans_from_trace` mid-run.
+    """
+
+    def __init__(self) -> None:
+        #: span id -> (kind, node, parent) for every span ever begun
+        self._info: Dict[int, Tuple[str, Optional[int], Optional[int]]] = {}
+        #: open span ids per node, in begin order (innermost last)
+        self._open_by_node: Dict[Optional[int], List[int]] = {}
+
+    def on_event(self, event: "TraceEvent") -> None:
+        """Consume one trace event (non-span events are ignored)."""
+        if event.category != "span":
+            return
+        details = event.details
+        span_id = details.get("span")
+        if span_id is None:
+            return
+        if event.action == "begin":
+            self._info[span_id] = (
+                details.get("kind", "?"),
+                event.node,
+                details.get("parent"),
+            )
+            self._open_by_node.setdefault(event.node, []).append(span_id)
+        elif event.action == "end":
+            info = self._info.get(span_id)
+            if info is not None:
+                stack = self._open_by_node.get(info[1])
+                if stack is not None and span_id in stack:
+                    stack.remove(span_id)
+
+    def chain(self, node: Optional[int]) -> List[Dict[str, Any]]:
+        """Parent chain of ``node``'s innermost open span, innermost first.
+
+        Each element is ``{"span": id, "kind": kind, "node": node}``;
+        empty when the node has no open span (e.g. spans are disabled).
+        """
+        stack = self._open_by_node.get(node)
+        if not stack:
+            return []
+        chain: List[Dict[str, Any]] = []
+        seen = set()
+        cursor: Optional[int] = stack[-1]
+        while cursor is not None and cursor not in seen:
+            seen.add(cursor)
+            info = self._info.get(cursor)
+            if info is None:
+                break
+            kind, span_node, parent = info
+            chain.append({"span": cursor, "kind": kind, "node": span_node})
+            cursor = parent
+        return chain
+
+
 # ----------------------------------------------------------------------
 # reconstruction from a trace
 # ----------------------------------------------------------------------

@@ -38,6 +38,10 @@ SEED_BASE = int(os.environ.get("CHAOS_SEED_BASE", "0"))
 #: when set, a failing trial dumps its JSONL trace + span summary here
 #: (CI uploads the directory as a workflow artifact)
 ARTIFACT_DIR = os.environ.get("CHAOS_ARTIFACT_DIR", "")
+#: when truthy, every trial also runs the online invariant monitor
+#: (repro.sanitizer) and a sanitizer violation fails the trial; the
+#: nightly workflow turns this on for the deep sweep
+SANITIZE = os.environ.get("CHAOS_SANITIZE", "") not in ("", "0")
 
 #: (protocol, recovery, max concurrent crashes the protocol tolerates)
 COMBOS = [
@@ -99,6 +103,7 @@ def chaos_config(protocol: str, recovery: str, max_crashes: int, seed: int) -> S
         # spans cost no simulated events, and a failing trial's dump is
         # far more useful with recovery phases attributed
         spans=True,
+        sanitize=SANITIZE,
         name=f"chaos-{protocol}-{recovery}-{seed}",
         protocol=protocol,
         protocol_params=params,
@@ -153,6 +158,12 @@ def check_invariants(config, result):
         failures.append(f"{context}: ran to {result.end_time}")
     if result.final_progress <= 0:
         failures.append(f"{context}: no progress")
+    sanitizer = result.extra.get("sanitizer")
+    if sanitizer is not None and not sanitizer["clean"]:
+        failures.append(
+            f"{context}: sanitizer violations "
+            f"{[v['invariant'] for v in sanitizer['violations'][:3]]}"
+        )
     return failures
 
 

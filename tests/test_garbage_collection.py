@@ -135,3 +135,35 @@ class TestCorrectnessWithGC:
         # with periodic checkpoints the replay is strictly shorter than
         # the pre-crash delivery count would require from scratch
         assert episode.complete
+
+
+class TestOracleArchiveBounding:
+    """The oracle's rollback archives follow the protocols' GC horizon.
+
+    Regression: the archives used to grow forever -- every crash left
+    its rolled-back sends and deliveries in memory for the rest of the
+    run.  Durable checkpoints now drive :meth:`ConsistencyOracle.on_gc`,
+    which prunes archived entries the checkpoint horizon covers.
+    """
+
+    def long_run(self, checkpoint_every):
+        system = build_system(gc_config(
+            checkpoint_every=checkpoint_every,
+            crashes=[crash_at(node=2, time=0.05), crash_at(node=4, time=0.4)],
+            seed=3,
+        ))
+        result = system.run()
+        assert result.consistent, result.oracle_violations[:3]
+        return system
+
+    def test_checkpoints_prune_rollback_archives(self):
+        without = self.long_run(checkpoint_every=0)
+        with_gc = self.long_run(checkpoint_every=4)
+        assert with_gc.oracle.graph.archived_entries() < \
+            without.oracle.graph.archived_entries()
+
+    def test_archives_stay_bounded_on_long_runs(self):
+        with_gc = self.long_run(checkpoint_every=4)
+        # two crashes' worth of rolled-back suffixes, minus everything
+        # the checkpoint horizon covered: a small residue, not O(run)
+        assert with_gc.oracle.graph.archived_entries() < 200
