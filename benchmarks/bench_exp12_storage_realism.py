@@ -1,0 +1,205 @@
+"""E12 (extension) -- storage realism: incremental checkpoints,
+group-commit batching, and log compaction.
+
+The paper charges the flat mid-90s cost model: every checkpoint writes
+the full ~1 MB process image and every log append pays a whole device
+operation.  Real logging stacks amortise both -- copy-on-write
+checkpoints sized by dirty pages, group commit of pending log records,
+and compaction of checkpoint-covered log entries.  E12 measures how much
+of the stable-storage bill those optimisations recover at *equal*
+checkpoint intervals, then sweeps the three knobs (checkpoint interval x
+batch window x dirty ratio) to map the trade-off surface.
+
+All runs keep the oracle green and the online sanitizer clean: the
+optimisations change costs, never the protocols' safety.
+"""
+
+import pytest
+
+from repro import build_system, crash_at
+from repro.core.config import StorageRealismConfig
+from repro.runner import run_results
+
+from paper_setup import emit, once, paper_config
+
+#: the five log/checkpoint-based families compared throughout the repo,
+#: each with its checkpoint interval.  Optimistic logging runs
+#: checkpoint-free (its Strom-Yemini variant relies on the log alone):
+#: periodic checkpoints can themselves become orphaned after a rollback
+#: announcement, which the simulator does not yet resolve (see the
+#: ROADMAP open item) -- the flat and realistic arms still compare at
+#: equal intervals.
+STACKS = [
+    ("fbl", "nonblocking", 8),
+    ("sender_based", "nonblocking", 8),
+    ("manetho", "nonblocking", 8),
+    ("pessimistic", "local", 8),
+    ("optimistic", "optimistic", 0),
+]
+
+CHECKPOINT_EVERY = 8
+
+
+def _realism(dirty_bytes=65_536, batch_window=0.005):
+    return StorageRealismConfig(
+        incremental_checkpoints=True,
+        dirty_bytes_per_delivery=dirty_bytes,
+        group_commit=True,
+        batch_window=batch_window,
+        log_compaction=True,
+    )
+
+
+def _config(protocol, recovery, name, realism=None, **overrides):
+    config = paper_config(
+        name,
+        protocol=protocol,
+        recovery=recovery,
+        crashes=[crash_at(node=2, time=0.05)],
+        checkpoint_every=overrides.pop("checkpoint_every", CHECKPOINT_EVERY),
+        storage_realism=realism,
+        **overrides,
+    )
+    config.sanitize = True
+    return config
+
+
+def _storage_totals(result):
+    busy = sum(ops["busy_time"] for ops in result.storage_ops.values())
+    written = sum(ops["bytes_written"] for ops in result.storage_ops.values())
+    reclaimed = sum(ops["bytes_reclaimed"] for ops in result.storage_ops.values())
+    return busy, written, reclaimed
+
+
+@pytest.mark.benchmark(group="exp12")
+def test_exp12_realism_reduces_storage_time(benchmark):
+    """Part A: flat vs realistic cost model, same checkpoint interval."""
+
+    def run_all():
+        configs = []
+        for protocol, recovery, checkpoint_every in STACKS:
+            configs.append(
+                _config(protocol, recovery, f"e12-{protocol}-flat",
+                        checkpoint_every=checkpoint_every)
+            )
+            configs.append(
+                _config(protocol, recovery, f"e12-{protocol}-real",
+                        realism=_realism(), checkpoint_every=checkpoint_every)
+            )
+        return run_results(configs)
+
+    results = once(benchmark, run_all)
+    rows = []
+    for index, (protocol, recovery, checkpoint_every) in enumerate(STACKS):
+        flat, real = results[2 * index], results[2 * index + 1]
+        for result in (flat, real):
+            assert result.consistent, f"{protocol}: oracle violations"
+            assert result.extra["sanitizer"]["clean"], f"{protocol}: sanitizer"
+        flat_busy, flat_written, _ = _storage_totals(flat)
+        real_busy, real_written, reclaimed = _storage_totals(real)
+        rows.append([
+            f"{protocol}+{recovery}",
+            checkpoint_every,
+            f"{flat_busy:.2f}",
+            f"{real_busy:.2f}",
+            f"{100 * (1 - real_busy / flat_busy):.0f}%",
+            f"{flat_written / 1e6:.1f}",
+            f"{real_written / 1e6:.1f}",
+            f"{reclaimed / 1e6:.1f}",
+        ])
+        # the acceptance criterion: same interval, cheaper stable storage
+        assert real_busy < flat_busy, (
+            f"{protocol}: realism busy {real_busy:.3f}s >= flat {flat_busy:.3f}s"
+        )
+    emit(
+        "E12a stable-storage device time, flat vs realistic model "
+        "(equal checkpoint intervals, one crash)",
+        ["stack", "ckpt every", "flat busy (s)", "real busy (s)", "saved",
+         "flat MB written", "real MB written", "MB reclaimed"],
+        rows,
+    )
+
+
+@pytest.mark.benchmark(group="exp12")
+def test_exp12_knob_sweep(benchmark):
+    """Part B: checkpoint interval x batch window x dirty ratio."""
+    points = []
+    for checkpoint_every in (4, 8, 16):
+        for batch_window in (0.001, 0.005):
+            for dirty_ratio in (0.25, 0.75):
+                points.append((checkpoint_every, batch_window, dirty_ratio))
+
+    def run_all():
+        configs = []
+        for checkpoint_every, batch_window, dirty_ratio in points:
+            dirty = int(dirty_ratio * 1_000_000 / CHECKPOINT_EVERY)
+            config = _config(
+                "pessimistic", "local",
+                f"e12-k{checkpoint_every}-w{batch_window}-d{dirty_ratio}",
+                realism=_realism(dirty_bytes=dirty, batch_window=batch_window),
+                checkpoint_every=checkpoint_every,
+            )
+            config.keep_trace_events = False
+            configs.append(config)
+        return run_results(configs)
+
+    results = once(benchmark, run_all)
+    rows = []
+    for (checkpoint_every, batch_window, dirty_ratio), result in zip(
+        points, results
+    ):
+        assert result.consistent
+        assert result.extra["sanitizer"]["clean"]
+        busy, written, reclaimed = _storage_totals(result)
+        durations = result.recovery_durations()
+        rows.append([
+            checkpoint_every,
+            f"{batch_window * 1000:.0f}",
+            f"{dirty_ratio:.2f}",
+            f"{busy:.2f}",
+            f"{written / 1e6:.1f}",
+            f"{reclaimed / 1e6:.1f}",
+            f"{max(durations):.2f}" if durations else "-",
+        ])
+    emit(
+        "E12b pessimistic+local: checkpoint interval x batch window x "
+        "dirty ratio (all realism knobs on)",
+        ["ckpt every", "window (ms)", "dirty ratio", "busy (s)",
+         "MB written", "MB reclaimed", "recovery (s)"],
+        rows,
+    )
+
+
+@pytest.mark.benchmark(group="exp12")
+def test_exp12_incremental_chain_bounded(benchmark):
+    """Periodic fulls bound the delta chain a restart must read back."""
+
+    def run_one():
+        config = _config(
+            "pessimistic", "local", "e12-chain",
+            realism=_realism(dirty_bytes=32_768),
+        )
+        system = build_system(config)
+        return system, system.run()
+
+    system, result = once(benchmark, run_one)
+    assert result.consistent
+    chains = {
+        node.node_id: result.storage_ops[node.node_id]["chain_length"]
+        for node in system.nodes
+    }
+    full_every = _realism().full_checkpoint_every
+    assert all(1 <= length <= full_every for length in chains.values()), chains
+    fulls = sum(ops["full_segments"] for ops in result.storage_ops.values())
+    deltas = sum(ops["delta_segments"] for ops in result.storage_ops.values())
+    emit(
+        "E12c incremental checkpoint chains stay bounded "
+        f"(full every {full_every})",
+        ["metric", "value"],
+        [
+            ["full segments written", fulls],
+            ["delta segments written", deltas],
+            ["longest live chain", max(chains.values())],
+            ["bound (full_checkpoint_every)", full_every],
+        ],
+    )

@@ -11,7 +11,8 @@ Six commands cover the common uses:
 * ``compare`` -- the paper's head-to-head (blocking vs non-blocking, or
                  any set of stacks) on an identical scenario;
 * ``sweep``   -- vary one numeric knob (n, f, detection delay, storage
-                 latency, state size) and print one row per value;
+                 latency, state size, checkpoint interval, group-commit
+                 batch window) and print one row per value;
 * ``grid``    -- cartesian product over several knobs x seeds, fanned
                  across worker processes (``--jobs``);
 * ``trace``   -- inspect a saved JSONL trace: filter, summarize, span
@@ -98,6 +99,43 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="max extra delay for reordered messages (s)")
     parser.add_argument("--storage-fail-prob", type=float, default=0.0,
                         help="per-attempt transient storage fault probability")
+    parser.add_argument("--checkpoint-every", type=int, default=0,
+                        help="take a checkpoint every k deliveries "
+                             "(0 = only the initial one)")
+    realism = parser.add_argument_group(
+        "storage realism",
+        "opt-in storage-stack optimisations (repro.core.config."
+        "StorageRealismConfig); all off = the seed's flat cost model",
+    )
+    realism.add_argument(
+        "--incremental-checkpoints", action="store_true",
+        help="charge delta checkpoints by dirty bytes instead of a full "
+             "state_bytes image every time",
+    )
+    realism.add_argument(
+        "--full-checkpoint-every", type=int, default=8,
+        help="force a full checkpoint every k-th checkpoint (bounds the "
+             "delta chain a restart reads back)",
+    )
+    realism.add_argument(
+        "--dirty-bytes-per-delivery", type=int, default=65_536,
+        help="modelled bytes dirtied by one delivery (saturates at "
+             "state-bytes)",
+    )
+    realism.add_argument(
+        "--group-commit", action="store_true",
+        help="coalesce pending log appends into one stable operation",
+    )
+    realism.add_argument(
+        "--batch-window", type=float, default=0.005,
+        help="group-commit flush window in seconds (sweeping the "
+             "batch-window knob implies --group-commit)",
+    )
+    realism.add_argument(
+        "--log-compaction", action="store_true",
+        help="reclaim checkpoint-covered log entries and superseded "
+             "snapshots, with reclaimed-byte accounting",
+    )
 
 
 DEFAULT_RECOVERY = {
@@ -141,6 +179,27 @@ def _config_from_args(args: argparse.Namespace, **overrides: Any) -> SystemConfi
     transport = args.transport
     if transport is None:
         transport = "reliable" if faults is not None else "raw"
+    batch_window = overrides.pop("batch_window", None)
+    realism = None
+    if (
+        args.incremental_checkpoints
+        or args.group_commit
+        or args.log_compaction
+        or batch_window is not None
+    ):
+        from repro.core.config import StorageRealismConfig
+
+        realism = StorageRealismConfig(
+            incremental_checkpoints=args.incremental_checkpoints,
+            full_checkpoint_every=args.full_checkpoint_every,
+            dirty_bytes_per_delivery=args.dirty_bytes_per_delivery,
+            # sweeping the batch window only makes sense with batching on
+            group_commit=args.group_commit or batch_window is not None,
+            batch_window=(
+                batch_window if batch_window is not None else args.batch_window
+            ),
+            log_compaction=args.log_compaction,
+        )
     config = SystemConfig(
         name=name,
         n=overrides.pop("n", args.n),
@@ -157,6 +216,8 @@ def _config_from_args(args: argparse.Namespace, **overrides: Any) -> SystemConfi
         storage_bandwidth=args.storage_bandwidth,
         faults=faults,
         transport=transport,
+        storage_realism=realism,
+        checkpoint_every=overrides.pop("checkpoint_every", args.checkpoint_every),
     )
     if overrides:
         raise ValueError(f"unused overrides: {sorted(overrides)}")
@@ -336,6 +397,8 @@ SWEEP_KNOBS = {
     "storage-latency": ("storage_op_latency", float),
     "state-bytes": ("state_bytes", int),
     "loss": ("loss_prob", float),
+    "checkpoint-every": ("checkpoint_every", int),
+    "batch-window": ("batch_window", float),
 }
 
 

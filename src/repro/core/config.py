@@ -113,6 +113,88 @@ class FaultConfig:
 
 
 @dataclass
+class StorageRealismConfig:
+    """Storage-stack optimisations layered over the flat cost model.
+
+    The seed's stable store charges one full-latency operation per write
+    and a full ``state_bytes`` transfer per checkpoint.  This config
+    enables the three classic optimisations real logging stacks use to
+    amortise those costs -- incremental (copy-on-write) checkpoints,
+    group commit of log appends, and log compaction with reclaimed-space
+    accounting.  A config with ``storage_realism=None`` (the default)
+    never builds any of this machinery, keeping the default path
+    byte-identical to the seed.
+    """
+
+    # -- incremental checkpoints -----------------------------------------
+    #: write delta checkpoints sized by the process's dirty bytes instead
+    #: of a full ``state_bytes`` image every time
+    incremental_checkpoints: bool = False
+    #: force a full checkpoint every k-th checkpoint, bounding the delta
+    #: chain a restart must read back
+    full_checkpoint_every: int = 8
+    #: modelled bytes dirtied by one delivery (saturates at state_bytes)
+    dirty_bytes_per_delivery: int = 65_536
+    #: floor on a delta segment's charged size (page-table + metadata)
+    min_delta_bytes: int = 4_096
+
+    # -- group commit ------------------------------------------------------
+    #: coalesce pending log appends into one stable operation
+    group_commit: bool = False
+    #: flush window: an append waits at most this long before its batch
+    #: is forced to the device
+    batch_window: float = 0.005
+    #: flush immediately once this many appends are queued
+    batch_max_ops: int = 32
+    #: flush immediately once this many bytes are queued
+    batch_max_bytes: int = 262_144
+
+    # -- compaction / GC ---------------------------------------------------
+    #: reclaim checkpoint-covered log entries and superseded snapshots
+    #: (changes replay-read sizes, so it is opt-in per run)
+    log_compaction: bool = False
+
+    # ------------------------------------------------------------------
+    def any_enabled(self) -> bool:
+        """Whether any optimisation deviates from the seed's flat model."""
+        return bool(
+            self.incremental_checkpoints or self.group_commit or self.log_compaction
+        )
+
+    def validate(self) -> None:
+        """Raise ValueError on inconsistent settings."""
+        if self.full_checkpoint_every < 1:
+            raise ValueError(
+                f"full_checkpoint_every must be >= 1, got {self.full_checkpoint_every!r}"
+            )
+        if self.dirty_bytes_per_delivery < 0:
+            raise ValueError("dirty_bytes_per_delivery must be non-negative")
+        if self.min_delta_bytes < 0:
+            raise ValueError("min_delta_bytes must be non-negative")
+        if self.batch_window < 0:
+            raise ValueError("batch_window must be non-negative")
+        if self.batch_max_ops < 1:
+            raise ValueError(f"batch_max_ops must be >= 1, got {self.batch_max_ops!r}")
+        if self.batch_max_bytes < 1:
+            raise ValueError(
+                f"batch_max_bytes must be >= 1, got {self.batch_max_bytes!r}"
+            )
+
+    def build_group_commit(self):
+        """Materialize the :class:`~repro.storage.stable.GroupCommitPolicy`
+        (or ``None`` when group commit is disabled)."""
+        if not self.group_commit:
+            return None
+        from repro.storage.stable import GroupCommitPolicy
+
+        return GroupCommitPolicy(
+            window=self.batch_window,
+            max_ops=self.batch_max_ops,
+            max_bytes=self.batch_max_bytes,
+        )
+
+
+@dataclass
 class SystemConfig:
     """Everything needed to build and run one simulated system."""
 
@@ -166,6 +248,9 @@ class SystemConfig:
     storage_bandwidth: float = DEFAULT_BANDWIDTH
     #: network parameters (passed to AtmLinkModel); None = paper defaults
     network_params: Dict[str, Any] = field(default_factory=dict)
+    #: storage-stack optimisations (incremental checkpoints, group
+    #: commit, compaction); None = the seed's flat cost model
+    storage_realism: Optional[StorageRealismConfig] = None
 
     # -- policies ----------------------------------------------------------
     #: take a checkpoint every k deliveries (0 = only the initial one)
@@ -246,6 +331,8 @@ class SystemConfig:
             raise ValueError("detection_delay must be non-negative")
         if self.state_bytes <= 0:
             raise ValueError("state_bytes must be positive")
+        if self.storage_realism is not None:
+            self.storage_realism.validate()
 
     def describe(self) -> str:
         """One-line human summary for reports."""

@@ -67,6 +67,7 @@ class Node:
         storage_faults = (
             config.faults.build_storage_model() if config.faults is not None else None
         )
+        realism = config.storage_realism
         self.storage = StableStorage(
             sim,
             owner=node_id,
@@ -77,8 +78,15 @@ class Node:
             rng=network.rngs.stream(f"storage.faults.{node_id}")
             if storage_faults is not None
             else None,
+            group_commit=realism.build_group_commit() if realism is not None else None,
         )
-        self.checkpoints = CheckpointStore(self.storage, node_id)
+        self.checkpoints = CheckpointStore(
+            self.storage,
+            node_id,
+            incremental=bool(realism is not None and realism.incremental_checkpoints),
+            full_every=realism.full_checkpoint_every if realism is not None else 8,
+            min_delta_bytes=realism.min_delta_bytes if realism is not None else 4_096,
+        )
 
         self.state = NodeState.CRASHED  # becomes LIVE in start()
         self.incarnation = 0
@@ -255,6 +263,9 @@ class Node:
             checkpoint_id=checkpoint.checkpoint_id,
             delivered=self.app.delivered_count,
             incarnation=self.incarnation,
+            # segments the restore read back: 1 for a flat image, the
+            # full+delta chain length under incremental checkpointing
+            chain_segments=self.checkpoints.chain_length,
         )
         queued, self._restore_queue = self._restore_queue, []
         for msg in queued:
@@ -427,7 +438,11 @@ class Node:
             extra=extra,
             on_done=on_done,
             bootstrap=bootstrap,
+            dirty_bytes=self.app.dirty_bytes,
         )
+        # the snapshot captured everything dirtied so far; the next
+        # delta is measured against this checkpoint
+        self.app.mark_clean()
         self.trace.record(
             self.sim.now, "node", self.node_id, "checkpoint",
             checkpoint_id=checkpoint.checkpoint_id,

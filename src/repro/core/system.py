@@ -108,9 +108,19 @@ class System:
         self.output_device = OutputDevice()
         workload = make_workload(config.workload, **config.workload_params)
         self.nodes: List[Node] = []
+        realism = config.storage_realism
+        dirty_per_delivery = (
+            realism.dirty_bytes_per_delivery
+            if realism is not None and realism.incremental_checkpoints
+            else 0
+        )
         for node_id in range(config.n):
             app = ApplicationProcess(
-                node_id, config.n, workload, state_bytes=config.state_bytes
+                node_id,
+                config.n,
+                workload,
+                state_bytes=config.state_bytes,
+                dirty_bytes_per_delivery=dirty_per_delivery,
             )
             protocol = _build_protocol(config)
             recovery = RECOVERY_MANAGERS[config.recovery]()
@@ -227,6 +237,7 @@ class System:
         storage_ops: Dict[int, Dict[str, Any]] = {}
         for node in self.nodes:
             stats = node.storage.stats
+            store = node.checkpoints
             storage_ops[node.node_id] = {
                 "reads": stats.reads,
                 "writes": stats.writes,
@@ -235,6 +246,20 @@ class System:
                 "sync_stall": stats.sync_stall_time.get(node.node_id, 0.0),
                 "faults_injected": stats.faults_injected,
                 "retry_time": stats.retry_time,
+                "busy_time": stats.busy_time,
+                # group commit
+                "batched_appends": stats.batched_appends,
+                "batch_flushes": stats.batch_flushes,
+                "batch_lost": stats.batch_lost,
+                # GC / compaction
+                "bytes_reclaimed": stats.bytes_reclaimed,
+                "reclaims": stats.reclaims,
+                # incremental checkpoint chain
+                "full_segments": store.full_segments,
+                "delta_segments": store.delta_segments,
+                "full_bytes_written": store.full_bytes_written,
+                "delta_bytes_written": store.delta_bytes_written,
+                "chain_length": store.chain_length,
             }
 
         piggyback_count = sum(

@@ -58,6 +58,11 @@ class ApplicationProcess:
     state_bytes:
         Modelled size of the process image (checkpoint size).  The
         paper's processes were "about one Mbyte".
+    dirty_bytes_per_delivery:
+        Modelled bytes of state touched by each delivery, feeding the
+        copy-on-write dirty counter that incremental checkpoints charge
+        instead of the full image.  Zero (the default) disables the
+        tracking entirely.
     """
 
     def __init__(
@@ -66,11 +71,16 @@ class ApplicationProcess:
         n_nodes: int,
         workload: "Workload",
         state_bytes: int = 1_000_000,
+        dirty_bytes_per_delivery: int = 0,
     ) -> None:
         self.node_id = node_id
         self.n_nodes = n_nodes
         self.workload = workload
         self.state_bytes = state_bytes
+        self.dirty_bytes_per_delivery = dirty_bytes_per_delivery
+        #: bytes dirtied since the last checkpoint (saturates at the
+        #: full image size -- rewriting a page twice dirties it once)
+        self.dirty_bytes = 0
         self.delivered_count = 0
         self.digest = self._initial_digest()
         self.delivery_history: List[Tuple[int, int]] = []  # (sender, ssn) in order
@@ -98,6 +108,10 @@ class ApplicationProcess:
         rsn = self.delivered_count
         self.delivered_count += 1
         self.delivery_history.append((sender, ssn))
+        if self.dirty_bytes_per_delivery:
+            self.dirty_bytes = min(
+                self.state_bytes, self.dirty_bytes + self.dirty_bytes_per_delivery
+            )
         return self.workload.on_deliver(
             self.node_id, self.n_nodes, rsn, sender, payload
         )
@@ -113,17 +127,23 @@ class ApplicationProcess:
             "delivery_history": list(self.delivery_history),
         }
 
+    def mark_clean(self) -> None:
+        """A checkpoint just snapshotted this state: nothing is dirty."""
+        self.dirty_bytes = 0
+
     def restore(self, state: Dict[str, Any]) -> None:
         """Reset to a checkpointed state (start of replay)."""
         self.delivered_count = state["delivered_count"]
         self.digest = state["digest"]
         self.delivery_history = list(state["delivery_history"])
+        self.dirty_bytes = 0
 
     def reset(self) -> None:
         """Crash: volatile state vanishes (until a checkpoint is restored)."""
         self.delivered_count = 0
         self.digest = self._initial_digest()
         self.delivery_history = []
+        self.dirty_bytes = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -97,6 +97,15 @@ class CoordinatedCheckpointing(LoggingProtocol):
         self._round_counts: Dict[int, int] = {0: 0}
         #: delivered_count covered by the latest *committed* round
         self._committed_count = 0
+        # -- snapshot GC (gated by StorageRealismConfig.log_compaction) --
+        #: peer -> highest committed round known *durable* at that peer
+        #: (learned from cl_gc broadcasts; lower-bounds the peer's
+        #: durable committed marker forever, because the marker writes
+        #: are FIFO and the marker never decreases)
+        self._durable_marks: Dict[int, int] = {}
+        #: round ids with a snapshot on our stable storage
+        self._written_rounds: set = set()
+        self.rounds_reclaimed = 0
 
     # ------------------------------------------------------------------
     # sending / receiving
@@ -347,6 +356,7 @@ class CoordinatedCheckpointing(LoggingProtocol):
             sent=dict(self.sent_count), recv=dict(self.recv_count),
         )
         self._round_counts[round_id] = node.app.delivered_count
+        self._written_rounds.add(round_id)
 
         def durable() -> None:
             if report_to is None:
@@ -401,12 +411,75 @@ class CoordinatedCheckpointing(LoggingProtocol):
                 self.node.sim.now, "snapshot", self.node.node_id, "committed",
                 round=round_id, covered=self._committed_count,
             )
-            self.node.storage.write(f"committed:{self.node.node_id}", round_id, 8)
+            self._write_committed_marker(round_id)
             self._release_committed_outputs()
             if self._pending_outputs:
                 # an output requested after this round's snapshot: ask for
                 # one more round to cover it
                 self._solicit_round()
+
+    # ------------------------------------------------------------------
+    # snapshot GC: reclaim rounds below the global durable-commit horizon
+    # ------------------------------------------------------------------
+    def _gc_enabled(self) -> bool:
+        realism = self.node.config.storage_realism
+        return realism is not None and realism.log_compaction
+
+    def _write_committed_marker(self, round_id: int) -> None:
+        """Persist the committed-round marker; with GC enabled, announce
+        the mark once it is *durable* (the announcement is a promise the
+        marker can never again read below ``round_id``)."""
+        if not self._gc_enabled():
+            self.node.storage.write(f"committed:{self.node.node_id}", round_id, 8)
+            return
+        node = self.node
+        epoch = node.crash_count
+
+        def durable() -> None:
+            if node.crash_count != epoch or not node.is_live:
+                return  # the mark died with the crash; never announce it
+            self._note_durable_mark(node.node_id, round_id)
+            for peer in self._peers():
+                self._send_ctl(peer, "cl_gc", {"round": round_id}, body=8)
+
+        node.storage.write(
+            f"committed:{node.node_id}", round_id, 8, on_done=durable
+        )
+
+    def _on_cl_gc(self, msg: Message) -> None:
+        if self._gc_enabled():
+            self._note_durable_mark(msg.src, msg.payload["round"])
+
+    def _note_durable_mark(self, peer: int, round_id: int) -> None:
+        if round_id > self._durable_marks.get(peer, -1):
+            self._durable_marks[peer] = round_id
+            self._reclaim_below_horizon()
+
+    def _reclaim_below_horizon(self) -> None:
+        """Drop snapshots no rollback can ever target again.
+
+        Any future rollback round is the minimum of per-node *durable*
+        committed markers, each of which is lower-bounded by that node's
+        announced mark (marker writes are FIFO and monotone).  Rounds
+        strictly below the minimum announced mark are therefore dead,
+        whatever fails next.  Requires a mark from every node -- a
+        silent (crashed) peer conservatively freezes the horizon.
+        """
+        node = self.node
+        if set(self._durable_marks) != set(range(node.config.n)):
+            return
+        horizon = min(self._durable_marks.values())
+        dead = sorted(r for r in self._written_rounds if r < horizon)
+        for round_id in dead:
+            node.storage.reclaim(f"round:{round_id}", node.config.state_bytes)
+            self._written_rounds.discard(round_id)
+            self._round_counts.pop(round_id, None)
+            self.rounds_reclaimed += 1
+        if dead:
+            node.trace.record(
+                node.sim.now, "gc", node.node_id, "rounds_reclaimed",
+                rounds=dead, horizon=horizon,
+            )
 
     def abort_round(self) -> None:
         """A failure interrupted the round; drop it and release holds."""
@@ -497,6 +570,10 @@ class CoordinatedCheckpointing(LoggingProtocol):
         # the round-0 image is on disk before the process launches
         self.node.storage.write_bootstrap("round:0", record)
         self.node.storage.write_bootstrap(f"committed:{self.node.node_id}", 0)
+        self._written_rounds.add(0)
+        if self._gc_enabled():
+            # every node's committed marker is durably 0 at time zero
+            self._durable_marks = {p: 0 for p in range(self.node.config.n)}
         super().on_start()
 
     def on_crash(self) -> None:
@@ -515,6 +592,9 @@ class CoordinatedCheckpointing(LoggingProtocol):
         self._done = set()
         self.epoch = 0
         self.committed_round = 0
+        # durable-mark knowledge is volatile (re-learned from cl_gc);
+        # _written_rounds mirrors stable contents, which survive
+        self._durable_marks = {}
 
     def restore_stable(self, on_done: Callable[[], None]) -> None:
         """Recover the committed-round marker (epoch comes from peers)."""
@@ -537,6 +617,7 @@ class CoordinatedCheckpointing(LoggingProtocol):
             stale_ctl_dropped=self.stale_ctl_dropped,
             epoch=self.epoch,
             committed_round=self.committed_round,
+            rounds_reclaimed=self.rounds_reclaimed,
         )
         return data
 

@@ -389,6 +389,10 @@ class FamilyBasedLogging(LogBasedProtocol):
             unstable_determinants=sum(
                 1 for det in self.det_log.determinants() if not self._det_stable(det)
             ),
+            # volatile-log GC effectiveness (checkpoint-driven pruning)
+            send_log_bytes_pruned=self.send_log.bytes_pruned,
+            send_log_entries_pruned=self.send_log.entries_pruned,
+            determinants_pruned=self.det_log.entries_pruned,
         )
         return data
 

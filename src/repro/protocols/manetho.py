@@ -85,7 +85,9 @@ class ManethoLogging(FamilyBasedLogging):
         if count == 0:
             return
         dropped = self.node.storage.log_truncate_head(
-            self._log_name(), lambda det_tuple: det_tuple[3] >= count
+            self._log_name(),
+            lambda det_tuple: det_tuple[3] >= count,
+            size_of=lambda _det_tuple: DETERMINANT_RECORD_BYTES,
         )
         if dropped:
             self.node.trace.record(

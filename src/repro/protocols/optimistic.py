@@ -253,6 +253,33 @@ class OptimisticLogging(LogBasedProtocol):
             )
         )
 
+    def on_checkpoint(self, checkpoint: "Checkpoint") -> None:
+        """Compact checkpoint-covered log entries (opt-in).
+
+        Unlike the pessimistic/Manetho truncation this is gated behind
+        :class:`~repro.core.config.StorageRealismConfig.log_compaction`,
+        because dropping entries shrinks the restart's log read and
+        therefore changes run timing.  Recovery-control markers ("end",
+        "truncate") are never dropped -- a replay still needs them to
+        reject resurrected suffixes.
+        """
+        realism = self.node.config.storage_realism
+        if realism is None or not realism.log_compaction:
+            return
+        count = checkpoint.delivered_count
+        if count == 0:
+            return
+        dropped = self.node.storage.log_truncate_head(
+            self._log_name(),
+            lambda entry: entry[0] != "entry" or entry[1][3] >= count,
+            size_of=lambda entry: entry[4] + LOG_RECORD_OVERHEAD,
+        )
+        if dropped:
+            self.node.trace.record(
+                self.node.sim.now, "gc", self.node.node_id, "log_compacted",
+                dropped=dropped, covered=count,
+            )
+
     def on_app_message_during_recovery(self, msg: Message) -> None:
         self._buffer_message(msg.src, msg.ssn, msg.payload["data"])
         self._buffered_deps[(msg.src, msg.ssn)] = msg.payload.get("dep", {})

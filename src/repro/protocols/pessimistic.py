@@ -141,7 +141,9 @@ class PessimisticLogging(LogBasedProtocol):
         if count == 0:
             return
         dropped = self.node.storage.log_truncate_head(
-            self._log_name(), lambda entry: entry[0][3] >= count
+            self._log_name(),
+            lambda entry: entry[0][3] >= count,
+            size_of=lambda entry: entry[2] + LOG_RECORD_OVERHEAD,
         )
         if dropped:
             self.node.trace.record(

@@ -6,6 +6,13 @@ stable storage *before* delivery, a recovering process needs nothing
 from anyone -- it restores its checkpoint, replays its own stable log,
 and announces completion so that senders can retransmit whatever was in
 flight when it crashed.  No other process blocks or participates.
+
+The checkpoint restore that precedes this manager is charged by the
+:class:`~repro.storage.checkpoint.CheckpointStore`: one full-image read
+in the seed's flat model, or -- under incremental checkpointing -- one
+read per chain segment (full + deltas), which is why the restore phase
+of the critical path grows with the delta chain and why periodic full
+checkpoints bound it.
 """
 
 from __future__ import annotations

@@ -97,6 +97,7 @@ class ReplicaOutcome:
     sanitizer: Optional[Dict[str, Any]] = None
 
     def as_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form for check reports."""
         return {
             "replica": self.replica,
             "tiebreak_seed": self.tiebreak_seed,
@@ -120,9 +121,11 @@ class CheckReport:
 
     @property
     def ok(self) -> bool:
+        """True when no replica diverged semantically."""
         return not self.divergences
 
     def as_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (written by ``check --report-dir``)."""
         return {
             "name": self.name,
             "seed": self.seed,

@@ -103,6 +103,7 @@ class SanitizerViolation:
     span_chain: List[Dict[str, Any]] = field(default_factory=list)
 
     def as_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form for reports and CLI output."""
         return {
             "invariant": self.invariant,
             "node": self.node,
@@ -213,6 +214,7 @@ class Sanitizer:
     # plumbing
     # ------------------------------------------------------------------
     def on_event(self, event: "TraceEvent") -> None:
+        """Feed one trace event through the invariant handlers."""
         self.events_seen += 1
         if self._stale_pending and event.time > self._stale_pending[0][0]:
             self._flush_stale_pending(event.time)
@@ -612,6 +614,7 @@ class Sanitizer:
 
     @property
     def clean(self) -> bool:
+        """True while no invariant has been violated."""
         return not self.violations
 
     def report(self) -> Dict[str, Any]:

@@ -281,6 +281,13 @@ PHASE_COMPONENT = {
 #: Phase whose time is refined against overlapping same-node storage
 #: spans: replay time actually spent waiting on the device is storage
 #: cost, not recomputation.
+#:
+#: Storage spans are matched by their ``storage.`` kind prefix, so every
+#: device operation participates automatically: ``storage.write``,
+#: ``storage.read``, ``storage.log_append``, ``storage.log_read``, and
+#: ``storage.batch_flush`` (one group-commit batch hitting the device --
+#: its span covers the whole coalesced operation, which is how batched
+#: log time shows up on the recovery critical path).
 _STORAGE_REFINED = {"recovery.replay": "replay"}
 
 

@@ -7,13 +7,21 @@ checkpoints through the :class:`~repro.storage.stable.StableStorage`
 model, so saving and (crucially for the paper's argument) *restoring*
 them costs realistic stable-storage time -- the dominant term in the
 evaluation's measured ~5 s recovery.
+
+The store has two modes.  The default (flat) mode writes every
+checkpoint as a full ``state_bytes`` image, exactly the seed's cost
+model.  Incremental mode (enabled by
+:class:`~repro.core.config.StorageRealismConfig`) writes copy-on-write
+*delta* segments sized by the process's dirty bytes, forces a periodic
+full segment to bound the chain a restart must read back, and reclaims
+superseded segments once a new full lands.
 """
 
 from __future__ import annotations
 
 import copy
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.storage.stable import StableStorage
 
@@ -36,6 +44,18 @@ class Checkpoint:
     state_bytes:
         Modelled size of the process image (the paper's processes were
         "about one Mbyte").
+    checkpoint_id:
+        Monotone id assigned by the store.
+    taken_at:
+        Virtual time the snapshot was taken.
+    extra:
+        Protocol-specific replayable state riding along.
+    incremental:
+        Whether this segment was written as a delta (incremental mode).
+    charged_bytes:
+        Bytes actually charged to the device for this segment (equals
+        ``state_bytes`` for full segments, the clamped dirty size for
+        deltas).
     """
 
     node: int
@@ -46,22 +66,57 @@ class Checkpoint:
     checkpoint_id: int = 0
     taken_at: float = 0.0
     extra: Dict[str, Any] = field(default_factory=dict)
+    incremental: bool = False
+    charged_bytes: int = 0
 
 
 class CheckpointStore:
     """Persists one node's checkpoints through the stable-storage model.
 
-    Only the latest checkpoint is retained (the FBL protocols never need
-    an earlier one: message logging replays everything after it).
+    Only the latest recovery line is retained (the FBL protocols never
+    need an earlier one: message logging replays everything after it).
+    In flat mode that line is a single full image; in incremental mode
+    it is a chain ``[full, delta, delta, ...]`` whose segments restore
+    reads back one by one.
     """
 
-    def __init__(self, storage: StableStorage, node: int) -> None:
+    def __init__(
+        self,
+        storage: StableStorage,
+        node: int,
+        incremental: bool = False,
+        full_every: int = 8,
+        min_delta_bytes: int = 4_096,
+    ) -> None:
+        """Attach the store to ``storage``; see class docstring for modes."""
+        if full_every < 1:
+            raise ValueError(f"full_every must be >= 1, got {full_every!r}")
         self.storage = storage
         self.node = node
+        self.incremental = incremental
+        self.full_every = full_every
+        self.min_delta_bytes = min_delta_bytes
         self._next_id = 1
         self._latest_durable: Optional[Checkpoint] = None
+        # durable chain, full segment first (incremental mode only); the
+        # device is FIFO and a crash aborts everything in flight, so the
+        # durable chain is always a consistent prefix of what was written
+        self._chain: List[Checkpoint] = []
+        self._deltas_since_full = 0
+        self._force_full = True  # first runtime checkpoint after boot/restore
+        #: full/delta segment counters (accounting, zero-cost)
+        self.full_segments = 0
+        self.delta_segments = 0
+        self.delta_bytes_written = 0
+        self.full_bytes_written = 0
 
     # ------------------------------------------------------------------
+    def _charge_for(self, dirty_bytes: Optional[int], state_bytes: int) -> int:
+        """Delta segment size: dirty bytes clamped to [floor, full]."""
+        if dirty_bytes is None:
+            return state_bytes
+        return max(self.min_delta_bytes, min(dirty_bytes, state_bytes))
+
     def save(
         self,
         delivered_count: int,
@@ -72,13 +127,37 @@ class CheckpointStore:
         extra: Optional[Dict[str, Any]] = None,
         on_done: Optional[Callable[[Checkpoint], None]] = None,
         bootstrap: bool = False,
+        dirty_bytes: Optional[int] = None,
     ) -> Checkpoint:
         """Write a new checkpoint; ``on_done`` fires when it is durable.
 
         ``bootstrap`` marks the time-zero checkpoint: the initial process
         image already sits on stable storage before the process launches,
         so it is durable immediately and costs no simulated I/O.
+
+        ``dirty_bytes`` (incremental mode) is the modelled amount of
+        state touched since the previous checkpoint; when the store
+        decides to write a delta, that -- clamped to
+        ``[min_delta_bytes, state_bytes]`` -- is the size charged to the
+        device instead of the full image.
         """
+        if not self.incremental:
+            return self._save_flat(
+                delivered_count, app_state, send_seqnos, state_bytes,
+                taken_at, extra, on_done, bootstrap,
+            )
+
+        charge = self._charge_for(dirty_bytes, state_bytes)
+        # write a full segment when the chain budget is spent, after a
+        # boot/restore (no baseline to delta against), or when the
+        # process dirtied its whole image anyway
+        full = (
+            bootstrap
+            or self._force_full
+            or self._deltas_since_full >= self.full_every - 1
+            or charge >= state_bytes
+        )
+        charged = state_bytes if full else charge
         checkpoint = Checkpoint(
             node=self.node,
             delivered_count=delivered_count,
@@ -88,10 +167,71 @@ class CheckpointStore:
             checkpoint_id=self._next_id,
             taken_at=taken_at,
             extra=copy.deepcopy(extra) if extra else {},
+            incremental=not full,
+            charged_bytes=charged,
+        )
+        self._next_id += 1
+        if full:
+            self._force_full = False
+            self._deltas_since_full = 0
+            self.full_segments += 1
+            self.full_bytes_written += charged
+        else:
+            self._deltas_since_full += 1
+            self.delta_segments += 1
+            self.delta_bytes_written += charged
+
+        def done() -> None:
+            """Chain bookkeeping once the segment is durable."""
+            self._latest_durable = checkpoint
+            if full:
+                # the new full supersedes the old chain: reclaim it
+                for old in self._chain:
+                    self.storage.reclaim(
+                        f"checkpoint:{self.node}:{old.checkpoint_id}",
+                        old.charged_bytes,
+                    )
+                self._chain = [checkpoint]
+            else:
+                self._chain.append(checkpoint)
+            if on_done is not None:
+                on_done(checkpoint)
+
+        key = f"checkpoint:{self.node}:{checkpoint.checkpoint_id}"
+        if bootstrap:
+            self.storage.write_bootstrap(key, checkpoint)
+            done()
+        else:
+            self.storage.write(key, checkpoint, charged, on_done=done)
+        return checkpoint
+
+    def _save_flat(
+        self,
+        delivered_count: int,
+        app_state: Dict[str, Any],
+        send_seqnos: Dict[int, int],
+        state_bytes: int,
+        taken_at: float,
+        extra: Optional[Dict[str, Any]],
+        on_done: Optional[Callable[[Checkpoint], None]],
+        bootstrap: bool,
+    ) -> Checkpoint:
+        """The seed's flat path: one full image per checkpoint."""
+        checkpoint = Checkpoint(
+            node=self.node,
+            delivered_count=delivered_count,
+            app_state=copy.deepcopy(app_state),
+            send_seqnos=dict(send_seqnos),
+            state_bytes=state_bytes,
+            checkpoint_id=self._next_id,
+            taken_at=taken_at,
+            extra=copy.deepcopy(extra) if extra else {},
+            charged_bytes=state_bytes,
         )
         self._next_id += 1
 
         def done() -> None:
+            """Publish the durable snapshot and notify the caller."""
             self._latest_durable = checkpoint
             if on_done is not None:
                 on_done(checkpoint)
@@ -105,17 +245,36 @@ class CheckpointStore:
         return checkpoint
 
     def restore(self, on_done: Callable[[Optional[Checkpoint]], None]) -> float:
-        """Read the latest durable checkpoint back (full state transfer).
+        """Read the latest durable recovery line back (full state transfer).
 
-        The read is charged the full ``state_bytes`` -- this is the
-        "restoring its state may take tens of seconds" cost from the
-        paper.  ``on_done(None)`` fires if no checkpoint was ever saved.
-        Returns the modelled completion time.
+        Flat mode reads one full image -- the "restoring its state may
+        take tens of seconds" cost from the paper.  Incremental mode
+        reads every segment of the durable chain (one device operation
+        each, charged its segment size), which is why periodic full
+        checkpoints bound recovery time.  ``on_done`` receives the last
+        segment -- the newest state -- or ``None`` if nothing was ever
+        saved.  Returns the modelled completion time.
         """
+        if self.incremental and self._chain:
+            # the next checkpoint after a restore has no dirty baseline
+            self._force_full = True
+            last = self._chain[-1]
+            finish = 0.0
+            for segment in self._chain:
+                callback = (lambda _v, s=segment: None)
+                if segment is last:
+                    callback = lambda _v: on_done(last)  # noqa: E731
+                finish = self.storage.read(
+                    f"checkpoint:{self.node}:{segment.checkpoint_id}",
+                    segment.charged_bytes,
+                    callback,
+                )
+            return finish
         size = self._latest_durable.state_bytes if self._latest_durable else 0
         durable = self._latest_durable
 
         def done(_value: Any) -> None:
+            """Hand the reloaded checkpoint to the caller."""
             on_done(durable)
 
         return self.storage.read(f"checkpoint:{self.node}", size, done)
@@ -125,6 +284,13 @@ class CheckpointStore:
     def latest(self) -> Optional[Checkpoint]:
         """Latest durable checkpoint (zero-cost; for tests/assertions)."""
         return self._latest_durable
+
+    @property
+    def chain_length(self) -> int:
+        """Durable segments a restore must read (1 in flat mode)."""
+        if self.incremental:
+            return len(self._chain)
+        return 1 if self._latest_durable is not None else 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         cid = self._latest_durable.checkpoint_id if self._latest_durable else None

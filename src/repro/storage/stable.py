@@ -35,6 +35,31 @@ class StorageFaultError(RuntimeError):
 
 
 @dataclass
+class GroupCommitPolicy:
+    """Flush policy for group-committed log appends.
+
+    Appends queue in a volatile write buffer and are flushed to the
+    device as one operation when the oldest queued append has waited
+    ``window`` seconds, or immediately once ``max_ops`` appends or
+    ``max_bytes`` bytes are queued.  One batch costs a single
+    per-operation latency plus the transfer time of its total bytes --
+    this is the amortisation real logging stacks get from group commit.
+    """
+
+    window: float = 0.005
+    max_ops: int = 32
+    max_bytes: int = 262_144
+
+    def __post_init__(self) -> None:
+        if self.window < 0:
+            raise ValueError(f"window must be non-negative, got {self.window!r}")
+        if self.max_ops < 1:
+            raise ValueError(f"max_ops must be >= 1, got {self.max_ops!r}")
+        if self.max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {self.max_bytes!r}")
+
+
+@dataclass
 class StorageRetryPolicy:
     """Retry-with-backoff applied to faulted operations.
 
@@ -89,6 +114,7 @@ class StorageFaultModel:
                 raise ValueError(f"fault window heals before it starts: {start} > {end}")
 
     def add_window(self, start: float, end: Optional[float]) -> None:
+        """Add an outage window; ``end=None`` means it never heals."""
         self.windows.append((start, end))
 
     def attempt_fails(
@@ -120,16 +146,29 @@ class StableStorageStats:
     retry_time: float = 0.0
     #: time callers spent waiting for synchronous operations, by node
     sync_stall_time: Dict[int, float] = field(default_factory=dict)
+    #: log appends absorbed into group-commit batches
+    batched_appends: int = 0
+    #: group-commit batches flushed to the device
+    batch_flushes: int = 0
+    #: queued appends lost to a crash before their batch flushed
+    batch_lost: int = 0
+    #: space reclaimed by GC / compaction (metadata operations)
+    bytes_reclaimed: int = 0
+    #: reclaim operations (checkpoint supersession, log compaction)
+    reclaims: int = 0
 
     def add_stall(self, node: int, duration: float) -> None:
+        """Charge ``duration`` seconds of synchronous wait to ``node``."""
         self.sync_stall_time[node] = self.sync_stall_time.get(node, 0.0) + duration
 
     @property
     def operations(self) -> int:
+        """Total device operations (reads + writes)."""
         return self.reads + self.writes
 
     @property
     def total_bytes(self) -> int:
+        """Total bytes transferred (read + written)."""
         return self.bytes_read + self.bytes_written
 
 
@@ -150,6 +189,7 @@ class StableStorage:
         trace: Optional[TraceRecorder] = None,
         faults: Optional[StorageFaultModel] = None,
         rng: Optional[random.Random] = None,
+        group_commit: Optional[GroupCommitPolicy] = None,
     ) -> None:
         if op_latency < 0:
             raise ValueError(f"op_latency must be non-negative, got {op_latency!r}")
@@ -162,6 +202,7 @@ class StableStorage:
         self.trace = trace
         self.faults = faults
         self.rng = rng
+        self.group_commit = group_commit
         self.stats = StableStorageStats()
         #: optional repro.core.metrics_registry.MetricsRegistry (set by System)
         self.registry = None
@@ -170,6 +211,11 @@ class StableStorage:
         self._pending: Dict[int, Any] = {}
         self._op_spans: Dict[int, int] = {}
         self._next_op_id = 0
+        # group-commit write buffer: (log, entry, size, on_done, stall_node,
+        # enqueued_at), volatile until the batch flush lands
+        self._batch_queue: List[Tuple[str, Any, int, Any, Optional[int], float]] = []
+        self._batch_bytes = 0
+        self._batch_timer: Optional[Any] = None
 
     # ------------------------------------------------------------------
     def _fault_rng(self) -> random.Random:
@@ -262,6 +308,15 @@ class StableStorage:
                 self.trace.spans.end(span, self.sim.now, aborted=True)
         self._op_spans.clear()
         self._device_free_at = self.sim.now
+        # the group-commit write buffer is volatile: queued appends that
+        # never flushed die with the process, exactly like an in-flight op
+        if self._batch_timer is not None:
+            self._batch_timer.cancel()
+            self._batch_timer = None
+        if self._batch_queue:
+            self.stats.batch_lost += len(self._batch_queue)
+            self._batch_queue.clear()
+            self._batch_bytes = 0
         return count
 
     # ------------------------------------------------------------------
@@ -290,6 +345,7 @@ class StableStorage:
             )
 
         def done() -> None:
+            """Apply the write once the device op completes."""
             self._data[name] = value
             if on_done is not None:
                 on_done()
@@ -318,6 +374,7 @@ class StableStorage:
             )
 
         def done() -> None:
+            """Deliver the value once the device op completes."""
             on_done(self._data.get(name))
 
         finish = self._schedule_op(size_bytes, done, kind="read")
@@ -346,8 +403,15 @@ class StableStorage:
     ) -> float:
         """Durably append ``entry`` to the named log.
 
-        Costs one write of ``size_bytes``.  Returns the completion time.
+        Without group commit this costs one write of ``size_bytes`` and
+        returns the completion time.  With a :class:`GroupCommitPolicy`
+        attached, the append joins the volatile write buffer and is
+        durable only when its batch flushes -- ``on_done`` still fires
+        exactly at durability, but the returned time is the *projected*
+        flush deadline (the batch may flush earlier on a size threshold).
         """
+        if self.group_commit is not None:
+            return self._enqueue_append(log, entry, size_bytes, on_done, stall_node)
         self.stats.writes += 1
         self.stats.bytes_written += size_bytes
         if self.trace is not None:
@@ -356,6 +420,7 @@ class StableStorage:
             )
 
         def done() -> None:
+            """Append the entry once the device op completes."""
             self._data.setdefault(f"log:{log}", []).append(entry)
             if on_done is not None:
                 on_done()
@@ -363,6 +428,87 @@ class StableStorage:
         finish = self._schedule_op(size_bytes, done, kind="log_append")
         if stall_node is not None:
             self.stats.add_stall(stall_node, finish - self.sim.now)
+        return finish
+
+    def _enqueue_append(
+        self,
+        log: str,
+        entry: Any,
+        size_bytes: int,
+        on_done: Optional[Callable[[], None]],
+        stall_node: Optional[int],
+    ) -> float:
+        """Queue one append in the group-commit buffer; maybe flush."""
+        policy = self.group_commit
+        self.stats.batched_appends += 1
+        if self.trace is not None:
+            self.trace.record(
+                self.sim.now, "storage", self.owner, "log_append",
+                log=log, size=size_bytes, batched=True,
+            )
+        self._batch_queue.append(
+            (log, entry, size_bytes, on_done, stall_node, self.sim.now)
+        )
+        self._batch_bytes += size_bytes
+        if self.registry is not None:
+            self.registry.counter("storage.batched_appends").inc()
+        if (
+            len(self._batch_queue) >= policy.max_ops
+            or self._batch_bytes >= policy.max_bytes
+        ):
+            return self._flush_batch()
+        if self._batch_timer is None:
+            self._batch_timer = self.sim.schedule(
+                policy.window, self._flush_on_window, label=f"group_commit:{self.owner}"
+            )
+        return self.sim.now + policy.window
+
+    def _flush_on_window(self) -> None:
+        """Window timer fired: force the pending batch to the device."""
+        self._batch_timer = None
+        if self._batch_queue:
+            self._flush_batch()
+
+    def _flush_batch(self) -> float:
+        """Write every queued append as one device operation."""
+        if self._batch_timer is not None:
+            self._batch_timer.cancel()
+            self._batch_timer = None
+        batch, self._batch_queue = self._batch_queue, []
+        total = self._batch_bytes
+        self._batch_bytes = 0
+        self.stats.writes += 1
+        self.stats.bytes_written += total
+        self.stats.batch_flushes += 1
+        if self.trace is not None:
+            self.trace.record(
+                self.sim.now, "storage", self.owner, "batch_flush",
+                ops=len(batch), size=total,
+            )
+
+        def done() -> None:
+            # entries become visible (and callers learn of durability)
+            # in enqueue order, matching the device's FIFO semantics
+            for log, entry, _size, _on_done, _stall, _at in batch:
+                self._data.setdefault(f"log:{log}", []).append(entry)
+            for _log, _entry, _size, batch_on_done, _stall, _at in batch:
+                if batch_on_done is not None:
+                    batch_on_done()
+
+        finish = self._schedule_op(total, done, kind="batch_flush")
+        for _log, _entry, _size, _on_done, stall_node, enqueued_at in batch:
+            if stall_node is not None:
+                # a batched caller stalls from enqueue to durable: the
+                # window wait is part of the latency it experiences
+                self.stats.add_stall(stall_node, finish - enqueued_at)
+            if self.registry is not None:
+                self.registry.histogram("storage.batch_queue_wait").observe(
+                    self.sim.now - enqueued_at
+                )
+        if self.registry is not None:
+            self.registry.counter("storage.batch_flushes").inc()
+            self.registry.histogram("storage.batch_size_ops").observe(len(batch))
+            self.registry.histogram("storage.batch_size_bytes").observe(total)
         return finish
 
     def log_read(
@@ -387,6 +533,7 @@ class StableStorage:
             )
 
         def done() -> None:
+            """Deliver the log snapshot once the device op completes."""
             on_done(entries)
 
         finish = self._schedule_op(size, done, kind="log_read")
@@ -398,11 +545,14 @@ class StableStorage:
         """Zero-cost length of the named log (tests/assertions)."""
         return len(self._data.get(f"log:{log}", []))
 
-    def log_truncate_head(self, log: str, keep) -> int:
+    def log_truncate_head(self, log: str, keep, size_of=None) -> int:
         """Drop log entries that ``keep`` rejects (garbage collection).
 
         Modelled as a metadata operation (advancing the log's start
         pointer / recycling extents), so it costs no simulated I/O time.
+        ``size_of(entry)`` -- when given -- credits each dropped entry's
+        bytes to the device's reclaimed-space account, so per-protocol GC
+        effectiveness is measurable without changing any timing.
         Returns the number of entries dropped.
         """
         key = f"log:{log}"
@@ -412,7 +562,31 @@ class StableStorage:
         kept = [entry for entry in entries if keep(entry)]
         dropped = len(entries) - len(kept)
         self._data[key] = kept
+        if dropped and size_of is not None:
+            freed = sum(size_of(entry) for entry in entries if not keep(entry))
+            self.stats.bytes_reclaimed += freed
+            self.stats.reclaims += 1
+            if self.registry is not None:
+                self.registry.counter("storage.bytes_reclaimed").inc(freed)
         return dropped
+
+    def reclaim(self, name: str, size_bytes: int) -> None:
+        """Free a durable object and credit its space to the GC account.
+
+        A metadata operation (extent recycling): no simulated I/O time.
+        Used by incremental checkpointing to drop superseded chain
+        segments and by coordinated GC to drop committed rounds.
+        """
+        self._data.pop(name, None)
+        self.stats.bytes_reclaimed += size_bytes
+        self.stats.reclaims += 1
+        if self.trace is not None:
+            self.trace.record(
+                self.sim.now, "storage", self.owner, "reclaim",
+                name=name, size=size_bytes,
+            )
+        if self.registry is not None:
+            self.registry.counter("storage.bytes_reclaimed").inc(size_bytes)
 
     # ------------------------------------------------------------------
     def peek(self, name: str) -> Any:

@@ -23,6 +23,7 @@ class VolatileLog(Generic[T]):
         self._entries: List[T] = []
 
     def append(self, entry: T) -> None:
+        """Append ``entry`` to the log."""
         self._entries.append(entry)
 
     def entries(self) -> List[T]:
@@ -54,6 +55,10 @@ class SendLog:
     def __init__(self) -> None:
         self._by_key: Dict[Tuple[int, int], Dict[str, Any]] = {}
         self.bytes_logged = 0
+        #: cumulative bytes released by checkpoint-driven pruning
+        self.bytes_pruned = 0
+        #: cumulative entries released by checkpoint-driven pruning
+        self.entries_pruned = 0
 
     def log(self, dst: int, ssn: int, payload: Dict[str, Any], size_bytes: int) -> None:
         """Record an outgoing message for possible replay."""
@@ -83,7 +88,9 @@ class SendLog:
         victims = [key for key in self._by_key if key[0] == dst and key[1] <= ssn]
         for key in victims:
             self.bytes_logged -= self._by_key[key]["size"]
+            self.bytes_pruned += self._by_key[key]["size"]
             del self._by_key[key]
+        self.entries_pruned += len(victims)
         return len(victims)
 
     def clear(self) -> None:
@@ -124,6 +131,8 @@ class DeterminantLog:
     def __init__(self) -> None:
         self._dets: Dict[Tuple[int, int], Determinant] = {}
         self._logged_at: Dict[Tuple[int, int], frozenset] = {}
+        #: cumulative determinants released by checkpoint-driven pruning
+        self.entries_pruned = 0
 
     # ------------------------------------------------------------------
     def add(self, det: Determinant, logged_at: Iterable[int] = ()) -> bool:
@@ -184,6 +193,7 @@ class DeterminantLog:
         for key in victims:
             del self._dets[key]
             del self._logged_at[key]
+        self.entries_pruned += len(victims)
         return len(victims)
 
     def clear(self) -> None:

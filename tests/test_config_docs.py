@@ -1,0 +1,62 @@
+"""docs/CONFIG.md must document every configuration field.
+
+The reference page promises completeness; this test makes the promise
+enforceable.  Adding a field to SystemConfig (or a sub-config) without
+a row in docs/CONFIG.md fails here with the missing names.
+"""
+
+import dataclasses
+import os
+import re
+
+import pytest
+
+from repro.core.config import FaultConfig, StorageRealismConfig, SystemConfig
+
+DOC_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "docs",
+    "CONFIG.md",
+)
+
+
+def doc_text() -> str:
+    with open(DOC_PATH, encoding="utf-8") as handle:
+        return handle.read()
+
+
+def documented_fields(text: str) -> set:
+    """Field names documented as leading table cells: ``| `name` |``."""
+    return set(re.findall(r"^\| `([A-Za-z_][A-Za-z0-9_]*)`", text, re.MULTILINE))
+
+
+@pytest.mark.parametrize(
+    "config_class", [SystemConfig, FaultConfig, StorageRealismConfig]
+)
+def test_every_config_field_is_documented(config_class):
+    documented = documented_fields(doc_text())
+    missing = {
+        field.name for field in dataclasses.fields(config_class)
+    } - documented
+    assert not missing, (
+        f"{config_class.__name__} fields missing from docs/CONFIG.md: "
+        f"{sorted(missing)} -- add a table row for each"
+    )
+
+
+def test_documented_fields_exist():
+    """No stale rows: every documented name is a real config field."""
+    known = set()
+    for config_class in (SystemConfig, FaultConfig, StorageRealismConfig):
+        known |= {field.name for field in dataclasses.fields(config_class)}
+    stale = documented_fields(doc_text()) - known
+    assert not stale, (
+        f"docs/CONFIG.md documents unknown fields: {sorted(stale)} -- "
+        f"remove the rows or fix the names"
+    )
+
+
+def test_doc_mentions_every_sub_config():
+    text = doc_text()
+    for config_class in (SystemConfig, FaultConfig, StorageRealismConfig):
+        assert config_class.__name__ in text
