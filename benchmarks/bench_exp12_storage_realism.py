@@ -23,18 +23,16 @@ from repro.runner import run_results
 from paper_setup import emit, once, paper_config
 
 #: the five log/checkpoint-based families compared throughout the repo,
-#: each with its checkpoint interval.  Optimistic logging runs
-#: checkpoint-free (its Strom-Yemini variant relies on the log alone):
-#: periodic checkpoints can themselves become orphaned after a rollback
-#: announcement, which the simulator does not yet resolve (see the
-#: ROADMAP open item) -- the flat and realistic arms still compare at
-#: equal intervals.
+#: each with its checkpoint interval.  Optimistic logging checkpoints
+#: too: a checkpoint orphaned by a later rollback announcement is
+#: detected at restart and the store falls back to the newest clean
+#: retained line (CheckpointStore.retain_history).
 STACKS = [
     ("fbl", "nonblocking", 8),
     ("sender_based", "nonblocking", 8),
     ("manetho", "nonblocking", 8),
     ("pessimistic", "local", 8),
-    ("optimistic", "optimistic", 0),
+    ("optimistic", "optimistic", 8),
 ]
 
 CHECKPOINT_EVERY = 8

@@ -20,9 +20,9 @@ from paper_setup import emit, once, paper_config
 P, Q = 3, 5
 
 
-def _config(crashes, name, detection_delay=3.0):
+def _config(crashes, name, detection_delay=3.0, recovery="nonblocking"):
     return paper_config(
-        f"e8-{name}", recovery="nonblocking", crashes=crashes,
+        f"e8-{name}", recovery=recovery, crashes=crashes,
         detection_delay=detection_delay,
     )
 
@@ -44,45 +44,63 @@ def _run_batch(configs):
 
 @pytest.mark.benchmark(group="exp8")
 def test_exp8_gather_restart_cost(benchmark):
-    single, after_reply = _run_batch([
+    def before_reply_crashes():
+        return [
+            crash_at(P, 0.05),
+            crash_on(Q, "net", "deliver", match_node=Q,
+                     match_details={"mtype": "depinfo_request"},
+                     immediate=True),
+        ]
+
+    single, after_reply, before_restart = _run_batch([
         _config([crash_at(P, 0.05)], "single"),
         _config(
             [crash_at(P, 0.05),
              crash_on(Q, "recovery", "depinfo_request_received", match_node=Q)],
             "after-reply",
         ),
+        # the paper's literal goto 4, pinned by the legacy restart manager
+        _config(before_reply_crashes(), "before-reply-restart",
+                recovery="nonblocking-restart"),
     ])
     before_reply = once(benchmark, lambda: run(
-        [crash_at(P, 0.05),
-         crash_on(Q, "net", "deliver", match_node=Q,
-                  match_details={"mtype": "depinfo_request"}, immediate=True)],
-        "before-reply",
+        before_reply_crashes(), "before-reply",
     ))
 
     rows = []
     for label, result in (
         ("single failure", single),
         ("2nd crash after replying", after_reply),
-        ("2nd crash before replying (goto 4)", before_reply),
+        ("2nd crash before replying (resume)", before_reply),
+        ("2nd crash before replying (goto 4)", before_restart),
     ):
         rows.append([
             label,
             result.recovery_messages(),
             sum(e.gather_restarts for e in result.episodes),
+            sum(e.reply_invalidations for e in result.episodes),
             f"{max(result.recovery_durations()):.2f}",
             f"{result.total_blocked_time:.3f}",
         ])
     emit(
-        "E8a cost of the goto-4 restart",
-        ["scenario", "ctl msgs", "gather restarts", "longest recovery (s)", "blocked (s)"],
+        "E8a cost of the goto-4 restart (legacy) vs the resumed round",
+        ["scenario", "ctl msgs", "gather restarts", "replies invalidated",
+         "longest recovery (s)", "blocked (s)"],
         rows,
     )
 
-    assert sum(e.gather_restarts for e in before_reply.episodes) >= 1
+    # the legacy manager executes the paper's goto 4; the resumable one
+    # just invalidates the reply the dead process owed
+    assert sum(e.gather_restarts for e in before_restart.episodes) >= 1
+    assert sum(e.gather_restarts for e in before_reply.episodes) == 0
+    assert sum(e.reply_invalidations for e in before_reply.episodes) >= 1
     assert sum(e.gather_restarts for e in after_reply.episodes) == 0
-    # a restart costs extra messages but still blocks nobody
+    # the restart re-requests the round: strictly more control traffic
+    assert before_restart.recovery_messages() > before_reply.recovery_messages()
+    # the concurrent failure costs extra messages but blocks nobody
     assert before_reply.recovery_messages() > single.recovery_messages()
     assert before_reply.total_blocked_time == 0.0
+    assert before_restart.total_blocked_time == 0.0
 
 
 @pytest.mark.benchmark(group="exp8")

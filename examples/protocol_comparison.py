@@ -26,20 +26,23 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 from repro import SystemConfig, build_system, crash_at
 from repro.analysis.report import format_table
 
+#: (label, protocol, params, recovery, checkpoint interval).  The
+#: optimistic stack checkpoints: a line orphaned by a peer's rollback is
+#: skipped at restart for the newest clean retained one.
 STACKS = [
-    ("fbl(f=2) + nonblocking", "fbl", {"f": 2}, "nonblocking"),
-    ("fbl(f=2) + blocking", "fbl", {"f": 2}, "blocking"),
-    ("sender-based (f=1)", "sender_based", {}, "nonblocking"),
-    ("manetho (f=n)", "manetho", {}, "nonblocking"),
-    ("pessimistic", "pessimistic", {}, "local"),
-    ("optimistic", "optimistic", {}, "optimistic"),
-    ("coordinated ckpt", "coordinated", {"snapshot_every": 12}, "coordinated"),
+    ("fbl(f=2) + nonblocking", "fbl", {"f": 2}, "nonblocking", 0),
+    ("fbl(f=2) + blocking", "fbl", {"f": 2}, "blocking", 0),
+    ("sender-based (f=1)", "sender_based", {}, "nonblocking", 0),
+    ("manetho (f=n)", "manetho", {}, "nonblocking", 0),
+    ("pessimistic", "pessimistic", {}, "local", 0),
+    ("optimistic", "optimistic", {}, "optimistic", 8),
+    ("coordinated ckpt", "coordinated", {"snapshot_every": 12}, "coordinated", 0),
 ]
 
 
 def main() -> None:
     rows = []
-    for label, protocol, params, recovery in STACKS:
+    for label, protocol, params, recovery, checkpoint_every in STACKS:
         config = SystemConfig(
             name=label,
             n=8,
@@ -51,6 +54,7 @@ def main() -> None:
             crashes=[crash_at(node=3, time=0.1)],
             detection_delay=3.0,
             state_bytes=1_000_000,
+            checkpoint_every=checkpoint_every,
         )
         system = build_system(config)
         result = system.run()

@@ -73,15 +73,20 @@ def nonblocking_recovery_messages(
     Leader-side, per completed gather round over R recovering and
     L = n - R live processes:
 
+    * resume check with the sequencer at election .................. 2
     * incarnation round over the *other* members of R ..... 2 (R - 1)
     * depinfo round over L ..................................... 2 L
+    * persisted gather progress (one post per incarnation reply,
+      one at incarnation-phase completion, one per depinfo
+      reply — docs/RECOVERY.md) ........................ (R - 1) + 1 + L
     * distribution to the other members of R ................. R - 1
     * leader-done to peers plus the sequencer ..................... n
 
-    A gather restart repeats the incarnation and depinfo rounds.  This
-    counts one leadership round serving all R members (the common case
-    when failures overlap); processes recovering in disjoint windows are
-    better modelled as separate calls.
+    A gather restart repeats the incarnation and depinfo rounds and
+    re-persists the progress.  This counts one leadership round serving
+    all R members (the common case when failures overlap); processes
+    recovering in disjoint windows are better modelled as separate
+    calls.
     """
     if recovering < 1 or n < 2:
         raise ValueError("need n >= 2 and recovering >= 1")
@@ -89,7 +94,8 @@ def nonblocking_recovery_messages(
     live = n - r
     per_process = 2 + (n - 1) + n
     gather = 2 * (r - 1) + 2 * live
-    leader = (gather_restarts + 1) * gather + (r - 1) + n
+    persist = (r - 1) + 1 + live
+    leader = (gather_restarts + 1) * (gather + persist) + 2 + (r - 1) + n
     return r * per_process + leader
 
 

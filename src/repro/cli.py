@@ -313,6 +313,8 @@ def cmd_check(args: argparse.Namespace) -> int:
     seeds = (
         [int(s) for s in args.seeds.split(",")] if args.seeds else [args.seed]
     )
+    if args.exhaustive:
+        return _cmd_check_exhaustive(args, seeds)
     rows = []
     reports = []
     exit_code = 0
@@ -348,6 +350,59 @@ def cmd_check(args: argparse.Namespace) -> int:
         os.makedirs(args.report_dir, exist_ok=True)
         for report in reports:
             path = os.path.join(args.report_dir, f"check-seed{report.seed}.json")
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(report.as_dict(), handle, indent=2, default=str)
+        print(f"  reports: wrote {len(reports)} file(s) to {args.report_dir}")
+    return exit_code
+
+
+def _cmd_check_exhaustive(args: argparse.Namespace, seeds: List[int]) -> int:
+    """Small-scope systematic search: every legal same-instant schedule."""
+    import json
+    import os
+
+    from repro.sanitizer.differ import exhaustive_check_trial
+
+    rows = []
+    reports = []
+    exit_code = 0
+    for seed in seeds:
+        config = _config_from_args(args)
+        config.seed = seed
+        config.name = f"check-exh-{config.protocol}-s{seed}"
+        config.sanitize = not args.no_sanitize
+        report = exhaustive_check_trial(
+            config,
+            max_schedules=args.max_schedules,
+            max_depth=args.max_depth,
+        )
+        reports.append(report)
+        rows.append([
+            seed,
+            report.schedules,
+            report.decision_points,
+            report.max_width,
+            "yes" if report.complete else "no",
+            "none" if report.ok else f"{len(report.divergences)} DIVERGENT",
+        ])
+        if not report.ok:
+            exit_code = 1
+    print(format_table(
+        ["seed", "schedules", "decisions", "max width", "complete",
+         "divergence"],
+        rows,
+        title=f"exhaustive schedule check ({args.protocol} + "
+              f"{args.recovery or DEFAULT_RECOVERY[args.protocol]})",
+    ))
+    for report in reports:
+        for line in report.divergences:
+            print(f"  seed {report.seed}: {line}")
+    if args.report_dir:
+        os.makedirs(args.report_dir, exist_ok=True)
+        for report in reports:
+            path = os.path.join(
+                args.report_dir, f"check-exh-seed{report.seed}.json"
+            )
             with open(path, "w", encoding="utf-8") as handle:
                 json.dump(report.as_dict(), handle, indent=2, default=str)
         print(f"  reports: wrote {len(reports)} file(s) to {args.report_dir}")
@@ -656,6 +711,19 @@ def build_parser() -> argparse.ArgumentParser:
     check_parser.add_argument(
         "--jobs", type=int, default=None,
         help="worker processes (default: $REPRO_JOBS, else cpu_count-1)",
+    )
+    check_parser.add_argument(
+        "--exhaustive", action="store_true",
+        help="enumerate every legal same-instant interleaving (small-scope "
+             "systematic search) instead of sampling tie-break replicas",
+    )
+    check_parser.add_argument(
+        "--max-schedules", type=int, default=64,
+        help="schedule budget for --exhaustive (default 64)",
+    )
+    check_parser.add_argument(
+        "--max-depth", type=int, default=None,
+        help="only branch on the first K decision points (--exhaustive)",
     )
     check_parser.set_defaults(fn=cmd_check)
 

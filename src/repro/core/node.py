@@ -86,6 +86,7 @@ class Node:
             incremental=bool(realism is not None and realism.incremental_checkpoints),
             full_every=realism.full_checkpoint_every if realism is not None else 8,
             min_delta_bytes=realism.min_delta_bytes if realism is not None else 4_096,
+            retain_history=getattr(protocol, "retain_checkpoint_history", False),
         )
 
         self.state = NodeState.CRASHED  # becomes LIVE in start()
@@ -98,6 +99,7 @@ class Node:
         self.blocked = False
         self._blocked_queue: List[Message] = []
         self._restore_queue: List[Message] = []
+        self._restored_checkpoint: Optional[Checkpoint] = None
         self._crash_epoch = 0
         self.crash_count = 0
 
@@ -236,17 +238,28 @@ class Node:
             )
         if self.state != NodeState.RESTORING:
             return  # crashed again while the read was in flight
+        self.apply_checkpoint(checkpoint)
+        self.protocol.restore_stable(self._finish_restore)
+
+    def apply_checkpoint(self, checkpoint: Checkpoint) -> None:
+        """Load one checkpoint's replayable state into the process.
+
+        Normally called once per restart with the latest line; a
+        protocol may call it again from ``restore_stable`` after
+        swapping in an earlier line (orphaned-checkpoint fallback).
+        """
+        self._restored_checkpoint = checkpoint
         self.app.restore(checkpoint.app_state)
         self.send_seqnos = dict(checkpoint.send_seqnos)
         self.delivered_ids = {
             tuple(item) for item in checkpoint.extra.get("delivered_ids", [])
         }
         self.protocol.on_restore(checkpoint)
-        self.protocol.restore_stable(lambda: self._finish_restore(checkpoint))
 
-    def _finish_restore(self, checkpoint: Checkpoint) -> None:
+    def _finish_restore(self) -> None:
         if self.state != NodeState.RESTORING:
             return
+        checkpoint = self._restored_checkpoint
         # Paper step 2: incarnation <- incarnation + 1.  The counter is a
         # restart count, trivially persisted by the watchdog.
         self.incarnation += 1

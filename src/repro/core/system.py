@@ -313,6 +313,24 @@ class System:
             self.registry.counter("recovery.gather_restarts").inc(
                 sum(e.gather_restarts for e in self.metrics.episodes)
             )
+            # churn counters: handoffs/resumes are episode-attributed;
+            # stale-epoch drops also happen at live nodes and the
+            # sequencer, so they are summed from the managers directly
+            self.registry.counter("recovery.leader_handoffs").inc(
+                sum(e.leader_handoffs for e in self.metrics.episodes)
+            )
+            self.registry.counter("recovery.rounds_resumed").inc(
+                sum(e.rounds_resumed for e in self.metrics.episodes)
+            )
+            stale_drops = sum(
+                node.recovery.stale_epoch_drops for node in self.nodes
+            )
+            if self.sequencer is not None:
+                stale_drops += self.sequencer.stale_epoch_drops
+            self.registry.counter("recovery.stale_epoch_drops").inc(stale_drops)
+            self.registry.counter("recovery.reply_invalidations").inc(
+                sum(e.reply_invalidations for e in self.metrics.episodes)
+            )
             self.registry.counter("protocol.piggyback_determinants").inc(
                 piggyback_count
             )

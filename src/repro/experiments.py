@@ -74,7 +74,11 @@ def failure_during_recovery(
 ) -> System:
     """E2: a second process dies the instant the first recovery's
     request reaches it, before it can reply -- the paper's hard case."""
-    trigger = "depinfo_request" if recovery == "nonblocking" else "recovery_request"
+    trigger = (
+        "depinfo_request"
+        if recovery.startswith("nonblocking")
+        else "recovery_request"
+    )
     return paper_system(
         f"failure-during-recovery-{recovery}",
         recovery=recovery,

@@ -58,7 +58,7 @@ class FamilyBasedLogging(LogBasedProtocol):
     """
 
     name = "fbl"
-    supported_recovery = ("blocking", "nonblocking")
+    supported_recovery = ("blocking", "nonblocking", "nonblocking-restart")
 
     def __init__(self, f: int = 2, ack_to_sender: bool = False) -> None:
         super().__init__()

@@ -37,6 +37,10 @@ class OptimisticLogging(LogBasedProtocol):
     name = "optimistic"
     supported_recovery = ("optimistic",)
     requests_retransmissions = False
+    #: keep every durable checkpoint: the newest one may be orphaned by
+    #: a peer's rollback, and the restart then falls back to an earlier
+    #: line (see restore_stable)
+    retain_checkpoint_history = True
 
     def __init__(self) -> None:
         super().__init__()
@@ -359,7 +363,19 @@ class OptimisticLogging(LogBasedProtocol):
         ]
 
     def restore_stable(self, on_done) -> None:
-        """Read the log, apply truncate markers, stage the valid prefix."""
+        """Read the log, apply truncate markers, stage the valid prefix.
+
+        The staged log also reveals whether the checkpoint the node just
+        restored is itself an **orphan**: a checkpoint taken after a
+        delivery that a peer's later rollback invalidated freezes the
+        orphaned state, and restarting from it would only send this
+        process through another voluntary rollback -- forever, since the
+        same checkpoint is restored every time (the livelock this method
+        breaks).  When the restored dependency history violates a replay
+        constraint learned from the durable truncate markers, the newest
+        retained checkpoint whose history satisfies every constraint is
+        read back instead (the bootstrap checkpoint, with no
+        dependencies, always qualifies)."""
 
         def loaded(entries: list) -> None:
             staged: Dict[int, Tuple[Determinant, Dict[str, Any], Dict[int, int]]] = {}
@@ -382,10 +398,57 @@ class OptimisticLogging(LogBasedProtocol):
                     det = Determinant.from_tuple(tuple(det_tuple))
                     staged[det.rsn] = (det, data, dep)
             self._staged_log = staged
+            if self._replay_constraints and self._history_violates(
+                self._dep_history
+            ):
+                self._fall_back_to_clean_checkpoint(on_done)
+                return
             on_done()
 
         self._staged_log: Dict[int, Tuple[Determinant, Dict[str, Any], Dict[int, int]]] = {}
         self.node.storage.log_read(self._log_name(), LOG_RECORD_OVERHEAD + 128, loaded)
+
+    def _history_violates(self, dep_history) -> bool:
+        """Does any retained delivery depend on a rolled-back interval?"""
+        return any(
+            self._violates(dep.get(peer), peer_inc, bound)
+            for peer, (peer_inc, bound) in self._replay_constraints.items()
+            for dep in dep_history
+        )
+
+    def _fall_back_to_clean_checkpoint(self, on_done) -> None:
+        """Swap the orphaned restored line for the newest clean one."""
+        node = self.node
+        orphaned = node._restored_checkpoint
+        candidate = None
+        for checkpoint in reversed(node.checkpoints.durable_history):
+            if checkpoint.checkpoint_id >= orphaned.checkpoint_id:
+                continue
+            history = [
+                {int(k): tuple(v) for k, v in d.items()}
+                for d in checkpoint.extra.get("protocol", {}).get(
+                    "dep_history", []
+                )
+            ]
+            if not self._history_violates(history):
+                candidate = checkpoint
+                break
+        if candidate is None:
+            # bootstrap images carry no dependencies, so this means the
+            # history was not retained (store built without it) -- keep
+            # the restored line rather than crash the restart
+            on_done()
+            return
+        node.trace.record(
+            node.sim.now, "recovery", node.node_id, "orphan_checkpoint_skipped",
+            from_id=orphaned.checkpoint_id, to_id=candidate.checkpoint_id,
+            delivered=candidate.delivered_count,
+        )
+        def reapplied(checkpoint) -> None:
+            node.apply_checkpoint(checkpoint)
+            on_done()
+
+        node.checkpoints.restore_line(candidate, reapplied)
 
     # ------------------------------------------------------------------
     # replay: the contiguous, constraint-respecting logged prefix

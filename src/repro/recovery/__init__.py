@@ -3,9 +3,15 @@
 * :class:`~repro.recovery.nonblocking.NonblockingRecovery` -- **the
   paper's new algorithm** (Section 3): leader-driven gathering of
   depinfo with incarnation vectors; live processes never block, never
-  refuse messages, never write stable storage synchronously; the gather
-  restarts whenever a live process dies before replying; leader failover
-  by ordinal number.
+  refuse messages, never write stable storage synchronously; leader
+  failover by ordinal number.  Hardened for churn: every episode is
+  epoch-numbered, gather progress is persisted at the sequencer, and a
+  leader failure hands the round off to the successor (see
+  ``docs/RECOVERY.md``).
+* :class:`~repro.recovery.nonblocking.RestartingNonblockingRecovery`
+  (``nonblocking-restart``) -- the paper's literal variant: any failure
+  during a round restarts the gather from scratch (``goto 4``).  Kept
+  as the baseline for churn-degradation comparisons.
 * :class:`~repro.recovery.blocking.BlockingRecovery` -- the baseline
   "optimized to reduce the communication overhead": the recovering
   process queries live processes directly (no leader or sequencer
@@ -27,13 +33,17 @@ from repro.recovery.base import RecoveryManager
 from repro.recovery.blocking import BlockingRecovery
 from repro.recovery.coordinated_mgr import CoordinatedRecovery
 from repro.recovery.local import LocalRecovery
-from repro.recovery.nonblocking import NonblockingRecovery
+from repro.recovery.nonblocking import (
+    NonblockingRecovery,
+    RestartingNonblockingRecovery,
+)
 from repro.recovery.optimistic_mgr import OptimisticRecovery
 from repro.recovery.sequencer import Sequencer
 
 RECOVERY_MANAGERS = {
     "blocking": BlockingRecovery,
     "nonblocking": NonblockingRecovery,
+    "nonblocking-restart": RestartingNonblockingRecovery,
     "local": LocalRecovery,
     "optimistic": OptimisticRecovery,
     "coordinated": CoordinatedRecovery,
@@ -43,6 +53,7 @@ __all__ = [
     "RecoveryManager",
     "BlockingRecovery",
     "NonblockingRecovery",
+    "RestartingNonblockingRecovery",
     "LocalRecovery",
     "OptimisticRecovery",
     "CoordinatedRecovery",

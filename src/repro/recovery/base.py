@@ -1,4 +1,17 @@
-"""Recovery manager interface and shared helpers."""
+"""Recovery manager interface and shared helpers.
+
+Every recovery **episode** runs under a *recovery epoch*: an integer
+that strictly increases across a node's episodes (the non-blocking
+manager uses the sequencer-granted ordinal, which is system-wide
+monotone; the others use the incarnation counter, which is per-node
+monotone).  All recovery control messages carry the sender's epoch --
+:meth:`send_control` injects it automatically unless the caller tagged
+the payload with the conversation's epoch explicitly (replies echo the
+request's epoch).  Receivers reject messages from dead epochs with
+:meth:`stale_epoch`, which traces every drop so the online sanitizer
+(``recovery-epoch`` invariant) can audit the discipline: no control
+message from epoch *e* may be acted on in epoch *e' > e*.
+"""
 
 from __future__ import annotations
 
@@ -26,6 +39,12 @@ class RecoveryManager(ABC):
 
     def __init__(self) -> None:
         self.node = None  # set by attach()
+        #: recovery epoch of the current episode; 0 while not recovering
+        self.epoch = 0
+        #: control messages dropped because they came from a dead epoch
+        self.stale_epoch_drops = 0
+        #: highest epoch seen per peer (volatile; rebuilt after a crash)
+        self._peer_epochs: Dict[int, int] = {}
 
     def attach(self, node: "Node") -> None:
         """Bind to the owning node.  Called once at system build."""
@@ -49,15 +68,23 @@ class RecoveryManager(ABC):
         payload: Optional[Dict[str, Any]] = None,
         body_bytes: int = 32,
     ) -> None:
-        """Send one recovery-class control message."""
+        """Send one recovery-class control message.
+
+        The sender's current recovery epoch rides along automatically;
+        callers that answer on behalf of another episode (replies) set
+        ``payload["epoch"]`` to the conversation's epoch themselves and
+        the injected default does not override it.
+        """
         node = self.node
+        payload = payload if payload is not None else {}
+        payload.setdefault("epoch", self.epoch)
         node.network.send(
             Message(
                 src=node.node_id,
                 dst=dst,
                 kind=MessageKind.RECOVERY,
                 mtype=mtype,
-                payload=payload or {},
+                payload=payload,
                 body_bytes=body_bytes,
                 incarnation=node.incarnation,
             )
@@ -80,9 +107,56 @@ class RecoveryManager(ABC):
         node = self.node
         node.trace.record(node.sim.now, "recovery", node.node_id, action, **details)
 
+    # -- recovery epochs --------------------------------------------------
+    def begin_epoch(self, epoch: int) -> None:
+        """Enter a new recovery epoch (traced for the sanitizer)."""
+        self.epoch = epoch
+        self.trace("epoch_begin", epoch=epoch)
+
+    def stale_epoch(self, msg: Message, expected: Optional[int] = None) -> bool:
+        """Reject a control message that belongs to a dead recovery epoch.
+
+        With ``expected`` set, the message must carry exactly that epoch
+        (the reply-checking form: a late reply to an earlier episode's
+        request is dropped).  Without it, the message's epoch must not
+        regress below the highest epoch this node has seen from the
+        sender (the peer-tracking form).  Returns True when the message
+        is stale; drops are counted and traced so the sanitizer's
+        ``recovery-epoch`` invariant can audit them.
+        """
+        epoch = (msg.payload or {}).get("epoch", 0)
+        if expected is not None:
+            stale = epoch != expected
+            want = expected
+        else:
+            want = self._peer_epochs.get(msg.src, 0)
+            stale = epoch < want
+            if not stale and epoch > want:
+                self._peer_epochs[msg.src] = epoch
+        if stale:
+            self.stale_epoch_drops += 1
+            episode = self.node.metrics.episode_of(self.node.node_id)
+            if episode is not None:
+                episode.stale_epoch_drops += 1
+            self.trace(
+                "stale_epoch_drop",
+                src=msg.src,
+                mtype=msg.mtype,
+                epoch=epoch,
+                expected=want,
+            )
+        return stale
+
     # -- lifecycle ----------------------------------------------------------
     def on_crash(self) -> None:
-        """This node crashed; drop any in-progress recovery state."""
+        """This node crashed; drop any in-progress recovery state.
+
+        Subclasses extending this must call ``super().on_crash()``: the
+        epoch of the dead episode and the volatile per-peer epoch view
+        do not survive a crash.
+        """
+        self.epoch = 0
+        self._peer_epochs.clear()
 
     @abstractmethod
     def begin_recovery(self) -> None:
@@ -102,4 +176,4 @@ class RecoveryManager(ABC):
     # -- accounting ---------------------------------------------------------
     def stats(self) -> Dict[str, Any]:
         """Manager-specific counters for the run summary."""
-        return {}
+        return {"stale_epoch_drops": self.stale_epoch_drops}

@@ -55,6 +55,7 @@ class BlockingRecovery(RecoveryManager):
 
     # ------------------------------------------------------------------
     def on_crash(self) -> None:
+        super().on_crash()
         self._collecting = False
         self._expected.clear()
         self._replies.clear()
@@ -65,6 +66,11 @@ class BlockingRecovery(RecoveryManager):
     # recovering side
     # ------------------------------------------------------------------
     def begin_recovery(self) -> None:
+        # the incarnation counter is this node's episode epoch: strictly
+        # monotone across its episodes, so late replies to a dead
+        # episode's gather are rejected by the epoch check
+        if self.epoch != self.node.incarnation:
+            self.begin_epoch(self.node.incarnation)
         self._collecting = True
         self._replies.clear()
         self._expected = {
@@ -129,13 +135,14 @@ class BlockingRecovery(RecoveryManager):
         self.begin_recovery()
 
     def on_replay_complete(self) -> None:
-        self.trace("complete")
+        self.trace("complete", epoch=self.epoch)
         self.broadcast_control(
             self.peers,
             "recovery_complete",
             {"incarnation": self.node.incarnation},
             body_bytes=16,
         )
+        self.epoch = 0
         self.node.complete_recovery()
 
     # ------------------------------------------------------------------
@@ -150,6 +157,8 @@ class BlockingRecovery(RecoveryManager):
             self._on_recovery_complete(msg)
 
     def _on_recovery_request(self, msg: Message) -> None:
+        if self.stale_epoch(msg):
+            return  # a dead episode's request must not block this node
         self.trace("recovery_request_received", requester=msg.src)
         self._active_recoveries.add(msg.src)
         if self.node.is_recovering:
@@ -168,6 +177,7 @@ class BlockingRecovery(RecoveryManager):
             self.node.protocol.absorb_piggybacks(self.node.blocked_app_messages())
         wire = self.node.protocol.local_depinfo_wire()
         requester = msg.src
+        request_epoch = (msg.payload or {}).get("epoch", 0)
         self.sync_reply_writes += 1
 
         def send_reply() -> None:
@@ -177,7 +187,7 @@ class BlockingRecovery(RecoveryManager):
             self.send_control(
                 requester,
                 "recovery_reply",
-                {"wire": wire},
+                {"wire": wire, "epoch": request_epoch},
                 body_bytes=32 * len(wire),
             )
 
@@ -191,10 +201,14 @@ class BlockingRecovery(RecoveryManager):
         )
 
     def _on_recovery_reply(self, msg: Message) -> None:
+        if self.stale_epoch(msg, expected=self.epoch):
+            return  # reply to a dead episode's gather
         self._replies[msg.src] = msg.payload["wire"]
         self._check_done()
 
     def _on_recovery_complete(self, msg: Message) -> None:
+        if self.stale_epoch(msg):
+            return  # a dead episode's completion must not unblock us
         self._active_recoveries.discard(msg.src)
         current = self.node.incvector.get(msg.src, 0)
         self.node.incvector[msg.src] = max(current, msg.payload["incarnation"])
@@ -232,4 +246,6 @@ class BlockingRecovery(RecoveryManager):
 
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, Any]:
-        return {"sync_reply_writes": self.sync_reply_writes}
+        stats = super().stats()
+        stats["sync_reply_writes"] = self.sync_reply_writes
+        return stats

@@ -35,6 +35,7 @@ class CoordinatedRecovery(RecoveryManager):
         self._pending_rollback: Optional[Dict[str, int]] = None
 
     def on_crash(self) -> None:
+        super().on_crash()
         self._collecting = False
         self._expected.clear()
         self._replies.clear()
@@ -44,6 +45,9 @@ class CoordinatedRecovery(RecoveryManager):
     # recovering side
     # ------------------------------------------------------------------
     def begin_recovery(self) -> None:
+        # recovery epoch (distinct from the protocol's *rollback* epoch):
+        # the incarnation counter, strictly monotone across episodes
+        self.begin_epoch(self.node.incarnation)
         self._collecting = True
         self._replies.clear()
         self._expected = {
@@ -61,17 +65,20 @@ class CoordinatedRecovery(RecoveryManager):
         self._collecting = False
         rounds = [r["committed_round"] for r in self._replies.values()]
         rounds.append(self.node.protocol.committed_round)
-        epochs = [r["epoch"] for r in self._replies.values()]
+        epochs = [r["rollback_epoch"] for r in self._replies.values()]
         epochs.append(self.node.protocol.epoch)
         epochs.append(self._max_seen_epoch)
         target = min(rounds)
         new_epoch = max(epochs) + 1
         self._max_seen_epoch = new_epoch
-        self.trace("rollback_decision", round=target, epoch=new_epoch)
+        self.trace("rollback_decision", round=target, rollback_epoch=new_epoch,
+                   epoch=self.epoch)
+        # NB the *recovery* epoch rides along under "epoch" (injected by
+        # send_control); the rollback generation is "rollback_epoch"
         self.broadcast_control(
             self.peers,
             "rollback",
-            {"round": target, "epoch": new_epoch},
+            {"round": target, "rollback_epoch": new_epoch},
             body_bytes=16,
         )
         self.node.mark_replay_start()
@@ -89,7 +96,10 @@ class CoordinatedRecovery(RecoveryManager):
             )
             return
         self._pending_rollback = None
-        self.trace("complete", delivered=self.node.app.delivered_count)
+        self.trace(
+            "complete", delivered=self.node.app.delivered_count, epoch=self.epoch
+        )
+        self.epoch = 0
         self.node.complete_recovery()
 
     # ------------------------------------------------------------------
@@ -97,6 +107,8 @@ class CoordinatedRecovery(RecoveryManager):
     # ------------------------------------------------------------------
     def on_control(self, msg: Message) -> None:
         if msg.mtype == "rollback_query":
+            if self.stale_epoch(msg):
+                return  # query from a dead recovery episode
             # report the highest epoch *seen*, not merely applied: another
             # rollback may still be reloading state when this query lands,
             # and the decider must pick a strictly newer epoch
@@ -105,30 +117,40 @@ class CoordinatedRecovery(RecoveryManager):
                 "rollback_reply",
                 {
                     "committed_round": self.node.protocol.committed_round,
-                    "epoch": max(self.node.protocol.epoch, self._max_seen_epoch),
+                    "epoch": (msg.payload or {}).get("epoch", 0),
+                    "rollback_epoch": max(
+                        self.node.protocol.epoch, self._max_seen_epoch
+                    ),
                 },
                 body_bytes=16,
             )
         elif msg.mtype == "rollback_reply":
-            self._max_seen_epoch = max(self._max_seen_epoch, msg.payload["epoch"])
+            if self.stale_epoch(msg, expected=self.epoch):
+                return  # reply to a dead episode's query
+            self._max_seen_epoch = max(
+                self._max_seen_epoch, msg.payload["rollback_epoch"]
+            )
             if self._collecting:
                 self._replies[msg.src] = msg.payload
                 self._check_replies()
         elif msg.mtype == "rollback":
-            self._max_seen_epoch = max(self._max_seen_epoch, msg.payload["epoch"])
+            if self.stale_epoch(msg):
+                return  # a dead episode's rollback decision
+            rollback_epoch = msg.payload["rollback_epoch"]
+            self._max_seen_epoch = max(self._max_seen_epoch, rollback_epoch)
             if self.node.is_recovering:
                 pending = {
                     "round": msg.payload["round"],
-                    "epoch": msg.payload["epoch"],
+                    "epoch": rollback_epoch,
                 }
                 if (
                     self._pending_rollback is None
                     or pending["epoch"] > self._pending_rollback["epoch"]
                 ):
                     self._pending_rollback = pending
-            elif msg.payload["epoch"] > self.node.protocol.epoch:
+            elif rollback_epoch > self.node.protocol.epoch:
                 self.node.protocol.rollback_to_round(
-                    msg.payload["round"], msg.payload["epoch"], lambda: None
+                    msg.payload["round"], rollback_epoch, lambda: None
                 )
 
     # ------------------------------------------------------------------
@@ -141,5 +163,3 @@ class CoordinatedRecovery(RecoveryManager):
                 # a failure aborts any snapshot round in progress
                 self.node.protocol.abort_round()
 
-    def stats(self) -> Dict[str, Any]:
-        return {}

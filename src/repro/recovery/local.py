@@ -30,25 +30,26 @@ class LocalRecovery(RecoveryManager):
 
     def begin_recovery(self) -> None:
         """Everything needed is already local (loaded by restore_stable)."""
+        self.begin_epoch(self.node.incarnation)
         self.node.mark_replay_start()
         self.trace("local_replay")
         self.node.protocol.begin_replay([])
 
     def on_replay_complete(self) -> None:
-        self.trace("complete")
+        self.trace("complete", epoch=self.epoch)
         self.broadcast_control(
             self.peers,
             "recovery_complete",
             {"incarnation": self.node.incarnation},
             body_bytes=16,
         )
+        self.epoch = 0
         self.node.complete_recovery()
 
     def on_control(self, msg: Message) -> None:
         if msg.mtype == "recovery_complete":
+            if self.stale_epoch(msg):
+                return
             current = self.node.incvector.get(msg.src, 0)
             self.node.incvector[msg.src] = max(current, msg.payload["incarnation"])
             self.node.protocol.on_peer_recovered(msg.src)
-
-    def stats(self) -> Dict[str, Any]:
-        return {}

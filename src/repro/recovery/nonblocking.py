@@ -20,16 +20,37 @@ Key properties reproduced here:
 * Each live process learns the leader's ``incvector`` with the request
   and thereafter rejects stale messages from pre-failure incarnations,
   so the gathered snapshot stays consistent.
-* **If a live process fails before replying, the leader restarts the
-  gather** (the ``goto 4``), first waiting for the newly failed process
-  to announce its own recovery so its fresh incarnation can be
-  collected.
 * **If the leader fails, the next process in ordinal order takes over**
-  and restarts the algorithm.
+  (the deterministic ``CanLead`` predicate: the unserved member of R
+  holding the minimum unserved ordinal).
+
+On top of the paper's algorithm this implementation makes recovery
+robust under *churn* (view-change machinery in the style of
+viewstamped-replication recovery):
+
+* Every episode runs under a **recovery epoch** (the sequencer-granted
+  ordinal, system-wide monotone); all control messages carry it and
+  stale-epoch messages are dropped, so a dead episode can never corrupt
+  a later one.
+* The leader **persists per-round gather progress** at the never-failing
+  sequencer (round number, the gathered incvector, each depinfo reply
+  as it arrives).  A leader failure triggers a **handoff**: the
+  successor fetches the persisted state and *resumes the round from the
+  last completed phase* instead of restarting from scratch.
+* A live process failing before its reply **invalidates only the reply
+  it owed**: the leader discards that one entry, waits for the failed
+  process to rejoin R (absorbing its fresh incarnation from the join
+  announcement), and keeps every other reply -- the paper's literal
+  ``goto 4`` is only taken when the incarnation phase itself is
+  incomplete.
+
+:class:`RestartingNonblockingRecovery` (``nonblocking-restart``) keeps
+the original restart-from-scratch behaviour for old-vs-new degradation
+comparisons.
 
 The price is extra control messages (ordinal round-trip, incarnation
-round, depinfo round per restart, distribution) -- which is precisely
-the trade the paper argues has become cheap.
+round, depinfo round per restart, distribution, progress posts) --
+which is precisely the trade the paper argues has become cheap.
 """
 
 from __future__ import annotations
@@ -51,15 +72,24 @@ class NonblockingRecovery(RecoveryManager):
 
     name = "nonblocking"
 
+    #: resume rounds across leader failures (view-change handoff) and
+    #: absorb member churn without voiding the round; the
+    #: ``nonblocking-restart`` subclass turns this off to recover the
+    #: paper's literal restart-everything behaviour
+    resumable = True
+
     def __init__(self) -> None:
         super().__init__()
         self.ord: Optional[int] = None
         self.role = "idle"  # idle | acquiring | waiting | leader
-        self.phase = None  # leader: inc | depinfo | distribute
+        self.phase = None  # leader: fetch | inc | depinfo | distribute
         #: node -> {"ord": int, "incarnation": Optional[int]}
         self.known_recovering: Dict[int, Dict[str, Any]] = {}
         self._gather_round = 0
         self.gather_restarts = 0
+        self.leader_handoffs = 0
+        self.rounds_resumed = 0
+        self.reply_invalidations = 0
         self._inc_replies: Dict[int, int] = {}
         self._depinfo_expected: Set[int] = set()
         self._depinfo_replies: Dict[int, List[Any]] = {}
@@ -71,6 +101,7 @@ class NonblockingRecovery(RecoveryManager):
     # lifecycle
     # ------------------------------------------------------------------
     def on_crash(self) -> None:
+        super().on_crash()
         self._stop_poll()
         if self._round_span is not None:
             self.node.trace.spans.end(
@@ -104,6 +135,9 @@ class NonblockingRecovery(RecoveryManager):
         if self.role != "acquiring":
             return
         self.ord = msg.payload["ord"]
+        # the ordinal is the episode's recovery epoch (already
+        # system-wide monotone)
+        self.begin_epoch(msg.payload.get("epoch", self.ord))
         for peer, entry in msg.payload["active"].items():
             if peer != self.node.node_id:
                 self.known_recovering.setdefault(
@@ -120,7 +154,7 @@ class NonblockingRecovery(RecoveryManager):
             "served": False,
         }
         self.role = "waiting"
-        self.trace("ord_acquired", ord=self.ord)
+        self.trace("ord_acquired", ord=self.ord, epoch=self.epoch)
         self.broadcast_control(
             self.peers,
             "join_recovery",
@@ -132,6 +166,8 @@ class NonblockingRecovery(RecoveryManager):
             self._start_poll()
 
     def _on_join_recovery(self, msg: Message) -> None:
+        if self.stale_epoch(msg):
+            return
         self.known_recovering[msg.src] = {
             "ord": msg.payload["ord"],
             "incarnation": msg.payload["incarnation"],
@@ -141,23 +177,36 @@ class NonblockingRecovery(RecoveryManager):
             # a sender we may be waiting on is reachable again
             self.node.protocol.request_retransmissions_from(msg.src)
         if self.role == "leader" and self.phase in ("inc", "depinfo"):
-            # A process we were waiting on (or a brand-new failure) has
-            # come back: absorb it into R and redo the gather (goto 4).
-            self._restart_gather("join")
+            if self.resumable and self.phase == "depinfo":
+                # A process we were waiting on has come back: absorb it
+                # into R without voiding the round.
+                self._absorb_member(msg.src, msg.payload["incarnation"])
+            else:
+                # The paper's goto 4: absorb it into R and redo the
+                # gather.
+                self._restart_gather("join")
         elif self.role == "waiting":
             self._evaluate_leadership()
 
     def _on_inc_request(self, msg: Message) -> None:
+        if self.stale_epoch(msg):
+            return
         if self.node.is_recovering:
             self.send_control(
                 msg.src,
                 "inc_reply",
-                {"round": msg.payload["round"], "incarnation": self.node.incarnation},
+                {
+                    "round": msg.payload["round"],
+                    "epoch": msg.payload.get("epoch", 0),
+                    "incarnation": self.node.incarnation,
+                },
                 body_bytes=16,
             )
 
     def _on_inc_reply(self, msg: Message) -> None:
         if self.role != "leader" or self.phase != "inc":
+            return
+        if self.stale_epoch(msg, expected=self.epoch):
             return
         if msg.payload["round"] != self._gather_round:
             return
@@ -175,6 +224,8 @@ class NonblockingRecovery(RecoveryManager):
         synchronous stable-storage write, no embargo on application
         messages.
         """
+        if self.stale_epoch(msg):
+            return
         self.trace("depinfo_request_received", leader=msg.src)
         for peer, inc in msg.payload["incvector"].items():
             current = self.node.incvector.get(peer, 0)
@@ -186,21 +237,36 @@ class NonblockingRecovery(RecoveryManager):
         self.send_control(
             msg.src,
             "depinfo_reply",
-            {"round": msg.payload["round"], "wire": wire},
+            {
+                "round": msg.payload["round"],
+                "epoch": msg.payload.get("epoch", 0),
+                "wire": wire,
+            },
             body_bytes=32 * len(wire),
         )
 
     def _on_depinfo_reply(self, msg: Message) -> None:
         if self.role != "leader" or self.phase != "depinfo":
             return
+        if self.stale_epoch(msg, expected=self.epoch):
+            return
         if msg.payload["round"] != self._gather_round:
             return
         if msg.src in self._depinfo_expected:
             self._depinfo_replies[msg.src] = msg.payload["wire"]
+            self._post_progress(depinfo={msg.src: msg.payload["wire"]})
+            self.trace(
+                "depinfo_reply_accepted",
+                src=msg.src,
+                round=self._gather_round,
+                epoch=self.epoch,
+            )
             self._check_depinfo_done()
 
     def _on_depinfo_distribute(self, msg: Message) -> None:
         """Step 6 at a non-leader member of R: take the snapshot, replay."""
+        if self.stale_epoch(msg):
+            return
         if not self.node.is_recovering or self.role not in ("waiting", "leader"):
             return
         mine = self.known_recovering.get(self.node.node_id)
@@ -217,6 +283,8 @@ class NonblockingRecovery(RecoveryManager):
         self.node.protocol.begin_replay(msg.payload["wire"])
 
     def _on_recovery_complete(self, msg: Message) -> None:
+        if self.stale_epoch(msg):
+            return
         self.known_recovering.pop(msg.src, None)
         current = self.node.incvector.get(msg.src, 0)
         self.node.incvector[msg.src] = max(current, msg.payload["incarnation"])
@@ -229,10 +297,20 @@ class NonblockingRecovery(RecoveryManager):
 
     def _on_leader_done(self, msg: Message) -> None:
         """The current leader finished its algorithm (distributed the
-        depinfo); its recovery round no longer gates leadership."""
-        for peer in msg.payload["served"]:
+        depinfo); its recovery round no longer gates leadership.
+        ``served`` maps peer -> the ordinal the leader served, so a late
+        announcement from a dead round never retires a newer episode."""
+        if self.stale_epoch(msg):
+            return
+        for peer, peer_ord in msg.payload["served"].items():
+            if peer == self.node.node_id:
+                # our own served flag means "depinfo in hand" and is set
+                # only on actually receiving the distribution: if ours
+                # was lost, staying unserved lets us take over as leader
+                # and re-gather instead of waiting forever
+                continue
             entry = self.known_recovering.get(peer)
-            if entry is not None:
+            if entry is not None and entry["ord"] == peer_ord:
                 entry["served"] = True
         if self.role == "waiting":
             self._evaluate_leadership()
@@ -240,15 +318,33 @@ class NonblockingRecovery(RecoveryManager):
     def _on_status_reply(self, msg: Message) -> None:
         if self.role != "waiting":
             return
+        if self.stale_epoch(msg, expected=self.epoch):
+            return
         active = msg.payload["active"]
         for peer in list(self.known_recovering):
             if peer != self.node.node_id and peer not in active:
                 del self.known_recovering[peer]
         for peer, entry in active.items():
+            if peer == self.node.node_id:
+                continue  # own served flag is set by the distribute only
             known = self.known_recovering.get(peer)
             if known is not None and entry["served"]:
                 known["served"] = True
         self._evaluate_leadership()
+
+    def _on_gather_state_reply(self, msg: Message) -> None:
+        """The persisted gather state arrived; hand off or start fresh."""
+        if self.role != "leader" or self.phase != "fetch":
+            return
+        if self.stale_epoch(msg, expected=self.epoch):
+            return
+        mine = self.known_recovering.get(self.node.node_id)
+        if mine is None or mine["served"]:
+            return  # served by a concurrent leader while fetching
+        state = msg.payload["gather"]
+        if state is not None and self._adopt_gather(state):
+            return
+        self._start_gather()
 
     # ------------------------------------------------------------------
     # detector events
@@ -262,13 +358,30 @@ class NonblockingRecovery(RecoveryManager):
         # status == "down"
         if self.role == "leader":
             if self.phase == "depinfo" and node_id in self._depinfo_expected:
-                # A live process failed before replying: goto 4.
-                self._restart_gather("live_failure")
+                if self.resumable:
+                    # A live process failed before replying: only the
+                    # reply it owed is invalidated.  It will rejoin R
+                    # and is absorbed -- with its fresh incarnation --
+                    # from its join announcement; distribution waits for
+                    # that join (see _check_depinfo_done).
+                    self._invalidate_reply(node_id, "live_failure")
+                else:
+                    # The paper's goto 4.
+                    self._restart_gather("live_failure")
+            elif self.phase == "depinfo" and node_id in self.known_recovering:
+                if self.resumable:
+                    # A member of R re-crashed mid-round; drop only its
+                    # contribution -- it rejoins with a fresh ordinal.
+                    self.known_recovering.pop(node_id, None)
+                    self._inc_replies.pop(node_id, None)
+                    self._invalidate_reply(node_id, "member_recrash")
             elif self.phase == "inc" and node_id in self.known_recovering:
                 # A member of R re-crashed before answering; it will
                 # rejoin with a fresh ordinal.
                 self.known_recovering.pop(node_id, None)
                 self._restart_gather("member_recrash")
+            elif self.phase == "fetch" and node_id in self.known_recovering:
+                self.known_recovering.pop(node_id, None)
         elif self.role == "waiting":
             entry = self.known_recovering.pop(node_id, None)
             if entry is not None:
@@ -277,26 +390,47 @@ class NonblockingRecovery(RecoveryManager):
     # ------------------------------------------------------------------
     # leader machinery
     # ------------------------------------------------------------------
+    def can_lead(self, candidate: int) -> bool:
+        """The deterministic ``CanLead`` predicate.
+
+        ``candidate`` may lead iff it is an *unserved* member of R and
+        holds the minimum unserved ordinal among members this node does
+        not currently consider failed (failed members are evicted from
+        ``known_recovering`` by the detector, so the view converges and
+        every node elects the same successor).
+        """
+        entry = self.known_recovering.get(candidate)
+        if entry is None or entry["served"]:
+            return False
+        lowest = min(
+            e["ord"] for e in self.known_recovering.values() if not e["served"]
+        )
+        return entry["ord"] == lowest
+
     def _evaluate_leadership(self) -> None:
         if self.ord is None or not self.node.is_recovering:
             return
         mine = self.known_recovering.get(self.node.node_id)
         if mine is None or mine["served"]:
             return  # already handed our depinfo; nothing to lead
-        active_ords = {
-            peer: entry["ord"]
-            for peer, entry in self.known_recovering.items()
-            if not entry["served"]
-        }
-        lowest = min(active_ords.values())
-        if active_ords.get(self.node.node_id) == lowest and self.role != "leader":
+        if self.can_lead(self.node.node_id) and self.role != "leader":
             self.role = "leader"
             self._stop_poll()
             episode = self.node.metrics.episode_of(self.node.node_id)
             if episode is not None:
                 episode.was_leader = True
-            self.trace("leader_elected", ord=self.ord)
-            self._start_gather()
+            self.trace("leader_elected", ord=self.ord, epoch=self.epoch)
+            if self.resumable:
+                # fetch any predecessor's persisted round before
+                # gathering: a view-change handoff resumes it
+                self.phase = "fetch"
+                self.send_control(
+                    self.node.config.sequencer_id,
+                    "gather_state_request",
+                    body_bytes=8,
+                )
+            else:
+                self._start_gather()
 
     def _start_gather(self) -> None:
         """Step 4: collect fresh incarnations from every member of R."""
@@ -306,26 +440,36 @@ class NonblockingRecovery(RecoveryManager):
         self._depinfo_replies.clear()
         self._depinfo_expected.clear()
         members = [p for p in self.known_recovering if p != self.node.node_id]
-        spans = self.node.trace.spans
-        if spans.enabled:
-            superseded = self._round_span
-            if superseded is not None:
-                spans.end(superseded, self.node.sim.now, restarted=True)
-            self._round_span = spans.begin(
-                "recovery.gather_round",
-                self.node.node_id,
-                self.node.sim.now,
-                parent=self.node.episode_span(),
-                links=(superseded,),
-                round=self._gather_round,
-                members=sorted(members),
-            )
-        self.trace("gather_start", round=self._gather_round, members=sorted(members))
+        self._begin_round_span(members)
+        self.trace(
+            "gather_start",
+            round=self._gather_round,
+            epoch=self.epoch,
+            members=sorted(members),
+        )
         for member in sorted(members):
             self.send_control(
                 member, "inc_request", {"round": self._gather_round}, body_bytes=8
             )
         self._check_inc_done()
+
+    def _begin_round_span(self, members: List[int], **attrs: Any) -> None:
+        spans = self.node.trace.spans
+        if not spans.enabled:
+            return
+        superseded = self._round_span
+        if superseded is not None:
+            spans.end(superseded, self.node.sim.now, restarted=True)
+        self._round_span = spans.begin(
+            "recovery.gather_round",
+            self.node.node_id,
+            self.node.sim.now,
+            parent=self.node.episode_span(),
+            links=(superseded,),
+            round=self._gather_round,
+            members=sorted(members),
+            **attrs,
+        )
 
     def _restart_gather(self, reason: str) -> None:
         self.gather_restarts += 1
@@ -335,11 +479,56 @@ class NonblockingRecovery(RecoveryManager):
         self.trace("gather_restart", reason=reason)
         self._start_gather()
 
+    def _invalidate_reply(self, node_id: int, reason: str) -> None:
+        """Void only what the failed process owed this round."""
+        self._depinfo_expected.discard(node_id)
+        self._depinfo_replies.pop(node_id, None)
+        self.reply_invalidations += 1
+        episode = self.node.metrics.episode_of(self.node.node_id)
+        if episode is not None:
+            episode.reply_invalidations += 1
+        self.trace(
+            "reply_invalidated",
+            peer=node_id,
+            reason=reason,
+            round=self._gather_round,
+        )
+        self._check_depinfo_done()
+
+    def _absorb_member(self, peer: int, incarnation: int) -> None:
+        """A (re)joined process becomes a member of R mid-round.
+
+        Its fresh incarnation (carried by the join announcement) replaces
+        its incvector entry, so no extra incarnation round is needed and
+        the gather round is *not* restarted.
+        """
+        self._incvector[peer] = max(self._incvector.get(peer, 0), incarnation)
+        current = self.node.incvector.get(peer, 0)
+        self.node.incvector[peer] = max(current, incarnation)
+        self._inc_replies[peer] = incarnation
+        if peer in self._depinfo_expected:
+            # it owed us a reply as a live process; that debt is void now
+            self._depinfo_expected.discard(peer)
+            self._depinfo_replies.pop(peer, None)
+            self.reply_invalidations += 1
+            episode = self.node.metrics.episode_of(self.node.node_id)
+            if episode is not None:
+                episode.reply_invalidations += 1
+        self.trace(
+            "member_absorbed",
+            peer=peer,
+            round=self._gather_round,
+            epoch=self.epoch,
+        )
+        self._post_progress(incvector={peer: incarnation})
+        self._check_depinfo_done()
+
     def _pending_failed(self) -> Set[int]:
         """Failed processes that have not yet announced their recovery.
 
-        The leader cannot finish the incarnation phase without them: it
-        needs their *new* incarnation numbers for incvector.
+        The leader cannot finish the incarnation phase (nor, in
+        resumable mode, distribute) without them: it needs their *new*
+        incarnation numbers for incvector.
         """
         suspected = self.node.detector.suspected_view()
         return {
@@ -367,6 +556,9 @@ class NonblockingRecovery(RecoveryManager):
         for peer, inc in self._incvector.items():
             current = self.node.incvector.get(peer, 0)
             self.node.incvector[peer] = max(current, inc)
+        # persist the completed phase so a successor leader can resume
+        # this round instead of redoing the incarnation collection
+        self._post_progress(incvector=self._incvector)
         self._start_depinfo_phase()
 
     def _start_depinfo_phase(self) -> None:
@@ -380,7 +572,10 @@ class NonblockingRecovery(RecoveryManager):
         ]
         self._depinfo_expected = set(live)
         self._depinfo_replies.clear()
-        self.trace("depinfo_phase", round=self._gather_round, live=sorted(live))
+        self.trace(
+            "depinfo_phase", round=self._gather_round, epoch=self.epoch,
+            live=sorted(live),
+        )
         for peer in sorted(live):
             self.send_control(
                 peer,
@@ -390,10 +585,125 @@ class NonblockingRecovery(RecoveryManager):
             )
         self._check_depinfo_done()
 
+    def _adopt_gather(self, state: Dict[str, Any]) -> bool:
+        """View-change handoff: resume the dead leader's last round.
+
+        Adoptable iff the persisted incarnation phase covers every
+        current member of R (a member the dead leader never collected
+        would need a fresh incarnation round anyway).  Replies persisted
+        from peers that have since failed are invalidated; everything
+        else -- the incvector and every reply already collected -- is
+        kept, and only the missing replies are re-requested.
+        """
+        if state["epoch"] >= self.epoch:
+            return False  # not a predecessor's state; never adopt
+        members = [p for p in self.known_recovering if p != self.node.node_id]
+        incvector = dict(state["incvector"])
+        if not incvector:
+            return False
+        if any(p not in incvector for p in members):
+            return False
+        self.leader_handoffs += 1
+        self.rounds_resumed += 1
+        episode = self.node.metrics.episode_of(self.node.node_id)
+        if episode is not None:
+            episode.leader_handoffs += 1
+            episode.rounds_resumed += 1
+        self._gather_round = max(self._gather_round, state["round"])
+        me = self.node.node_id
+        incvector[me] = max(incvector.get(me, 0), self.node.incarnation)
+        for peer in members:
+            # our own membership view is at least as new as the dead
+            # leader's: joins we witnessed refresh the adopted entries
+            known_inc = self.known_recovering[peer].get("incarnation")
+            if known_inc:
+                incvector[peer] = max(incvector[peer], known_inc)
+        self._incvector = incvector
+        for peer, inc in incvector.items():
+            current = self.node.incvector.get(peer, 0)
+            self.node.incvector[peer] = max(current, inc)
+        self._inc_replies = {p: incvector[p] for p in members}
+        self.phase = "depinfo"
+        live = [
+            p
+            for p in self.peers
+            if p not in self.known_recovering
+            and not self.node.detector.is_suspected(p)
+        ]
+        self._depinfo_expected = set(live)
+        self._depinfo_replies = {
+            p: wire
+            for p, wire in state["depinfo"].items()
+            if p in self._depinfo_expected
+        }
+        invalidated = sorted(
+            p for p in state["depinfo"] if p not in self._depinfo_expected
+        )
+        self.reply_invalidations += len(invalidated)
+        if episode is not None:
+            episode.reply_invalidations += len(invalidated)
+        self._begin_round_span(members, resumed=True, handoff=True)
+        self.trace(
+            "leader_handoff",
+            epoch=self.epoch,
+            from_epoch=state["epoch"],
+            round=self._gather_round,
+            adopted_replies=sorted(self._depinfo_replies),
+            invalidated=invalidated,
+        )
+        # re-persist under our own epoch so a third leader could resume
+        # from us in turn
+        self._post_progress(
+            incvector=self._incvector, depinfo=self._depinfo_replies
+        )
+        missing = sorted(
+            p for p in live if p not in self._depinfo_replies
+        )
+        self.trace(
+            "depinfo_phase", round=self._gather_round, epoch=self.epoch,
+            live=sorted(live), resumed=True,
+        )
+        for peer in missing:
+            self.send_control(
+                peer,
+                "depinfo_request",
+                {"round": self._gather_round, "incvector": dict(self._incvector)},
+                body_bytes=16 + 8 * len(self._incvector),
+            )
+        self._check_depinfo_done()
+        return True
+
+    def _post_progress(
+        self,
+        incvector: Optional[Dict[int, int]] = None,
+        depinfo: Optional[Dict[int, List[Any]]] = None,
+    ) -> None:
+        """Persist gather progress at the sequencer (resumable mode)."""
+        if not self.resumable:
+            return
+        incvector = dict(incvector or {})
+        depinfo = dict(depinfo or {})
+        wire_items = sum(len(wire) for wire in depinfo.values())
+        self.send_control(
+            self.node.config.sequencer_id,
+            "gather_progress",
+            {
+                "round": self._gather_round,
+                "incvector": incvector,
+                "depinfo": depinfo,
+            },
+            body_bytes=16 + 8 * len(incvector) + 32 * wire_items,
+        )
+
     def _check_depinfo_done(self) -> None:
         if self.phase != "depinfo":
             return
         if any(p not in self._depinfo_replies for p in self._depinfo_expected):
+            return
+        if self.resumable and self._pending_failed():
+            # a process failed mid-round: wait for its join so its fresh
+            # incarnation makes it into incvector (absorbed, not
+            # restarted)
             return
         self._distribute()
 
@@ -412,7 +722,13 @@ class NonblockingRecovery(RecoveryManager):
             for p, entry in self.known_recovering.items()
             if p != self.node.node_id and not entry["served"]
         ]
-        self.trace("distribute", members=sorted(members), determinants=len(merged_wire))
+        self.trace(
+            "distribute",
+            members=sorted(members),
+            determinants=len(merged_wire),
+            epoch=self.epoch,
+            incvector=dict(self._incvector),
+        )
         for member in sorted(members):
             self.send_control(
                 member,
@@ -424,18 +740,20 @@ class NonblockingRecovery(RecoveryManager):
         # is local work.  Release the leadership critical section so the
         # next ordinal can run its own round (and regenerate any data our
         # replay may need from it).
-        served = sorted(members) + [self.node.node_id]
-        for peer in served:
+        served = {}
+        for peer in sorted(members) + [self.node.node_id]:
             entry = self.known_recovering.get(peer)
             if entry is not None:
                 entry["served"] = True
+                served[peer] = entry["ord"]
         self.broadcast_control(
-            self.peers, "leader_done", {"served": served}, body_bytes=8 + 8 * len(served)
+            self.peers, "leader_done", {"served": dict(served)},
+            body_bytes=8 + 8 * len(served),
         )
         self.send_control(
             self.node.config.sequencer_id,
             "leader_done",
-            {"served": served},
+            {"served": dict(served)},
             body_bytes=8 + 8 * len(served),
         )
         if self._round_span is not None:
@@ -451,7 +769,7 @@ class NonblockingRecovery(RecoveryManager):
     # ------------------------------------------------------------------
     def on_replay_complete(self) -> None:
         self._stop_poll()
-        self.trace("complete", ord=self.ord)
+        self.trace("complete", ord=self.ord, epoch=self.epoch)
         payload = {"incarnation": self.node.incarnation}
         self.broadcast_control(self.peers, "recovery_complete", payload, body_bytes=16)
         self.send_control(
@@ -461,6 +779,7 @@ class NonblockingRecovery(RecoveryManager):
         self.ord = None
         self.role = "idle"
         self.phase = None
+        self.epoch = 0
         self.node.complete_recovery()
 
     # ------------------------------------------------------------------
@@ -491,4 +810,26 @@ class NonblockingRecovery(RecoveryManager):
 
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, Any]:
-        return {"gather_restarts": self.gather_restarts}
+        stats = super().stats()
+        stats.update(
+            gather_restarts=self.gather_restarts,
+            leader_handoffs=self.leader_handoffs,
+            rounds_resumed=self.rounds_resumed,
+            reply_invalidations=self.reply_invalidations,
+        )
+        return stats
+
+
+class RestartingNonblockingRecovery(NonblockingRecovery):
+    """The paper's literal restart-from-scratch variant.
+
+    Identical control plane and epoch tagging, but no persisted gather
+    progress and no view-change handoff: a leader failure starts the
+    successor's gather from nothing, and *any* failure or join during a
+    round voids the whole round (``goto 4``).  Kept as the "old" curve
+    for the churn-degradation benchmarks (``--recovery
+    nonblocking-restart``).
+    """
+
+    name = "nonblocking-restart"
+    resumable = False

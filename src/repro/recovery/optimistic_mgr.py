@@ -23,12 +23,17 @@ class OptimisticRecovery(RecoveryManager):
     name = "optimistic"
 
     def begin_recovery(self) -> None:
+        self.begin_epoch(self.node.incarnation)
         self.node.mark_replay_start()
         self.trace("local_replay")
         self.node.protocol.begin_replay([])
 
     def on_replay_complete(self) -> None:
-        self.trace("complete", recovered_count=self.node.app.delivered_count)
+        self.trace(
+            "complete",
+            recovered_count=self.node.app.delivered_count,
+            epoch=self.epoch,
+        )
         self.broadcast_control(
             self.peers,
             "rollback_announce",
@@ -38,6 +43,7 @@ class OptimisticRecovery(RecoveryManager):
             },
             body_bytes=24,
         )
+        self.epoch = 0
         self.node.complete_recovery()
 
     def on_control(self, msg: Message) -> None:
@@ -45,6 +51,8 @@ class OptimisticRecovery(RecoveryManager):
             self._on_bound_gossip(msg)
             return
         if msg.mtype != "rollback_announce":
+            return
+        if self.stale_epoch(msg):
             return
         peer = msg.src
         peer_inc = msg.payload["incarnation"]
@@ -80,6 +88,3 @@ class OptimisticRecovery(RecoveryManager):
                 peer, peer_inc, bound
             ):
                 protocol.rollback_as_orphan(peer, peer_inc, bound)
-
-    def stats(self) -> Dict[str, Any]:
-        return {}

@@ -37,6 +37,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.core.config import SystemConfig
 from repro.core.metrics import RunResult
+from repro.core.system import build_system
 from repro.runner import TrialRunner, TrialSpec
 
 
@@ -193,4 +194,150 @@ def check_trial(
                     f"replica {outcome.replica}: {key} differs "
                     f"(legitimate timing drift)"
                 )
+    return report
+
+
+# ----------------------------------------------------------------------
+# exhaustive small-scope checking (repro check --exhaustive)
+# ----------------------------------------------------------------------
+@dataclass
+class ExhaustiveReport:
+    """Outcome of a systematic same-instant interleaving enumeration."""
+
+    name: str
+    seed: int
+    #: schedules actually executed (the all-FIFO canonical counts as one)
+    schedules: int
+    #: longest decision journal observed across all schedules
+    decision_points: int
+    #: widest tie group encountered
+    max_width: int
+    #: True when the whole decision tree fit inside the budget
+    complete: bool
+    #: semantic divergences from the canonical schedule (gating)
+    divergences: List[str] = field(default_factory=list)
+    canonical: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when every explored schedule matched the canonical one."""
+        return not self.divergences
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (written by ``check --report-dir``)."""
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "mode": "exhaustive",
+            "ok": self.ok,
+            "schedules": self.schedules,
+            "decision_points": self.decision_points,
+            "max_width": self.max_width,
+            "complete": self.complete,
+            "divergences": list(self.divergences),
+            "canonical": dict(self.canonical),
+        }
+
+
+def exhaustive_check_trial(
+    config: SystemConfig,
+    max_schedules: int = 64,
+    max_depth: Optional[int] = None,
+) -> ExhaustiveReport:
+    """Enumerate every legal same-instant interleaving of one trial.
+
+    Where :func:`check_trial` *samples* a few random tie-break shuffles,
+    this performs a small-scope systematic search: the kernel's choice
+    oracle (:meth:`~repro.sim.kernel.Simulator.set_choice_oracle`) turns
+    each group of same-``(time, priority)`` events into an explicit
+    decision, and a depth-first search over decision journals replays the
+    trial once per distinct choice sequence.  Every schedule's semantic
+    fingerprint must match the canonical (all-FIFO) run.
+
+    The state space is the product of tie widths, so this is only
+    tractable for small configurations (3-4 processes, short workloads);
+    ``max_schedules`` bounds the number of runs and ``max_depth`` limits
+    how deep in the journal alternatives are explored.  ``complete`` on
+    the returned report says whether the budget covered the whole tree.
+    """
+    if max_schedules < 1:
+        raise ValueError(f"need at least 1 schedule, got {max_schedules!r}")
+
+    truncated = False
+
+    def run_prefix(prefix: List[int]):
+        """One run: forced choices from ``prefix``, FIFO (0) beyond it."""
+        journal: List[tuple] = []
+
+        def oracle(width: int) -> int:
+            depth = len(journal)
+            choice = prefix[depth] if depth < len(prefix) else 0
+            journal.append((width, choice))
+            return choice
+
+        variant = copy.deepcopy(config)
+        variant.tiebreak_seed = None  # choices replace random shuffling
+        system = build_system(variant)
+        system.sim.set_choice_oracle(oracle)
+        return system.run(), journal
+
+    summary, journal = run_prefix([])
+    canonical = semantic_fingerprint(summary)
+    report = ExhaustiveReport(
+        name=config.name,
+        seed=config.seed,
+        schedules=1,
+        decision_points=len(journal),
+        max_width=max((w for w, _ in journal), default=1),
+        complete=True,
+        canonical=dict(canonical),
+    )
+    for problem in _health_problems(canonical):
+        report.divergences.append(f"schedule [canonical]: {problem}")
+
+    stack: List[List[int]] = []
+
+    def expand(journal: List[tuple], start: int) -> None:
+        """Queue the unexplored siblings of decisions taken at >= start."""
+        nonlocal truncated
+        for depth in range(len(journal) - 1, start - 1, -1):
+            if len(stack) >= max_schedules * 4:
+                # no point queueing work the run budget can never execute
+                truncated = True
+                return
+            width, choice = journal[depth]
+            if choice + 1 >= width:
+                continue
+            if max_depth is not None and depth >= max_depth:
+                truncated = True
+                continue
+            base = [c for _, c in journal[:depth]]
+            for alt in range(width - 1, choice, -1):
+                stack.append(base + [alt])
+
+    expand(journal, 0)
+    while stack:
+        if report.schedules >= max_schedules:
+            truncated = True
+            break
+        prefix = stack.pop()
+        summary, journal = run_prefix(prefix)
+        report.schedules += 1
+        report.decision_points = max(report.decision_points, len(journal))
+        report.max_width = max(
+            report.max_width, max((w for w, _ in journal), default=1)
+        )
+        semantic = semantic_fingerprint(summary)
+        label = "/".join(str(c) for c in prefix)
+        for problem in _health_problems(semantic):
+            report.divergences.append(f"schedule [{label}]: {problem}")
+        for key, value in semantic.items():
+            if value != canonical[key]:
+                report.divergences.append(
+                    f"schedule [{label}] diverged on {key}: "
+                    f"{canonical[key]!r} -> {value!r}"
+                )
+        expand(journal, len(prefix))
+
+    report.complete = not truncated
     return report

@@ -67,9 +67,23 @@ sections):
 
 ``no-block``
     The paper's non-blocking guarantee (Section 3): under
-    ``recovery="nonblocking"`` a live process never suspends
-    application progress, for any reason, at any point.  Any
-    ``node.block`` event is a violation.
+    ``recovery="nonblocking"`` (or the ``nonblocking-restart``
+    comparison variant) a live process never suspends application
+    progress, for any reason, at any point.  Any ``node.block`` event
+    is a violation.
+
+``recovery-epoch``
+    The churn-hardening discipline (see ``docs/RECOVERY.md``): recovery
+    epochs strictly increase across a node's episodes (checked at
+    ``recovery.epoch_begin``); every epoch-tagged recovery action
+    (``gather_start``, ``depinfo_phase``, ``distribute``,
+    ``leader_handoff``, ``complete``, ...) runs under the node's
+    *current* epoch -- no control message or action from a dead epoch
+    *e* may take effect in epoch *e' > e*; a leader handoff adopts
+    state only from a strictly older epoch; and a handoff preserves the
+    gathered-cut consistency: the distributed incvector never carries
+    an incarnation below one the system has already restored (checked
+    against ``node.restored`` events).
 """
 
 from __future__ import annotations
@@ -177,6 +191,12 @@ class Sanitizer:
         #: (peer, frontier rsn) -> pending orphaned-process finding
         self._pending_frontiers: Dict[Tuple[int, int], SanitizerViolation] = {}
 
+        # -- recovery epochs -------------------------------------------
+        #: per-node current recovery epoch (last epoch_begin)
+        self._rec_epoch: Dict[int, int] = {}
+        #: per-node latest restored incarnation (from node.restored)
+        self._incarnation: Dict[int, int] = {}
+
         # -- coordinated -----------------------------------------------
         #: round -> node -> (delivered, sent counts, recv counts)
         self._snaps: Dict[int, Dict[int, Tuple[int, Dict, Dict]]] = {}
@@ -195,8 +215,17 @@ class Sanitizer:
             ("node", "start"): self._on_start,
             ("node", "crash"): self._on_crash,
             ("node", "recovered"): self._on_recovered,
+            ("node", "restored"): self._on_restored,
             ("node", "checkpoint_durable"): self._on_checkpoint_durable,
             ("node", "block"): self._on_block,
+            ("recovery", "epoch_begin"): self._on_epoch_begin,
+            ("recovery", "stale_epoch_drop"): self._on_stale_epoch_drop,
+            ("recovery", "leader_handoff"): self._on_leader_handoff,
+            ("recovery", "ord_acquired"): self._on_epoch_action,
+            ("recovery", "gather_start"): self._on_epoch_action,
+            ("recovery", "depinfo_phase"): self._on_epoch_action,
+            ("recovery", "distribute"): self._on_distribute,
+            ("recovery", "complete"): self._on_epoch_action,
             ("protocol", "det_stable"): self._on_det_stable,
             ("protocol", "det_durable"): self._on_det_durable,
             ("protocol", "det_store"): self._on_det_store,
@@ -380,7 +409,7 @@ class Sanitizer:
 
     def _on_block(self, event: "TraceEvent") -> None:
         self._check("no-block")
-        if self.recovery == "nonblocking":
+        if self.recovery in ("nonblocking", "nonblocking-restart"):
             self._flag(
                 "no-block",
                 event.node,
@@ -388,6 +417,89 @@ class Sanitizer:
                 "live process suspended application progress under the "
                 "non-blocking recovery algorithm",
             )
+
+    # ------------------------------------------------------------------
+    # recovery epochs (churn hardening)
+    # ------------------------------------------------------------------
+    def _on_restored(self, event: "TraceEvent") -> None:
+        node = event.node
+        if node is None:
+            return
+        incarnation = event.details.get("incarnation")
+        if incarnation is not None:
+            current = self._incarnation.get(node, 0)
+            self._incarnation[node] = max(current, incarnation)
+
+    def _on_epoch_begin(self, event: "TraceEvent") -> None:
+        node = event.node
+        if node is None:
+            return
+        self._check("recovery-epoch")
+        epoch = event.details["epoch"]
+        last = self._rec_epoch.get(node)
+        if last is not None and epoch <= last:
+            self._flag(
+                "recovery-epoch",
+                node,
+                event.time,
+                f"recovery epoch {epoch} does not advance past the node's "
+                f"previous epoch {last}",
+            )
+        self._rec_epoch[node] = epoch
+
+    def _on_stale_epoch_drop(self, event: "TraceEvent") -> None:
+        # evidence the discipline is active; the drop itself is correct
+        # behaviour, so this only counts as an audit point
+        self._check("recovery-epoch")
+
+    def _on_epoch_action(self, event: "TraceEvent") -> None:
+        node = event.node
+        epoch = event.details.get("epoch")
+        if node is None or epoch is None:
+            return
+        self._check("recovery-epoch")
+        current = self._rec_epoch.get(node)
+        if epoch != current:
+            self._flag(
+                "recovery-epoch",
+                node,
+                event.time,
+                f"recovery action {event.action!r} took effect under epoch "
+                f"{epoch} but the node's current epoch is {current}",
+            )
+
+    def _on_leader_handoff(self, event: "TraceEvent") -> None:
+        self._on_epoch_action(event)
+        d = event.details
+        self._check("recovery-epoch")
+        if d["from_epoch"] >= d["epoch"]:
+            self._flag(
+                "recovery-epoch",
+                event.node,
+                event.time,
+                f"handoff adopted gather state from epoch {d['from_epoch']}, "
+                f"which is not a predecessor of epoch {d['epoch']}",
+            )
+
+    def _on_distribute(self, event: "TraceEvent") -> None:
+        self._on_epoch_action(event)
+        node = event.node
+        incvector = event.details.get("incvector")
+        if node is None or not incvector:
+            return
+        self._check("recovery-epoch")
+        for peer, inc in incvector.items():
+            peer = int(peer)
+            latest = self._incarnation.get(peer, 0)
+            if inc < latest:
+                self._flag(
+                    "recovery-epoch",
+                    node,
+                    event.time,
+                    f"distributed incvector carries incarnation {inc} for "
+                    f"node {peer}, which already restored incarnation "
+                    f"{latest} (the handoff broke the gathered cut)",
+                )
 
     # ------------------------------------------------------------------
     # determinant stability (FBL family)

@@ -97,6 +97,9 @@ class Simulator:
         self._compact_min_heap = compact_min_heap
         self._compact_ratio = compact_ratio
         self._compactions = 0
+        #: when set, same-(time, priority) ties become explicit choice
+        #: points resolved by the oracle (repro check --exhaustive)
+        self._choice_oracle: Optional[Callable[[int], int]] = None
         #: optional repro.sim.profile.SimProfiler; None = direct dispatch
         self.profiler: Optional[Any] = None
 
@@ -220,6 +223,64 @@ class Simulator:
         self._compactions += 1
 
     # ------------------------------------------------------------------
+    # schedule choice points (exhaustive small-scope checking)
+    # ------------------------------------------------------------------
+    def set_choice_oracle(self, fn: Optional[Callable[[int], int]]) -> None:
+        """Resolve same-instant ties through ``fn`` instead of FIFO.
+
+        Whenever two or more live events share the next ``(time,
+        priority)`` slot, ``fn(width)`` is called with the number of tied
+        events and must return the index (in FIFO order) of the one to
+        fire.  Singleton slots never consult the oracle.  This turns the
+        schedule into an explicit decision sequence, which is what lets
+        :func:`repro.sanitizer.differ.exhaustive_check_trial` enumerate
+        every legal same-instant interleaving of a small configuration
+        rather than sampling a few random ones.  ``None`` restores the
+        FIFO fast path.
+        """
+        self._choice_oracle = fn
+
+    def _pop_choice(self) -> Optional[Event]:
+        """Pop the next event, letting the oracle pick among exact ties.
+
+        Collects every live event tied with the heap top on ``(time,
+        priority)``, asks the oracle for an index, and pushes the losers
+        back.  O(k log n) per tie group of k -- acceptable for the small
+        configurations exhaustive checking targets.
+        """
+        heap = self._heap
+        ties: List[Event] = []
+        while heap:
+            event = heap[0]
+            if event.cancelled:
+                heapq.heappop(heap)
+                event.in_heap = False
+                self._heap_cancelled -= 1
+                continue
+            if ties and (
+                event.time != ties[0].time
+                or event.priority != ties[0].priority
+            ):
+                break
+            heapq.heappop(heap)
+            event.in_heap = False
+            ties.append(event)
+        if not ties:
+            return None
+        index = 0
+        if len(ties) > 1:
+            index = self._choice_oracle(len(ties))
+            if not 0 <= index < len(ties):
+                raise SimulationError(
+                    f"choice oracle returned {index!r} for width {len(ties)}"
+                )
+        chosen = ties.pop(index)
+        for event in ties:
+            event.in_heap = True
+            heapq.heappush(heap, event)
+        return chosen
+
+    # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
     def step(self) -> bool:
@@ -228,6 +289,17 @@ class Simulator:
         Returns ``True`` if an event fired, ``False`` if the heap is
         exhausted.  Cancelled events are discarded silently.
         """
+        if self._choice_oracle is not None:
+            event = self._pop_choice()
+            if event is None:
+                return False
+            self._now = event.time
+            self._events_processed += 1
+            if self.profiler is None:
+                event.fire()
+            else:
+                self.profiler.fire(event)
+            return True
         while self._heap:
             event = heapq.heappop(self._heap)
             event.in_heap = False
@@ -281,8 +353,11 @@ class Simulator:
                 if until is not None and event.time > until:
                     self._now = until
                     break
-                heapq.heappop(heap)
-                event.in_heap = False
+                if self._choice_oracle is None:
+                    heapq.heappop(heap)
+                    event.in_heap = False
+                else:
+                    event = self._pop_choice()
                 self._now = event.time
                 self._events_processed += 1
                 fired += 1

@@ -314,6 +314,8 @@ class CriticalPath:
     end: float
     segments: List[PathSegment]
     gather_rounds: int = 0
+    handoffs: int = 0  # rounds adopted from a dead leader (view change)
+    resumed_rounds: int = 0  # rounds resumed rather than started fresh
 
     @property
     def total(self) -> float:
@@ -420,18 +422,24 @@ def recovery_critical_paths(
             cursor = end
         if cursor < episode.end:
             segments.append(PathSegment(cursor, episode.end, "gap", "other"))
-        rounds = sum(
-            1
+        round_spans = [
+            c
             for c in tree.get(episode.span_id, ())
             if c.kind == "recovery.gather_round"
-        )
+        ]
         paths.append(
             CriticalPath(
                 node=episode.node,
                 start=episode.start,
                 end=episode.end,
                 segments=segments,
-                gather_rounds=rounds,
+                gather_rounds=len(round_spans),
+                handoffs=sum(
+                    1 for s in round_spans if s.attrs.get("handoff")
+                ),
+                resumed_rounds=sum(
+                    1 for s in round_spans if s.attrs.get("resumed")
+                ),
             )
         )
     paths.sort(key=lambda p: (p.start, p.node))

@@ -87,8 +87,18 @@ class CheckpointStore:
         incremental: bool = False,
         full_every: int = 8,
         min_delta_bytes: int = 4_096,
+        retain_history: bool = False,
     ) -> None:
-        """Attach the store to ``storage``; see class docstring for modes."""
+        """Attach the store to ``storage``; see class docstring for modes.
+
+        ``retain_history`` keeps every durable checkpoint instead of just
+        the latest line.  Optimistic logging needs this: the newest
+        checkpoint may capture state that *depends on rolled-back
+        intervals* of a peer (an orphaned checkpoint), and restarting
+        from it would only re-orphan the process -- the restart must be
+        able to fall back to an earlier, non-orphaned line
+        (:meth:`restore_line`).
+        """
         if full_every < 1:
             raise ValueError(f"full_every must be >= 1, got {full_every!r}")
         self.storage = storage
@@ -96,6 +106,8 @@ class CheckpointStore:
         self.incremental = incremental
         self.full_every = full_every
         self.min_delta_bytes = min_delta_bytes
+        self.retain_history = retain_history
+        self._durable_history: List[Checkpoint] = []
         self._next_id = 1
         self._latest_durable: Optional[Checkpoint] = None
         # durable chain, full segment first (incremental mode only); the
@@ -184,6 +196,8 @@ class CheckpointStore:
         def done() -> None:
             """Chain bookkeeping once the segment is durable."""
             self._latest_durable = checkpoint
+            if self.retain_history:
+                self._durable_history.append(checkpoint)
             if full:
                 # the new full supersedes the old chain: reclaim it
                 for old in self._chain:
@@ -233,6 +247,8 @@ class CheckpointStore:
         def done() -> None:
             """Publish the durable snapshot and notify the caller."""
             self._latest_durable = checkpoint
+            if self.retain_history:
+                self._durable_history.append(checkpoint)
             if on_done is not None:
                 on_done(checkpoint)
 
@@ -279,11 +295,43 @@ class CheckpointStore:
 
         return self.storage.read(f"checkpoint:{self.node}", size, done)
 
+    def restore_line(
+        self, checkpoint: Checkpoint, on_done: Callable[[Checkpoint], None]
+    ) -> float:
+        """Re-read a specific retained checkpoint (orphan-aware restart).
+
+        Used when the just-restored latest line turns out to depend on a
+        peer's rolled-back state: the caller picks an earlier entry of
+        :attr:`durable_history` and pays a second full state read for it.
+        The chosen line becomes the store's latest -- every retained
+        checkpoint after it is orphaned for good (recovery bounds only
+        tighten), so a later crash restores the good line directly.
+        """
+        if not self.retain_history:
+            raise ValueError("restore_line requires retain_history")
+        self._latest_durable = checkpoint
+        self._durable_history = [
+            c for c in self._durable_history
+            if c.checkpoint_id <= checkpoint.checkpoint_id
+        ]
+
+        def done(_value: Any) -> None:
+            on_done(checkpoint)
+
+        return self.storage.read(
+            f"checkpoint:{self.node}", checkpoint.state_bytes, done
+        )
+
     # ------------------------------------------------------------------
     @property
     def latest(self) -> Optional[Checkpoint]:
         """Latest durable checkpoint (zero-cost; for tests/assertions)."""
         return self._latest_durable
+
+    @property
+    def durable_history(self) -> List[Checkpoint]:
+        """Every durable checkpoint, oldest first (``retain_history``)."""
+        return list(self._durable_history)
 
     @property
     def chain_length(self) -> int:

@@ -57,12 +57,13 @@ class TestMessageCounts:
 
     def test_overhead_ratio_bounded(self):
         """The new algorithm's message premium is a bounded constant
-        factor (it tends to 5/3 as n grows; tiny systems pay a bit more
-        because the fixed sequencer/join costs dominate)."""
+        factor (it tends to 2 as n grows now that the leader persists
+        its round at the sequencer; tiny systems pay a bit more because
+        the fixed sequencer/join costs dominate)."""
         ratios = [message_overhead_ratio(n) for n in range(3, 64)]
-        assert all(1.0 < r < 2.5 for r in ratios)
-        # asymptotically ~5(n-1)+c vs 3(n-1): ratio -> 5/3
-        assert abs(ratios[-1] - 5 / 3) < 0.05
+        assert all(1.0 < r < 3.5 for r in ratios)
+        # asymptotically ~6(n-1)+c vs 3(n-1): ratio -> 2
+        assert abs(ratios[-1] - 2.0) < 0.05
         # and the premium shrinks with n
         assert ratios == sorted(ratios, reverse=True)
 

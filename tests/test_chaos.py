@@ -42,6 +42,11 @@ ARTIFACT_DIR = os.environ.get("CHAOS_ARTIFACT_DIR", "")
 #: (repro.sanitizer) and a sanitizer violation fails the trial; the
 #: nightly workflow turns this on for the deep sweep
 SANITIZE = os.environ.get("CHAOS_SANITIZE", "") not in ("", "0")
+#: "churn" biases every trial toward cascading failures: the full crash
+#: budget fires inside one ~1.5 s window (later crashes land mid-recovery
+#: of earlier ones) and a partition always cuts the system and heals in
+#: the middle of that window; the nightly workflow runs both profiles
+PROFILE = os.environ.get("CHAOS_PROFILE", "")
 
 #: (protocol, recovery, max concurrent crashes the protocol tolerates)
 COMBOS = [
@@ -55,8 +60,22 @@ COMBOS = [
 ]
 
 
-def chaos_config(protocol: str, recovery: str, max_crashes: int, seed: int) -> SystemConfig:
-    """Draw one random scenario; fully determined by the arguments."""
+def chaos_config(
+    protocol: str,
+    recovery: str,
+    max_crashes: int,
+    seed: int,
+    profile: str = None,
+) -> SystemConfig:
+    """Draw one random scenario; fully determined by the arguments.
+
+    ``profile`` defaults to ``$CHAOS_PROFILE``; the empty default keeps
+    the original fault distribution byte-for-byte (the churn overrides
+    draw *after* every standard draw, so default-profile seeds are
+    unchanged).
+    """
+    if profile is None:
+        profile = PROFILE
     combo_tag = zlib.crc32(f"{protocol}/{recovery}".encode()) & 0xFFFF
     draw = random.Random(combo_tag * 100_000 + seed)
     n = draw.choice([4, 5, 6])
@@ -92,6 +111,24 @@ def chaos_config(protocol: str, recovery: str, max_crashes: int, seed: int) -> S
     for victim in draw.sample(range(n), draw.randint(0, max_crashes)):
         crashes.append(crash_at(victim, draw.uniform(0.02, 0.8)))
 
+    if profile == "churn":
+        # cascading failures: the whole crash budget fires inside one
+        # short window, so every crash after the first lands while an
+        # earlier recovery is still gathering
+        window = draw.uniform(0.02, 0.4)
+        crashes = [
+            crash_at(victim, window + draw.uniform(0.0, 1.5))
+            for victim in draw.sample(range(n), max_crashes)
+        ]
+        # and a partition that is up when recovery starts and heals in
+        # the middle of the gather, forcing resumes over fresh links
+        members = list(range(n + 1))
+        draw.shuffle(members)
+        cut = draw.randrange(1, n)
+        faults.partitions = [
+            ([members[:cut], members[cut:]], window + draw.uniform(0.3, 1.0))
+        ]
+
     params = {}
     if protocol == "fbl":
         params = {"f": 2}
@@ -104,7 +141,7 @@ def chaos_config(protocol: str, recovery: str, max_crashes: int, seed: int) -> S
         # far more useful with recovery phases attributed
         spans=True,
         sanitize=SANITIZE,
-        name=f"chaos-{protocol}-{recovery}-{seed}",
+        name=f"chaos-{profile + '-' if profile else ''}{protocol}-{recovery}-{seed}",
         protocol=protocol,
         protocol_params=params,
         recovery=recovery,

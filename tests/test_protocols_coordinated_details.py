@@ -111,7 +111,7 @@ class TestSnapshots:
         ))
         system.sim.run(until=0.01)
         replies = [m for m in inbox if m.mtype == "rollback_reply"]
-        assert replies and replies[0].payload["epoch"] == 9
+        assert replies and replies[0].payload["rollback_epoch"] == 9
         system.sim.run()
 
 

@@ -1,0 +1,179 @@
+"""Recovery under churn: epochs, leader handoff, and resumable gathers.
+
+The paper's recovery algorithm assumed the leader survives its own
+gather.  These tests pin the churn-hardening on top of it:
+
+* a leader crash mid-gather triggers a view-change-style handoff -- the
+  successor adopts the persisted round state from the sequencer and
+  resumes, instead of restarting from scratch (the legacy
+  ``nonblocking-restart`` manager pins the seed's restart behaviour);
+* cascading failures (k >= 3 overlapping crashes) and partitions healing
+  mid-gather still converge for every recovery manager;
+* the ``recovery-epoch`` sanitizer invariant catches an epoch-reuse
+  mutant, both end-to-end and on a hand-fed trace.
+"""
+
+import pytest
+
+from repro import build_system, crash_at, crash_on
+from repro.core.config import FaultConfig
+
+from helpers import small_config
+from test_sanitizer import harness
+
+
+def run_system(config):
+    system = build_system(config)
+    result = system.run()
+    return system, result
+
+
+def leader_crash_mid_gather(recovery):
+    """Node 2 leads, accepts one depinfo reply, then dies; node 4 is
+    also recovering and must take over the round."""
+    return small_config(
+        n=6, recovery=recovery, hops=25,
+        crashes=[
+            crash_at(node=2, time=0.02),
+            crash_at(node=4, time=0.03),
+            crash_on(2, "recovery", "depinfo_reply_accepted", match_node=2,
+                     immediate=True),
+        ],
+    )
+
+
+class TestLeaderHandoff:
+    def test_leader_crash_mid_gather_hands_off_and_resumes(self):
+        system, result = run_system(leader_crash_mid_gather("nonblocking"))
+        assert result.consistent
+        final_by_node = {e.node: e for e in result.episodes}
+        assert final_by_node[2].complete and final_by_node[4].complete
+        assert sum(e.leader_handoffs for e in result.episodes) >= 1
+        assert sum(e.rounds_resumed for e in result.episodes) >= 1
+        handoffs = system.trace.select("recovery", action="leader_handoff")
+        assert handoffs, "no leader_handoff event traced"
+        details = handoffs[0].details
+        assert details["from_epoch"] < details["epoch"]
+        assert len(details["adopted_replies"]) >= 1
+
+    def test_handoff_does_not_rerequest_adopted_replies(self):
+        """The resumed round only asks for what the dead leader had not
+        yet collected."""
+        system, result = run_system(leader_crash_mid_gather("nonblocking"))
+        handoff = system.trace.select("recovery", action="leader_handoff")[0]
+        adopted = len(handoff.details["adopted_replies"])
+        requests = system.trace.count("recovery", "depinfo_request_received")
+        # a full restart would re-ask every member of both rounds; with
+        # adoption the second round saves exactly the adopted replies
+        assert adopted >= 1
+        assert requests <= 2 * (6 - 1) - adopted
+
+    def test_leader_crash_mid_gather_restarts_in_legacy_variant(self):
+        system, result = run_system(
+            leader_crash_mid_gather("nonblocking-restart")
+        )
+        assert result.consistent
+        final_by_node = {e.node: e for e in result.episodes}
+        assert final_by_node[2].complete and final_by_node[4].complete
+        assert sum(e.leader_handoffs for e in result.episodes) == 0
+        assert sum(e.rounds_resumed for e in result.episodes) == 0
+
+
+CASCADE_MANAGERS = [
+    ("fbl", "nonblocking"),
+    ("fbl", "blocking"),
+    ("fbl", "nonblocking-restart"),
+    ("manetho", "nonblocking"),
+]
+
+
+class TestCascadesAndPartitions:
+    @pytest.mark.parametrize("protocol,recovery", CASCADE_MANAGERS,
+                             ids=[f"{p}-{r}" for p, r in CASCADE_MANAGERS])
+    def test_cascading_failures_recover(self, protocol, recovery):
+        """k = 3 crashes, each landing inside the previous recovery."""
+        config = small_config(
+            n=8, protocol=protocol, recovery=recovery, f=3, hops=30,
+            crashes=[
+                crash_at(node=1, time=0.02),
+                crash_at(node=3, time=0.25),
+                crash_at(node=5, time=0.48),
+            ],
+        )
+        system, result = run_system(config)
+        assert result.consistent
+        assert len(result.recovery_durations()) == 3
+        for node in system.nodes:
+            assert node.is_live
+
+    @pytest.mark.parametrize("recovery",
+                             ["nonblocking", "blocking", "nonblocking-restart"])
+    def test_partition_healing_mid_gather(self, recovery):
+        """The gather starts split from half the members and must finish
+        once the partition heals (reliable transport carries the
+        retries)."""
+        config = small_config(
+            n=6, recovery=recovery, hops=25,
+            crashes=[crash_at(node=2, time=0.02)],
+            transport="reliable",
+            transport_params={"max_retries": 30},
+            # node 6 is the sequencer; heal lands mid-gather (detection
+            # delay is 0.5, so recovery starts around t=0.52)
+            faults=FaultConfig(partitions=[([[0, 1, 2, 6], [3, 4, 5]], 0.7)]),
+        )
+        system, result = run_system(config)
+        assert result.consistent
+        assert len(result.recovery_durations()) == 1
+        for node in system.nodes:
+            assert node.is_live
+
+
+class TestRecoveryEpochSanitizer:
+    def test_frozen_epoch_mutant_caught_end_to_end(self, monkeypatch):
+        """A manager that reuses the same epoch for every episode must be
+        flagged by the recovery-epoch invariant."""
+        from repro.recovery.base import RecoveryManager
+
+        def frozen(self, epoch):
+            self.epoch = 1  # mutant: epochs never advance
+            self.trace("epoch_begin", epoch=1)
+
+        monkeypatch.setattr(RecoveryManager, "begin_epoch", frozen)
+        config = small_config(
+            n=4, recovery="blocking", hops=20, sanitize=True,
+            crashes=[crash_at(node=2, time=0.02), crash_at(node=2, time=4.0)],
+        )
+        system, result = run_system(config)
+        report = result.extra["sanitizer"]
+        assert not report["clean"]
+        assert any(
+            v["invariant"] == "recovery-epoch" for v in report["violations"]
+        )
+
+    def test_epoch_regression_caught_on_fed_trace(self):
+        trace, sanitizer = harness()
+        trace.record(0.10, "node", 2, "crash")
+        trace.record(0.30, "node", 2, "restored",
+                     checkpoint_id=1, delivered=0, incarnation=1)
+        trace.record(0.30, "recovery", 2, "epoch_begin", epoch=1)
+        trace.record(0.40, "node", 2, "recovered", delivered=0, incarnation=1)
+        trace.record(0.50, "node", 2, "crash")
+        trace.record(0.70, "node", 2, "restored",
+                     checkpoint_id=1, delivered=0, incarnation=2)
+        trace.record(0.70, "recovery", 2, "epoch_begin", epoch=1)
+        assert not sanitizer.clean
+        violation = sanitizer.violations[0]
+        assert violation.invariant == "recovery-epoch"
+        assert violation.node == 2
+        assert violation.time == 0.70
+
+    def test_action_outside_current_epoch_caught_on_fed_trace(self):
+        trace, sanitizer = harness()
+        trace.record(0.10, "node", 2, "crash")
+        trace.record(0.30, "node", 2, "restored",
+                     checkpoint_id=1, delivered=0, incarnation=1)
+        trace.record(0.30, "recovery", 2, "epoch_begin", epoch=3)
+        # the gather claims an epoch the node never entered
+        trace.record(0.31, "recovery", 2, "gather_start", epoch=2)
+        assert not sanitizer.clean
+        assert sanitizer.violations[0].invariant == "recovery-epoch"

@@ -97,11 +97,31 @@ class TestSingleFailure:
 
 
 class TestFailureDuringRecovery:
-    def test_crash_before_reply_restarts_gather(self):
-        """The paper's 'goto 4': a live process dying before its depinfo
-        reply forces the leader to redo the gather."""
+    def test_crash_before_reply_invalidates_only_that_reply(self):
+        """A live process dying before its depinfo reply no longer voids
+        the round: only the reply it owed is invalidated, and the round
+        resumes once the failed process rejoins R."""
         config = small_config(
             n=6, recovery="nonblocking", hops=25,
+            crashes=[
+                crash_at(node=2, time=0.02),
+                crash_on(4, "net", "deliver", match_node=4,
+                         match_details={"mtype": "depinfo_request"},
+                         immediate=True),
+            ],
+        )
+        system, result = run_system(config)
+        assert result.consistent
+        assert len(result.recovery_durations()) == 2
+        assert sum(e.gather_restarts for e in result.episodes) == 0
+        assert sum(e.reply_invalidations for e in result.episodes) >= 1
+        assert result.total_blocked_time == 0.0
+
+    def test_crash_before_reply_restarts_gather_in_legacy_variant(self):
+        """The seed's literal 'goto 4' is preserved by the
+        nonblocking-restart manager."""
+        config = small_config(
+            n=6, recovery="nonblocking-restart", hops=25,
             crashes=[
                 crash_at(node=2, time=0.02),
                 crash_on(4, "net", "deliver", match_node=4,

@@ -57,7 +57,7 @@ def test_complete_retires_entry():
     collect(net, 0)
     send(net, 0, 4, "ord_request")
     sim.run()
-    send(net, 0, 4, "recovery_complete", {"incarnation": 1})
+    send(net, 0, 4, "recovery_complete", {"incarnation": 1, "epoch": 1})
     sim.run()
     assert seq.active == {}
 
@@ -67,9 +67,24 @@ def test_leader_done_marks_served():
     collect(net, 0)
     send(net, 0, 4, "ord_request")
     sim.run()
-    send(net, 0, 4, "leader_done", {"served": [0]})
+    # served maps peer -> the ordinal the leader served
+    send(net, 0, 4, "leader_done", {"served": {0: 1}, "epoch": 1})
     sim.run()
     assert seq.active[0]["served"]
+
+
+def test_stale_epoch_announcement_dropped():
+    """A dead episode's announcement cannot touch the newer entry."""
+    sim, net, seq = make()
+    collect(net, 0)
+    send(net, 0, 4, "ord_request")
+    sim.run()
+    send(net, 0, 4, "ord_request")  # re-crash: ord 2 supersedes ord 1
+    sim.run()
+    send(net, 0, 4, "leader_done", {"served": {0: 1}, "epoch": 1})
+    sim.run()
+    assert seq.stale_epoch_drops == 1
+    assert not seq.active[0]["served"]
 
 
 def test_re_request_supersedes():

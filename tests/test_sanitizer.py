@@ -295,3 +295,69 @@ def test_check_trial_flags_unhealthy_replica():
         }
     )
     assert clean == []
+
+
+# ----------------------------------------------------------------------
+# exhaustive small-scope checking
+# ----------------------------------------------------------------------
+def exhaustive_config(**kw):
+    from repro.sanitizer.differ import exhaustive_check_trial  # noqa: F401
+
+    kw.setdefault("n", 3)
+    kw.setdefault("workload_params", {"hops": 8, "fanout": 1})
+    return make("fbl", "nonblocking", crashes=[crash_at(2, 0.03)], **kw)
+
+
+def test_exhaustive_check_clean_trial_has_no_divergence():
+    from repro.sanitizer.differ import exhaustive_check_trial
+
+    report = exhaustive_check_trial(exhaustive_config(), max_schedules=8)
+    assert report.ok, report.divergences
+    assert report.schedules >= 2  # the canonical run plus real alternatives
+    assert report.decision_points > 0
+    assert report.max_width >= 2
+    payload = report.as_dict()
+    assert payload["mode"] == "exhaustive"
+    assert payload["ok"] and payload["schedules"] == report.schedules
+
+
+def test_exhaustive_check_budget_marks_incomplete():
+    from repro.sanitizer.differ import exhaustive_check_trial
+
+    report = exhaustive_check_trial(exhaustive_config(), max_schedules=2)
+    assert report.schedules == 2
+    assert not report.complete  # the tree is far bigger than two runs
+    assert report.ok  # truncation alone is not a divergence
+
+
+def test_exhaustive_check_rejects_empty_budget():
+    from repro.sanitizer.differ import exhaustive_check_trial
+
+    with pytest.raises(ValueError):
+        exhaustive_check_trial(exhaustive_config(), max_schedules=0)
+
+
+def test_exhaustive_check_flags_schedule_divergence(monkeypatch):
+    """A schedule whose semantic outcome differs from the canonical run
+    must be reported (here: the fingerprint is perturbed under the
+    covers, standing in for a real schedule-dependent bug)."""
+    from repro.sanitizer import differ
+
+    real = differ.semantic_fingerprint
+    seen = {"count": 0}
+
+    def skewed(summary):
+        fingerprint = dict(real(summary))
+        seen["count"] += 1
+        if seen["count"] > 1:  # every non-canonical schedule "progresses
+            fingerprint["progressed"] = False  # differently"
+            fingerprint["consistent"] = False
+        return fingerprint
+
+    monkeypatch.setattr(differ, "semantic_fingerprint", skewed)
+    report = differ.exhaustive_check_trial(
+        exhaustive_config(), max_schedules=3
+    )
+    assert not report.ok
+    assert any("consistent" in d or "progressed" in d
+               for d in report.divergences)

@@ -5,7 +5,10 @@ storage faults) must be invisible when disabled: with ``faults=None`` and
 ``transport="raw"`` -- the defaults -- the paper's experiments must
 reproduce the seed's numbers *exactly*, down to the last float.  The
 goldens in ``tests/data/seed_golden_e1_e2.json`` were captured from the
-seed tree before any fault-injection code landed.
+seed tree before any fault-injection code landed, and are re-captured
+only when a PR *intentionally* changes protocol behaviour (most
+recently: the epoch-numbered resumable recovery control plane, which
+adds gather-progress persistence messages -- docs/RECOVERY.md).
 
 Exact ``==`` on floats is deliberate: the guarantee under test is
 bit-identical execution (same RNG draws, same event order), not numeric

@@ -288,3 +288,113 @@ def test_drain_is_exact_with_cancelled_leftovers():
     # drain must not confuse the cancelled leftover with remaining work
     sim.drain(max_events=10)
     assert sim.events_processed == 1
+
+
+# ----------------------------------------------------------------------
+# choice oracle (exhaustive small-scope checking hooks)
+# ----------------------------------------------------------------------
+def test_choice_oracle_orders_ties():
+    fired = []
+    sim = Simulator()
+    for i in range(3):
+        sim.schedule(1.0, fired.append, i)
+    # always pick the last remaining candidate: reverses insertion order
+    sim.set_choice_oracle(lambda width: width - 1)
+    sim.run()
+    assert fired == [2, 1, 0]
+
+
+def test_choice_oracle_zero_matches_fifo():
+    def workload(sim):
+        fired = []
+        for i in range(5):
+            sim.schedule(0.5, fired.append, i)
+            sim.schedule(0.5 + 0.001 * i, fired.append, 100 + i)
+        sim.run()
+        return fired, sim.events_processed
+
+    plain = Simulator()
+    oracle = Simulator()
+    oracle.set_choice_oracle(lambda width: 0)
+    assert workload(plain) == workload(oracle)
+
+
+def test_choice_oracle_not_consulted_without_ties():
+    calls = []
+    sim = Simulator()
+
+    def oracle(width):
+        calls.append(width)
+        return 0
+
+    sim.set_choice_oracle(oracle)
+    sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    sim.run()
+    assert calls == []  # singleton tie groups never reach the oracle
+
+
+def test_choice_oracle_sees_full_tie_width():
+    widths = []
+    sim = Simulator()
+
+    def oracle(width):
+        widths.append(width)
+        return 0
+
+    sim.set_choice_oracle(oracle)
+    for _ in range(4):
+        sim.schedule(1.0, lambda: None)
+    sim.run()
+    # first decision sees all 4 candidates, then 3, then 2
+    assert widths == [4, 3, 2]
+
+
+def test_choice_oracle_skips_cancelled_events():
+    fired = []
+    sim = Simulator()
+    sim.schedule(1.0, fired.append, 0)
+    doomed = sim.schedule(1.0, fired.append, 1)
+    sim.schedule(1.0, fired.append, 2)
+    doomed.cancel()
+    widths = []
+
+    def oracle(width):
+        widths.append(width)
+        return width - 1
+
+    sim.set_choice_oracle(oracle)
+    sim.run()
+    assert fired == [2, 0]
+    assert widths == [2]  # the cancelled corpse never counts as a choice
+
+
+def test_choice_oracle_bad_index_raises():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.schedule(1.0, lambda: None)
+    sim.set_choice_oracle(lambda width: width)  # off by one
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_choice_oracle_respects_priority_groups():
+    fired = []
+    sim = Simulator()
+    sim.schedule(1.0, fired.append, "low", priority=1)
+    sim.schedule(1.0, fired.append, "high-a", priority=0)
+    sim.schedule(1.0, fired.append, "high-b", priority=0)
+    sim.set_choice_oracle(lambda width: width - 1)
+    sim.run()
+    # only the two priority-0 events are interchangeable
+    assert fired == ["high-b", "high-a", "low"]
+
+
+def test_choice_oracle_step_consults_oracle():
+    fired = []
+    sim = Simulator()
+    sim.schedule(1.0, fired.append, 0)
+    sim.schedule(1.0, fired.append, 1)
+    sim.set_choice_oracle(lambda width: 1)
+    assert sim.step()
+    assert fired == [1]

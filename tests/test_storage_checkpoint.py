@@ -106,3 +106,64 @@ def test_checkpoint_ids_increment():
     a = save(store, bootstrap=True)
     b = save(store, bootstrap=True)
     assert (a.checkpoint_id, b.checkpoint_id) == (1, 2)
+
+
+# ----------------------------------------------------------------------
+# retained history (orphaned-checkpoint fallback support)
+# ----------------------------------------------------------------------
+def make_retaining(**kw):
+    sim = Simulator()
+    storage = StableStorage(sim, owner=0, op_latency=0.01, bandwidth_bps=1_000_000.0)
+    return sim, CheckpointStore(storage, node=0, retain_history=True, **kw)
+
+
+def test_history_off_by_default_and_restore_line_guarded():
+    sim, store = make()
+    save(store, bootstrap=True)
+    assert store.durable_history == []
+    with pytest.raises(ValueError):
+        store.restore_line(store.latest, lambda c: None)
+
+
+def test_durable_history_accumulates_in_order():
+    sim, store = make_retaining()
+    save(store, delivered=0, bootstrap=True)
+    save(store, delivered=5)
+    save(store, delivered=9)
+    sim.run()
+    history = store.durable_history
+    assert [c.checkpoint_id for c in history] == [1, 2, 3]
+    assert [c.delivered_count for c in history] == [0, 5, 9]
+
+
+def test_restore_line_rewinds_latest_and_prunes_newer():
+    sim, store = make_retaining()
+    save(store, delivered=0, bootstrap=True)
+    save(store, delivered=5)
+    save(store, delivered=9)
+    sim.run()
+    clean = store.durable_history[1]  # id 2: the newest non-orphaned line
+    restored = []
+    store.restore_line(clean, restored.append)
+    sim.run()
+    assert restored == [clean]
+    # the orphaned line (id 3) is gone for good: a later restore must
+    # come back to the adopted line, not the orphan
+    assert [c.checkpoint_id for c in store.durable_history] == [1, 2]
+    assert store.latest is clean
+    again = []
+    store.restore(again.append)
+    sim.run()
+    assert again[0].checkpoint_id == 2
+
+
+def test_restore_line_charges_full_state_read():
+    sim, store = make_retaining()
+    save(store, delivered=0, bootstrap=True, size=500_000)
+    save(store, delivered=5, size=500_000)
+    sim.run()
+    before = sim.now
+    store.restore_line(store.durable_history[0], lambda c: None)
+    sim.run()
+    # 500 kB at 1 MB/s plus the op latency: a real device round trip
+    assert sim.now - before >= 0.5
