@@ -11,34 +11,54 @@ cost is a synchronous storage stall per delivery.
 import pytest
 
 from repro import build_system
+from repro.analysis.cost import overhead_shares
+from repro.runner import run_results
 
 from paper_setup import emit, once, paper_config
 
 F_VALUES = [1, 2, 4, 7]
 
 
+def _fbl_config(f: int, seed: int = 0):
+    # the cost ledger attributes every wire byte, so the tables below
+    # can report overhead *shares* next to the raw counts
+    return paper_config(f"e6-f{f}", f=f, seed=seed, hops=40, cost_ledger=True)
+
+
 def run_fbl(f: int, seed: int = 0):
-    config = paper_config(f"e6-f{f}", f=f, seed=seed, hops=40)
-    result = build_system(config).run()
+    result = build_system(_fbl_config(f, seed)).run()
     assert result.consistent
     return result
 
 
 def run_named(protocol: str, recovery: str):
     config = paper_config(
-        f"e6-{protocol}", protocol=protocol, recovery=recovery, hops=40
+        f"e6-{protocol}", protocol=protocol, recovery=recovery, hops=40,
+        cost_ledger=True,
     )
     result = build_system(config).run()
     assert result.consistent
     return result
 
 
+def _share_columns(result):
+    shares = overhead_shares(result.extra["cost"])
+    return [
+        f"{100 * shares['piggyback-determinant']:.1f}%",
+        f"{100 * shares['determinant-log']:.1f}%",
+        f"{100 * shares['control-plane']:.1f}%",
+    ]
+
+
 @pytest.mark.benchmark(group="exp6")
 def test_exp6_piggyback_grows_with_f(benchmark):
+    # the f-sweep is an independent fleet: fan it across the runner
+    # (identical tables at any job count)
+    results = run_results([_fbl_config(f) for f in F_VALUES])
     rows = []
     piggybacked = []
-    for f in F_VALUES:
-        result = run_fbl(f)
+    for f, result in zip(F_VALUES, results):
+        assert result.consistent
         piggybacked.append(result.extra["piggyback_determinants"])
         app_messages = result.network.messages.get("application", 1)
         per_message = piggybacked[-1] / max(1, app_messages)
@@ -47,16 +67,23 @@ def test_exp6_piggyback_grows_with_f(benchmark):
             piggybacked[-1],
             result.extra["piggyback_bytes"],
             f"{per_message:.2f}",
-        ])
+        ] + _share_columns(result))
     once(benchmark, lambda: run_fbl(2, seed=1))
     emit(
         "E6 failure-free piggyback overhead of FBL(f) (n = 8)",
-        ["f", "determinants piggybacked", "piggyback bytes", "dets per app msg"],
+        ["f", "determinants piggybacked", "piggyback bytes", "dets per app msg",
+         "piggyback %", "det-log %", "control %"],
         rows,
     )
     # the paper's pay-for-what-you-tolerate property
     assert piggybacked[0] < piggybacked[-1]
     assert all(a <= b * 1.05 for a, b in zip(piggybacked, piggybacked[1:]))
+    # the ledger's piggyback share must grow with f as well
+    shares = [
+        overhead_shares(r.extra["cost"])["piggyback-determinant"]
+        for r in results
+    ]
+    assert shares[0] < shares[-1]
 
 
 @pytest.mark.benchmark(group="exp6")
@@ -77,17 +104,22 @@ def test_exp6_failure_free_cost_landscape(benchmark):
 
     rows = [
         ["fbl(f=2)", fbl.extra["piggyback_determinants"],
-         storage_writes(fbl), f"{storage_stall(fbl):.3f}"],
+         storage_writes(fbl), f"{storage_stall(fbl):.3f}"]
+        + _share_columns(fbl),
         ["manetho (f=n)", manetho.extra["piggyback_determinants"],
-         storage_writes(manetho), f"{storage_stall(manetho):.3f}"],
+         storage_writes(manetho), f"{storage_stall(manetho):.3f}"]
+        + _share_columns(manetho),
         ["pessimistic", pessimistic.extra["piggyback_determinants"],
-         storage_writes(pessimistic), f"{storage_stall(pessimistic):.3f}"],
+         storage_writes(pessimistic), f"{storage_stall(pessimistic):.3f}"]
+        + _share_columns(pessimistic),
         ["optimistic", optimistic.extra["piggyback_determinants"],
-         storage_writes(optimistic), f"{storage_stall(optimistic):.3f}"],
+         storage_writes(optimistic), f"{storage_stall(optimistic):.3f}"]
+        + _share_columns(optimistic),
     ]
     emit(
         "E6 failure-free cost landscape (no crashes)",
-        ["protocol", "piggybacked dets", "storage writes", "sync stall (s)"],
+        ["protocol", "piggybacked dets", "storage writes", "sync stall (s)",
+         "piggyback %", "det-log %", "control %"],
         rows,
     )
 

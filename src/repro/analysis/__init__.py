@@ -4,12 +4,21 @@
   percentiles, confidence half-widths) without external dependencies.
 * :mod:`repro.analysis.report` -- plain-text tables in the style the
   benchmarks print, one per reproduced experiment.
+* :mod:`repro.analysis.cost` -- cost-ledger report tables (per-purpose
+  breakdowns, link matrix, overhead-vs-time curves) over
+  ``RunResult.extra["cost"]`` / ``extra["timeseries"]``.
 * :mod:`repro.analysis.model` -- closed-form cost predictions for both
   recovery algorithms (message counts, blocked time, recovery
   duration), validated against the simulator by the test suite -- the
   "theoretical formulations" the paper's conclusion calls for.
 """
 
+from repro.analysis.cost import (
+    format_cost_report,
+    overhead_curve,
+    overhead_shares,
+    purpose_table,
+)
 from repro.analysis.model import (
     HardwareModel,
     blocking_live_blocked_time,
@@ -28,6 +37,10 @@ from repro.analysis.timeline import TimelineRenderer, render_timeline
 __all__ = [
     "format_table",
     "format_run_summary",
+    "format_cost_report",
+    "overhead_curve",
+    "overhead_shares",
+    "purpose_table",
     "Summary",
     "summarize",
     "HardwareModel",

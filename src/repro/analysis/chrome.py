@@ -8,7 +8,11 @@ Converts a run's trace into the Trace Event Format JSON that Perfetto
 * selected point events (crash, restart, recovered, deliveries if asked)
   become instant ("i") events;
 * each node gets a named thread via "M" metadata records, so the
-  timeline reads ``node 0 .. node n`` top to bottom.
+  timeline reads ``node 0 .. node n`` top to bottom;
+* ``cost.sample`` events (recorded by :mod:`repro.obs.sampler` when a
+  run samples its cost ledger) become counter ("C") tracks -- wire
+  bytes per purpose plus storage/gc bytes per window -- so Perfetto
+  draws the overhead-vs-time curves beside the span timeline.
 
 Simulated seconds map to trace microseconds (the format's native unit),
 so one second of virtual time reads as one second in the UI.
@@ -115,6 +119,57 @@ def chrome_trace_events(
                     "args": dict(event.details),
                 }
             )
+    out.extend(_counter_events(events))
+    return out
+
+
+def _counter_events(events: Iterable[TraceEvent]) -> List[Dict[str, Any]]:
+    """Counter ("C") tracks from the sampler's ``cost.sample`` events.
+
+    One ``wire cost`` counter stacks the per-purpose wire bytes of each
+    window; ``storage cost`` carries the window's storage and reclaimed
+    bytes.  A counter event is emitted at the window's *start* so the
+    step plotted across the window shows the bytes that window carried.
+    """
+    out: List[Dict[str, Any]] = []
+    purposes: List[str] = []
+    for event in events:
+        if event.category != "cost" or event.action != "sample":
+            continue
+        for purpose in event.details.get("wire", {}):
+            if purpose not in purposes:
+                purposes.append(purpose)
+    for event in events:
+        if event.category != "cost" or event.action != "sample":
+            continue
+        details = event.details
+        start = event.time - details.get("window", 0.0)
+        wire = details.get("wire", {})
+        out.append(
+            {
+                "name": "wire cost (bytes/window)",
+                "ph": "C",
+                "pid": 0,
+                "tid": 0,
+                "ts": start * _US,
+                # every series in every event, so Perfetto keeps the
+                # stacked areas aligned when a purpose is absent
+                "args": {purpose: wire.get(purpose, 0) for purpose in purposes},
+            }
+        )
+        out.append(
+            {
+                "name": "storage cost (bytes/window)",
+                "ph": "C",
+                "pid": 0,
+                "tid": 0,
+                "ts": start * _US,
+                "args": {
+                    "storage": details.get("storage_bytes", 0),
+                    "gc-reclaimed": details.get("gc_bytes", 0),
+                },
+            }
+        )
     return out
 
 

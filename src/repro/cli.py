@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six commands cover the common uses:
+Seven commands cover the common uses:
 
 * ``run``     -- one simulation with chosen protocol/recovery/failures,
                  printed as a run summary (``--sanitize`` runs the
@@ -15,6 +15,10 @@ Six commands cover the common uses:
                  batch window) and print one row per value;
 * ``grid``    -- cartesian product over several knobs x seeds, fanned
                  across worker processes (``--jobs``);
+* ``report``  -- aggregate reports; ``report cost`` prints per-protocol
+                 communication-cost breakdowns (purpose/phase/link),
+                 overhead-vs-time curves, flamegraph export, and checks
+                 overhead shares against a committed baseline;
 * ``trace``   -- inspect a saved JSONL trace: filter, summarize, span
                  trees, the recovery critical path, Chrome export.
 
@@ -31,6 +35,8 @@ Examples::
     python -m repro compare --crash 3@0.05 --crash 5@0.06
     python -m repro sweep --knob n --values 4,8,16,32 --crash 1@0.05 --jobs 4
     python -m repro grid --knob n=4,8,16 --knob loss=0.0,0.05 --seeds 3
+    python -m repro report cost --all-protocols --check
+    python -m repro report cost --crash 3@0.05 --flame-out cost.folded
     python -m repro trace run.jsonl --critical-path
     python -m repro trace run.jsonl --chrome-out run.chrome.json
 """
@@ -85,6 +91,10 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--state-bytes", type=int, default=1_000_000)
     parser.add_argument("--storage-latency", type=float, default=0.020)
     parser.add_argument("--storage-bandwidth", type=float, default=1e6)
+    parser.add_argument("--header-bytes", type=int, default=64,
+                        help="fixed per-message wire header size")
+    parser.add_argument("--determinant-bytes", type=int, default=32,
+                        help="wire size of one piggybacked determinant")
     parser.add_argument(
         "--transport", default=None, choices=["raw", "reliable"],
         help="channel layer; defaults to raw, or reliable when faults are on",
@@ -214,6 +224,8 @@ def _config_from_args(args: argparse.Namespace, **overrides: Any) -> SystemConfi
         state_bytes=overrides.pop("state_bytes", args.state_bytes),
         storage_op_latency=overrides.pop("storage_op_latency", args.storage_latency),
         storage_bandwidth=args.storage_bandwidth,
+        header_bytes=args.header_bytes,
+        determinant_bytes=args.determinant_bytes,
         faults=faults,
         transport=transport,
         storage_realism=realism,
@@ -234,6 +246,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     config.spans = args.spans or bool(args.trace_out)
     config.profile = args.profile
     config.sanitize = args.sanitize
+    config.cost_ledger = args.cost
+    config.timeseries_window = args.timeseries_window
     system = build_system(config)
     result = system.run()
     print(config.describe())
@@ -276,6 +290,18 @@ def cmd_run(args: argparse.Namespace) -> int:
             f"(p50 {stats.p50 * 1000:.2f} ms, max {stats.maximum * 1000:.1f} ms)"
         )
     exit_code = 0
+    if args.cost or args.timeseries_window is not None:
+        from repro.analysis.cost import purpose_table
+
+        cost = result.extra["cost"]
+        print()
+        print(purpose_table(cost, title="cost ledger (by purpose)"))
+        print(
+            f"  overhead share: {100 * cost['overhead_share']:.1f}%  "
+            f"cost-conserved: {'yes' if cost['conserved'] else 'NO'}"
+        )
+        if not cost["conserved"]:
+            exit_code = 1
     if args.sanitize:
         report = result.extra["sanitizer"]
         checks = ", ".join(
@@ -442,6 +468,113 @@ def cmd_compare(args: argparse.Namespace) -> int:
         rows,
         title="same scenario, different recovery machinery",
     ))
+    return exit_code
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """``repro report cost``: per-protocol cost breakdowns, overhead
+    curves, flamegraph export and the baseline drift check."""
+    import json
+
+    from repro.analysis.cost import format_cost_report, overhead_shares
+    from repro.runner import TrialRunner, TrialSpec, merge_cost
+
+    stacks = [(
+        f"{args.protocol}+{args.recovery or DEFAULT_RECOVERY[args.protocol]}",
+        {},
+    )]
+    if args.all_protocols:
+        stacks = [
+            ("fbl+nonblocking", {"protocol": "fbl", "recovery": "nonblocking"}),
+            ("fbl+blocking", {"protocol": "fbl", "recovery": "blocking"}),
+            ("sender_based", {"protocol": "sender_based", "recovery": "nonblocking"}),
+            ("manetho", {"protocol": "manetho", "recovery": "nonblocking"}),
+            ("pessimistic", {"protocol": "pessimistic", "recovery": "local"}),
+            ("optimistic", {"protocol": "optimistic", "recovery": "optimistic"}),
+            ("coordinated", {"protocol": "coordinated", "recovery": "coordinated"}),
+        ]
+
+    exit_code = 0
+    shares_by_stack: Dict[str, Dict[str, float]] = {}
+    flame_lines: List[str] = []
+    json_payload: Dict[str, Any] = {}
+    for label, overrides in stacks:
+        config = _config_from_args(args, name=label, **overrides)
+        config.cost_ledger = True
+        config.timeseries_window = args.window
+        if args.flame_out:
+            config.spans = True
+        # repetitions exercise the runner's dump/merge path: per-trial
+        # ledgers fold in spec order, identical at any --jobs
+        specs = [
+            TrialSpec(config=config, seed=args.seed + rep * 10_007, label=label)
+            for rep in range(args.seeds)
+        ]
+        results = TrialRunner(jobs=args.jobs).run(specs)
+        conserved = all(
+            trial.summary.extra["cost"]["conserved"] for trial in results
+        )
+        merged = merge_cost(results)
+        if len(results) == 1:
+            cost = results[0].summary.extra["cost"]
+            timeseries = results[0].summary.extra.get("timeseries")
+        else:
+            cost = merged.summary()
+            timeseries = None
+        print(format_cost_report(cost, timeseries, label=label))
+        print(f"cost-conserved: {'yes' if conserved else 'NO'}")
+        print()
+        if not conserved:
+            exit_code = 1
+        shares_by_stack[label] = overhead_shares(cost)
+        flame_lines.extend(f"{label};{line}" for line in merged.flame_lines())
+        json_payload[label] = cost
+
+    if args.flame_out:
+        with open(args.flame_out, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(flame_lines) + "\n")
+        print(
+            f"flamegraph: wrote {len(flame_lines)} collapsed stacks to "
+            f"{args.flame_out} (load in speedscope or flamegraph.pl)"
+        )
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(json_payload, handle, indent=2, default=str)
+        print(f"json: wrote {len(json_payload)} stack summaries to {args.json_out}")
+
+    if args.update_baseline:
+        with open(args.baseline, "w", encoding="utf-8") as handle:
+            json.dump(shares_by_stack, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"baseline: wrote {len(shares_by_stack)} stacks to {args.baseline}")
+    elif args.check_baseline:
+        with open(args.baseline, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        drifted = []
+        for label, shares in shares_by_stack.items():
+            expected = baseline.get(label)
+            if expected is None:
+                drifted.append(f"{label}: not in baseline {args.baseline}")
+                continue
+            for purpose, share in shares.items():
+                want = expected.get(purpose, 0.0)
+                # relative drift against the committed share, with an
+                # absolute floor so near-zero shares don't trip on noise
+                if abs(share - want) > max(args.tolerance * want, 0.005):
+                    drifted.append(
+                        f"{label}: {purpose} share {share:.4f} drifted "
+                        f">{args.tolerance:.0%} from baseline {want:.4f}"
+                    )
+        if drifted:
+            print("BASELINE DRIFT:")
+            for line in drifted:
+                print(f"  {line}")
+            exit_code = 1
+        else:
+            print(
+                f"baseline: {len(shares_by_stack)} stacks within "
+                f"{args.tolerance:.0%} of {args.baseline}"
+            )
     return exit_code
 
 
@@ -686,6 +819,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the online invariant monitor (repro.sanitizer) over "
              "the trace stream; violations fail the run",
     )
+    run_parser.add_argument(
+        "--cost", action="store_true",
+        help="attribute every wire/storage byte to (process, peer, "
+             "purpose, phase) accounts and print the breakdown",
+    )
+    run_parser.add_argument(
+        "--timeseries-window", type=float, default=None, metavar="SECONDS",
+        help="sample the cost ledger every SECONDS of virtual time "
+             "(implies --cost)",
+    )
     run_parser.set_defaults(fn=cmd_run)
 
     check_parser = sub.add_parser(
@@ -765,6 +908,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes (default: $REPRO_JOBS, else cpu_count-1)",
     )
     grid_parser.set_defaults(fn=cmd_grid)
+
+    report_parser = sub.add_parser(
+        "report", help="aggregate reports (currently: cost)"
+    )
+    report_parser.add_argument(
+        "what", choices=["cost"],
+        help="which report to produce",
+    )
+    _add_common(report_parser)
+    report_parser.add_argument(
+        "--all-protocols", action="store_true",
+        help="one report per protocol family (the compare stacks)",
+    )
+    report_parser.add_argument(
+        "--window", type=float, default=0.05, metavar="SECONDS",
+        help="time-series sample window in virtual seconds (default 0.05)",
+    )
+    report_parser.add_argument(
+        "--seeds", type=int, default=1,
+        help="trials per stack with derived seeds; >1 exercises the "
+             "runner's ledger merge (identical at any --jobs)",
+    )
+    report_parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: $REPRO_JOBS, else cpu_count-1)",
+    )
+    report_parser.add_argument(
+        "--flame-out", metavar="PATH", default=None,
+        help="write collapsed-stack flamegraph lines here (implies spans; "
+             "load in speedscope or flamegraph.pl)",
+    )
+    report_parser.add_argument(
+        "--json-out", metavar="PATH", default=None,
+        help="write the per-stack cost summaries as JSON",
+    )
+    report_parser.add_argument(
+        "--baseline", metavar="PATH", default="benchmarks/BENCH_COST.json",
+        help="overhead-share baseline file (see --check/--update)",
+    )
+    report_parser.add_argument(
+        "--check", dest="check_baseline", action="store_true",
+        help="fail if any stack's overhead shares drift beyond --tolerance "
+             "from the baseline",
+    )
+    report_parser.add_argument(
+        "--update", dest="update_baseline", action="store_true",
+        help="rewrite the baseline from this run's shares",
+    )
+    report_parser.add_argument(
+        "--tolerance", type=float, default=0.30,
+        help="relative drift allowed by --check (default 0.30)",
+    )
+    report_parser.set_defaults(fn=cmd_report)
 
     trace_parser = sub.add_parser(
         "trace", help="inspect a saved JSONL trace (from run --trace-out)"

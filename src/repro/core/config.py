@@ -248,6 +248,11 @@ class SystemConfig:
     storage_bandwidth: float = DEFAULT_BANDWIDTH
     #: network parameters (passed to AtmLinkModel); None = paper defaults
     network_params: Dict[str, Any] = field(default_factory=dict)
+    #: bytes charged per message header (addresses, type, incarnation);
+    #: the default matches the seed's hardcoded wire-cost model
+    header_bytes: int = 64
+    #: bytes charged per piggybacked determinant
+    determinant_bytes: int = 32
     #: storage-stack optimisations (incremental checkpoints, group
     #: commit, compaction); None = the seed's flat cost model
     storage_realism: Optional[StorageRealismConfig] = None
@@ -273,6 +278,16 @@ class SystemConfig:
     #: (None = the seed's exact FIFO order); used by `repro check` to
     #: flag hidden schedule races across replicas
     tiebreak_seed: Optional[int] = None
+    #: attribute every wire/storage byte to a (process, peer, purpose,
+    #: phase) account (repro.obs); conservation-checked, zero-cost off
+    cost_ledger: bool = False
+    #: sample the cost ledger into windows of this many virtual seconds
+    #: (RunResult.extra["timeseries"]); None = no sampler; setting it
+    #: implies cost_ledger
+    timeseries_window: Optional[float] = None
+    #: bound on retained samples: past it, adjacent windows merge and
+    #: the width doubles (memory stays flat at any horizon)
+    timeseries_max_samples: int = 512
 
     # -- run control -----------------------------------------------------------
     #: stop at this virtual time; None runs to quiescence
@@ -331,6 +346,14 @@ class SystemConfig:
             raise ValueError("detection_delay must be non-negative")
         if self.state_bytes <= 0:
             raise ValueError("state_bytes must be positive")
+        if self.header_bytes < 0:
+            raise ValueError("header_bytes must be non-negative")
+        if self.determinant_bytes < 0:
+            raise ValueError("determinant_bytes must be non-negative")
+        if self.timeseries_window is not None and self.timeseries_window <= 0:
+            raise ValueError("timeseries_window must be positive")
+        if self.timeseries_max_samples < 2:
+            raise ValueError("timeseries_max_samples must be >= 2")
         if self.storage_realism is not None:
             self.storage_realism.validate()
 

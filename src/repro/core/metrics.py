@@ -85,12 +85,18 @@ class MetricsCollector:
         self.replayed: Dict[int, int] = {}
         self.rolled_back_deliveries: int = 0
         self.orphan_rollbacks: int = 0
+        #: optional repro.obs.CostLedger (set by System); episode starts
+        #: and ends move the ledger's phase between failure-free and the
+        #: numbered recovery episodes
+        self.cost = None
 
     # -- recovery episodes ---------------------------------------------
     def start_episode(self, node: int, crash_time: float) -> RecoveryEpisode:
         episode = RecoveryEpisode(node=node, crash_time=crash_time)
         self.episodes.append(episode)
         self._open_episode[node] = episode
+        if self.cost is not None:
+            self.cost.begin_episode(node)
         return episode
 
     def episode_of(self, node: int) -> Optional[RecoveryEpisode]:
@@ -101,6 +107,8 @@ class MetricsCollector:
         episode = self._open_episode.pop(node, None)
         if episode is not None:
             episode.complete_time = complete_time
+            if self.cost is not None:
+                self.cost.end_episode(node)
 
     # -- blocking -------------------------------------------------------
     def block_start(self, node: int, time: float) -> None:

@@ -17,7 +17,7 @@ from repro.core.node import Node, NodeState
 from repro.core.oracle import ConsistencyOracle, OracleViolation
 from repro.core.output import OutputDevice
 from repro.net.latency import AtmLinkModel
-from repro.net.network import DETERMINANT_BYTES, Network
+from repro.net.network import Network
 from repro.net.topology import Topology
 from repro.procs.failure import FailureDetector, FailureInjector
 from repro.procs.process import ApplicationProcess
@@ -83,6 +83,8 @@ class System:
             rngs=self.rngs,
             trace=self.trace,
             faults=fault_model,
+            header_bytes=config.header_bytes,
+            determinant_bytes=config.determinant_bytes,
         )
         self.network.registry = self.registry
         self.transport = None
@@ -140,6 +142,35 @@ class System:
             )
             node.storage.registry = self.registry
             self.nodes.append(node)
+
+        # communication-cost ledger: host-side attribution of every wire
+        # and storage byte to (process, peer, purpose, phase) accounts.
+        # It never schedules events or draws randomness, so enabling it
+        # leaves runs byte-identical.
+        self.cost = None
+        self.cost_sampler = None
+        if config.cost_ledger or config.timeseries_window is not None:
+            from repro.obs import CostLedger, CostSampler
+
+            self.cost = CostLedger()
+            if self.trace.spans.enabled:
+                from repro.sim.spans import SpanChainTracker
+
+                tracker = SpanChainTracker()
+                self.trace.subscribe(tracker.on_event)
+                self.cost.spans = tracker
+            if config.timeseries_window is not None:
+                self.cost_sampler = CostSampler(
+                    self.cost,
+                    config.timeseries_window,
+                    max_samples=config.timeseries_max_samples,
+                    registry=self.registry,
+                    trace=self.trace,
+                )
+            self.network.cost = self.cost
+            for node in self.nodes:
+                node.storage.cost = self.cost
+            self.metrics.cost = self.cost
 
         # detector events fan out to every node's recovery manager
         self.detector.add_listener(self._on_peer_status)
@@ -269,7 +300,7 @@ class System:
             "final_delivered_counts": {
                 node.node_id: node.app.delivered_count for node in self.nodes
             },
-            "piggyback_bytes": DETERMINANT_BYTES * piggyback_count,
+            "piggyback_bytes": self.network.determinant_bytes * piggyback_count,
             "piggyback_determinants": piggyback_count,
             "safety_checked": all_live,
             "non_live_nodes": [
@@ -336,6 +367,14 @@ class System:
             )
         self.registry.gauge("sim.events_processed").set(self.sim.events_processed)
         extra["metrics"] = self.registry.snapshot()
+        if self.cost is not None:
+            if self.cost_sampler is not None:
+                self.cost_sampler.finalize(self.sim.now)
+                extra["timeseries"] = list(self.cost_sampler.samples)
+            extra["cost"] = self.cost.summary(
+                self.network.stats,
+                {node.node_id: node.storage.stats for node in self.nodes},
+            )
         if self.profiler is not None:
             extra["profile"] = self.profiler.snapshot()
         if self.sanitizer is not None:

@@ -27,9 +27,13 @@ from repro.sim.kernel import Simulator
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import TraceRecorder
 
-#: Bytes charged for the fixed message header (addresses, type, incarnation).
+#: Default bytes charged for the fixed message header (addresses, type,
+#: incarnation).  Per-run values live on :attr:`Network.header_bytes`
+#: (``SystemConfig.header_bytes``); these module constants remain the
+#: defaults and the seed's original cost model.
 HEADER_BYTES = 64
-#: Bytes charged per piggybacked determinant.
+#: Default bytes charged per piggybacked determinant (see
+#: :attr:`Network.determinant_bytes` / ``SystemConfig.determinant_bytes``).
 DETERMINANT_BYTES = 32
 
 
@@ -166,6 +170,8 @@ class Network:
         rngs: Optional[RngRegistry] = None,
         trace: Optional[TraceRecorder] = None,
         faults: Optional[NetworkFaultModel] = None,
+        header_bytes: int = HEADER_BYTES,
+        determinant_bytes: int = DETERMINANT_BYTES,
     ) -> None:
         self.sim = sim
         self.topology = topology
@@ -173,6 +179,12 @@ class Network:
         self.rngs = rngs or RngRegistry(0)
         self.trace = trace
         self.faults = faults
+        #: wire-cost knobs (SystemConfig.header_bytes / determinant_bytes);
+        #: the defaults reproduce the seed's hardcoded cost model exactly
+        self.header_bytes = header_bytes
+        self.determinant_bytes = determinant_bytes
+        #: optional repro.obs.CostLedger (set by System; None = zero cost)
+        self.cost = None
         #: set by ReliableTransport when one is layered on this network
         self.transport = None
         #: pre-bound metric instruments (see the ``registry`` setter)
@@ -261,7 +273,9 @@ class Network:
             raise ValueError(f"no link {src}->{dst} in topology")
         message.send_time = self.sim.now
         message.msg_id = next(self._msg_ids)
-        size = message.size_bytes  # header+body+piggyback walk, once
+        # header+body+piggyback, computed once from the per-run wire costs
+        piggyback_bytes = self.determinant_bytes * len(message.piggyback)
+        size = self.header_bytes + message.body_bytes + piggyback_bytes
 
         if retransmit:
             self.stats.record_retransmit(size)
@@ -271,6 +285,12 @@ class Network:
             self._ctr_messages.inc()
             self._ctr_bytes.inc(size)
             self._hist_bytes.observe(size)
+        if self.cost is not None:
+            # charged beside stats.record so ledger sums conserve exactly
+            self.cost.charge_wire(
+                self.sim.now, src, dst, message.kind.value, message.mtype,
+                size, self.header_bytes, piggyback_bytes, retransmit,
+            )
         if self.trace is not None:
             emit = self._emit_retransmit if retransmit else self._emit_send
             emit(

@@ -1,0 +1,42 @@
+"""Communication-cost observability: the byte-exact cost ledger.
+
+The paper's argument is about *where the bytes go* — piggybacked
+dependency metadata vs determinant logging vs control rounds vs
+checkpoint traffic.  :mod:`repro.obs` makes that a first-class,
+conservation-checked observable:
+
+* :class:`~repro.obs.ledger.CostLedger` attributes every wire byte and
+  every stable-storage byte/op to a ``(process, peer, purpose, phase)``
+  account, where purpose is the fixed taxonomy of
+  :data:`~repro.obs.ledger.PURPOSES` and phase separates failure-free
+  operation from each numbered recovery episode;
+* :class:`~repro.obs.sampler.CostSampler` snapshots the ledger into
+  bounded-memory time windows (``RunResult.extra["timeseries"]``);
+* the keystone property is **byte conservation**: account sums equal
+  the existing :class:`~repro.net.network.NetworkStats` /
+  :class:`~repro.storage.stable.StableStorageStats` totals *exactly*
+  (:meth:`CostLedger.conservation`), enforced across the protocol x
+  recovery matrix by ``tests/test_cost_ledger.py``.
+
+Like spans and the profiler, everything here is host-side bookkeeping:
+charging the ledger schedules nothing and draws no randomness, so a run
+with the ledger on is byte-identical to one without.
+"""
+
+from repro.obs.ledger import (
+    PURPOSES,
+    CostLedger,
+    classify_storage,
+    classify_wire,
+    merge_cost_dumps,
+)
+from repro.obs.sampler import CostSampler
+
+__all__ = [
+    "PURPOSES",
+    "CostLedger",
+    "CostSampler",
+    "classify_storage",
+    "classify_wire",
+    "merge_cost_dumps",
+]

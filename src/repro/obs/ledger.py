@@ -1,0 +1,524 @@
+"""The communication-cost ledger: byte-exact purpose attribution.
+
+Every wire byte and every stable-storage byte/op is charged to one
+account keyed ``(domain, process, peer, purpose, phase)``:
+
+* **domain** — ``wire`` (network transmissions), ``storage`` (stable
+  device transfers) or ``gc`` (reclaimed space, a credit account);
+* **process / peer** — the sender and destination for wire charges, the
+  device owner and operation direction (``read``/``write``) for storage;
+* **purpose** — the fixed taxonomy :data:`PURPOSES`, mapping traffic to
+  the paper's cost terms (piggybacked dependency metadata, determinant
+  logging, recovery control, checkpoint transfer, ...);
+* **phase** — ``failure-free``, or ``recovery-N`` while the N-th
+  recovery episode of the run is in progress (nested episodes attribute
+  to the most recently begun one, matching how the trace's span chains
+  nest).
+
+The keystone property is **byte conservation**: the ledger is charged at
+exactly the statements that mutate :class:`~repro.net.network.NetworkStats`
+and :class:`~repro.storage.stable.StableStorageStats`, so account sums
+equal those totals *to the byte* (:meth:`CostLedger.conservation`).  A
+wire message splits into header + piggyback + body sub-charges that
+re-add to its transmitted size; a group-commit batch charges one device
+op and per-entry purpose bytes that re-add to the flushed total.
+
+Charging is host-side bookkeeping only — no simulated events, no
+randomness — so the ledger can never perturb a run (the goldens in
+``tests/test_cost_ledger.py`` prove byte-identical results with it on).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+#: The fixed purpose taxonomy (see docs/OBSERVABILITY.md for the mapping
+#: to the paper's cost terms).
+PURPOSES = (
+    "app-payload",
+    "header",
+    "piggyback-determinant",
+    "control-plane",
+    "retransmit",
+    "recovery-data",
+    "checkpoint",
+    "determinant-log",
+    "gc-metadata",
+)
+
+#: Protocol-kind message types whose body is not plain control traffic.
+_PROTOCOL_BODY_PURPOSE = {
+    "retransmit_data": "recovery-data",  # logged messages re-sent to a recoverer
+    "det_push": "determinant-log",  # determinants pushed to reach f+1 hosts
+    "gc_notice": "gc-metadata",
+    "stable_info": "gc-metadata",  # stability gossip drives log pruning
+}
+
+#: Recovery-kind message types that carry recovered data rather than
+#: round control (replies with determinants / dependency vectors).
+_RECOVERY_DATA_MTYPES = frozenset(
+    {"recovery_reply", "depinfo_reply", "depinfo_distribute"}
+)
+
+_FAILURE_FREE = "failure-free"
+
+
+def classify_wire(kind: str, mtype: str) -> str:
+    """Purpose of a message *body* from its accounting kind and mtype.
+
+    The header and piggyback portions of the same message are charged to
+    the ``header`` / ``piggyback-determinant`` accounts separately.
+    """
+    if kind == "application":
+        return "app-payload"
+    if kind == "protocol":
+        return _PROTOCOL_BODY_PURPOSE.get(mtype, "control-plane")
+    if kind == "recovery":
+        return (
+            "recovery-data" if mtype in _RECOVERY_DATA_MTYPES else "control-plane"
+        )
+    if kind == "storage":
+        # traffic to a stable-storage process (f = n logging)
+        return "determinant-log"
+    return "control-plane"  # transport acks and anything future
+
+
+def classify_storage(name: str, is_log: bool = False) -> str:
+    """Purpose of a stable-storage operation from its key / log name."""
+    if is_log:
+        # every append-only log holds determinants / receipts / HOPs
+        return "determinant-log"
+    if name.startswith("checkpoint:") or name.startswith("round:"):
+        return "checkpoint"
+    if name.startswith("recovery_reply:"):
+        return "recovery-data"
+    # commit markers, gather progress and other durable control records
+    return "control-plane"
+
+
+class CostLedger:
+    """Byte-exact cost accounts, fed by pre-bound subsystem hooks.
+
+    Accounts map ``(domain, proc, peer, purpose, phase)`` to
+    ``[count, bytes]``.  For wire accounts ``count`` is messages charged
+    to that account (each message counts once on its body account, once
+    on ``header``, once on ``piggyback-determinant`` when it piggybacks);
+    for storage accounts it is logical operations (each batched append
+    counts, the shared device op is conserved separately via
+    :attr:`device_ops`).
+
+    The off path stays zero-cost: subsystems hold ``cost = None`` and
+    guard every charge with a single ``is not None`` branch, exactly
+    like the span/registry pre-binding pattern.
+    """
+
+    def __init__(self) -> None:
+        self.accounts: Dict[Tuple[str, Any, Any, str, str], List[int]] = {}
+        # -- wire aggregates (conservation + sampler fast path) ----------
+        self.wire_messages = 0
+        self.wire_retransmits = 0
+        self.wire_bytes_total = 0
+        self.wire_purpose_bytes: Dict[str, int] = {}
+        # -- storage aggregates ------------------------------------------
+        self.device_ops: Dict[int, int] = {}
+        self.device_bytes: Dict[int, int] = {}
+        self.device_gc_bytes: Dict[int, int] = {}
+        self.storage_purpose_bytes: Dict[str, int] = {}
+        self.storage_ops_total = 0
+        self.storage_bytes_total = 0
+        self.gc_bytes_total = 0
+        # -- phase tracking ----------------------------------------------
+        self._episodes_begun = 0
+        self._phase_stack: List[Tuple[int, str]] = []
+        self._phase = _FAILURE_FREE
+        # -- optional collaborators (bound by System) --------------------
+        #: a repro.sim.spans.SpanChainTracker when spans are on; charges
+        #: then also accumulate into the collapsed-stack flame profile
+        self.spans = None
+        #: a repro.obs.sampler.CostSampler when time-series sampling is on
+        self._sampler = None
+        self.flame: Dict[Tuple[str, ...], int] = {}
+
+    # ------------------------------------------------------------------
+    # phases
+    # ------------------------------------------------------------------
+    def begin_episode(self, node: int) -> None:
+        """Enter the next numbered recovery phase (``node`` crashed)."""
+        self._episodes_begun += 1
+        phase = f"recovery-{self._episodes_begun}"
+        self._phase_stack.append((node, phase))
+        self._phase = phase
+
+    def end_episode(self, node: int) -> None:
+        """Leave ``node``'s recovery phase (it completed recovery)."""
+        for i in range(len(self._phase_stack) - 1, -1, -1):
+            if self._phase_stack[i][0] == node:
+                del self._phase_stack[i]
+                break
+        self._phase = (
+            self._phase_stack[-1][1] if self._phase_stack else _FAILURE_FREE
+        )
+
+    @property
+    def phase(self) -> str:
+        """The phase charges are currently attributed to."""
+        return self._phase
+
+    @property
+    def episodes_begun(self) -> int:
+        return self._episodes_begun
+
+    # ------------------------------------------------------------------
+    # charging
+    # ------------------------------------------------------------------
+    def _account(
+        self, domain: str, proc: Any, peer: Any, purpose: str, phase: str
+    ) -> List[int]:
+        key = (domain, proc, peer, purpose, phase)
+        cell = self.accounts.get(key)
+        if cell is None:
+            cell = self.accounts[key] = [0, 0]
+        return cell
+
+    def _flame_add(self, node: int, purpose: str, size: int) -> None:
+        chain = self.spans.chain(node)
+        stack = [f"node {node}"]
+        stack.extend(link["kind"] for link in reversed(chain))
+        stack.append(purpose)
+        key = tuple(stack)
+        self.flame[key] = self.flame.get(key, 0) + size
+
+    def charge_wire(
+        self,
+        now: float,
+        src: int,
+        dst: int,
+        kind: str,
+        mtype: str,
+        size: int,
+        header: int,
+        piggyback: int,
+        retransmit: bool,
+    ) -> None:
+        """Charge one transmission of ``size`` bytes (header + piggyback
+        + body) from ``src`` to ``dst``.  Retransmitted copies charge
+        their full size to the ``retransmit`` account — the cost of
+        reliability is its own column, matching
+        :meth:`NetworkStats.record_retransmit`."""
+        sampler = self._sampler
+        if sampler is not None and now >= sampler.next_boundary:
+            sampler.flush_to(now)
+        phase = self._phase
+        purposes = self.wire_purpose_bytes
+        if retransmit:
+            self.wire_retransmits += 1
+            cell = self._account("wire", src, dst, "retransmit", phase)
+            cell[0] += 1
+            cell[1] += size
+            purposes["retransmit"] = purposes.get("retransmit", 0) + size
+            if self.spans is not None:
+                self._flame_add(src, "retransmit", size)
+        else:
+            self.wire_messages += 1
+            body = size - header - piggyback
+            purpose = classify_wire(kind, mtype)
+            cell = self._account("wire", src, dst, purpose, phase)
+            cell[0] += 1
+            cell[1] += body
+            purposes[purpose] = purposes.get(purpose, 0) + body
+            cell = self._account("wire", src, dst, "header", phase)
+            cell[0] += 1
+            cell[1] += header
+            purposes["header"] = purposes.get("header", 0) + header
+            if piggyback:
+                cell = self._account(
+                    "wire", src, dst, "piggyback-determinant", phase
+                )
+                cell[0] += 1
+                cell[1] += piggyback
+                purposes["piggyback-determinant"] = (
+                    purposes.get("piggyback-determinant", 0) + piggyback
+                )
+            if self.spans is not None:
+                self._flame_add(src, purpose, body)
+                self._flame_add(src, "header", header)
+                if piggyback:
+                    self._flame_add(src, "piggyback-determinant", piggyback)
+        self.wire_bytes_total += size
+
+    def charge_storage(
+        self,
+        now: float,
+        owner: int,
+        op: str,
+        name: str,
+        size: int,
+        is_log: bool = False,
+    ) -> None:
+        """Charge one stable-storage device operation of ``size`` bytes."""
+        sampler = self._sampler
+        if sampler is not None and now >= sampler.next_boundary:
+            sampler.flush_to(now)
+        purpose = classify_storage(name, is_log)
+        cell = self._account("storage", owner, op, purpose, self._phase)
+        cell[0] += 1
+        cell[1] += size
+        self.device_ops[owner] = self.device_ops.get(owner, 0) + 1
+        self.device_bytes[owner] = self.device_bytes.get(owner, 0) + size
+        self.storage_purpose_bytes[purpose] = (
+            self.storage_purpose_bytes.get(purpose, 0) + size
+        )
+        self.storage_ops_total += 1
+        self.storage_bytes_total += size
+        if self.spans is not None:
+            self._flame_add(owner, purpose, size)
+
+    def charge_batch(
+        self, now: float, owner: int, entries: List[Tuple[str, int]], total: int
+    ) -> None:
+        """Charge one group-commit flush: a *single* device op whose
+        ``total`` bytes split per-entry by each log's purpose.
+
+        ``entries`` is ``[(log_name, size_bytes), ...]``; their sizes sum
+        to ``total`` (the bytes :meth:`StableStorage._flush_batch` adds
+        to ``stats.bytes_written``), keeping conservation exact."""
+        sampler = self._sampler
+        if sampler is not None and now >= sampler.next_boundary:
+            sampler.flush_to(now)
+        phase = self._phase
+        for log, size in entries:
+            purpose = classify_storage(log, is_log=True)
+            cell = self._account("storage", owner, "write", purpose, phase)
+            cell[0] += 1
+            cell[1] += size
+            self.storage_purpose_bytes[purpose] = (
+                self.storage_purpose_bytes.get(purpose, 0) + size
+            )
+            if self.spans is not None:
+                self._flame_add(owner, purpose, size)
+        self.device_ops[owner] = self.device_ops.get(owner, 0) + 1
+        self.device_bytes[owner] = self.device_bytes.get(owner, 0) + total
+        self.storage_ops_total += 1
+        self.storage_bytes_total += total
+
+    def charge_gc(self, now: float, owner: int, size: int) -> None:
+        """Credit ``size`` reclaimed bytes (a zero-I/O metadata op)."""
+        sampler = self._sampler
+        if sampler is not None and now >= sampler.next_boundary:
+            sampler.flush_to(now)
+        cell = self._account("gc", owner, "-", "gc-metadata", self._phase)
+        cell[0] += 1
+        cell[1] += size
+        self.device_gc_bytes[owner] = self.device_gc_bytes.get(owner, 0) + size
+        self.gc_bytes_total += size
+
+    # ------------------------------------------------------------------
+    # conservation (the keystone check)
+    # ------------------------------------------------------------------
+    def conservation(
+        self, network_stats: Any, storage_stats: Dict[int, Any]
+    ) -> Dict[str, Any]:
+        """Check ledger sums against the pre-existing metric totals.
+
+        Byte-exact equalities (``==`` on integers, no tolerance):
+
+        * wire account bytes  == ``NetworkStats.total_bytes()`` +
+          ``retransmit_bytes``; message/retransmit counts match too;
+        * per-device storage ops/bytes == ``reads + writes`` /
+          ``bytes_read + bytes_written`` of that device's stats;
+        * per-device gc bytes == ``bytes_reclaimed``.
+        """
+        wire_ledger = sum(
+            cell[1] for key, cell in self.accounts.items() if key[0] == "wire"
+        )
+        wire_expected = network_stats.total_bytes() + network_stats.retransmit_bytes
+        checks: Dict[str, Any] = {
+            "wire_bytes": {"ledger": wire_ledger, "expected": wire_expected},
+            "wire_messages": {
+                "ledger": self.wire_messages,
+                "expected": network_stats.total_messages(),
+            },
+            "wire_retransmits": {
+                "ledger": self.wire_retransmits,
+                "expected": network_stats.retransmits,
+            },
+        }
+        storage_ledger_ops = storage_ledger_bytes = 0
+        storage_expected_ops = storage_expected_bytes = 0
+        gc_ledger = gc_expected = 0
+        per_device_ok = True
+        for owner, stats in sorted(storage_stats.items()):
+            ops = self.device_ops.get(owner, 0)
+            nbytes = self.device_bytes.get(owner, 0)
+            gc = self.device_gc_bytes.get(owner, 0)
+            storage_ledger_ops += ops
+            storage_ledger_bytes += nbytes
+            gc_ledger += gc
+            storage_expected_ops += stats.reads + stats.writes
+            storage_expected_bytes += stats.bytes_read + stats.bytes_written
+            gc_expected += stats.bytes_reclaimed
+            if (
+                ops != stats.reads + stats.writes
+                or nbytes != stats.bytes_read + stats.bytes_written
+                or gc != stats.bytes_reclaimed
+            ):
+                per_device_ok = False
+        checks["storage_ops"] = {
+            "ledger": storage_ledger_ops, "expected": storage_expected_ops,
+        }
+        checks["storage_bytes"] = {
+            "ledger": storage_ledger_bytes, "expected": storage_expected_bytes,
+        }
+        checks["gc_bytes"] = {"ledger": gc_ledger, "expected": gc_expected}
+        checks["per_device"] = per_device_ok
+        conserved = per_device_ok and all(
+            isinstance(check, bool) or check["ledger"] == check["expected"]
+            for check in checks.values()
+        )
+        checks["conserved"] = conserved
+        return checks
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def by_purpose(self, domain: str = "wire") -> Dict[str, int]:
+        """Total bytes per purpose within one domain, sorted by name."""
+        totals: Dict[str, int] = {}
+        for (dom, _proc, _peer, purpose, _phase), cell in self.accounts.items():
+            if dom == domain:
+                totals[purpose] = totals.get(purpose, 0) + cell[1]
+        return dict(sorted(totals.items()))
+
+    def by_phase(self, domain: str = "wire") -> Dict[str, int]:
+        """Total bytes per phase within one domain (failure-free first)."""
+        totals: Dict[str, int] = {}
+        for (dom, _proc, _peer, _purpose, phase), cell in self.accounts.items():
+            if dom == domain:
+                totals[phase] = totals.get(phase, 0) + cell[1]
+        return dict(
+            sorted(totals.items(), key=lambda kv: (kv[0] != _FAILURE_FREE, kv[0]))
+        )
+
+    def link_matrix(self) -> Dict[Tuple[int, int], int]:
+        """Wire bytes per directed ``(src, dst)`` link (all purposes)."""
+        totals: Dict[Tuple[int, int], int] = {}
+        for (dom, proc, peer, _purpose, _phase), cell in self.accounts.items():
+            if dom == "wire":
+                totals[(proc, peer)] = totals.get((proc, peer), 0) + cell[1]
+        return totals
+
+    def overhead_share(self) -> float:
+        """Fraction of wire bytes that is not application payload —
+        the paper's failure-free overhead number."""
+        if not self.wire_bytes_total:
+            return 0.0
+        app = self.wire_purpose_bytes.get("app-payload", 0)
+        return 1.0 - app / self.wire_bytes_total
+
+    def flame_lines(self) -> List[str]:
+        """Collapsed-stack lines (``frame;frame;purpose bytes``) in the
+        format speedscope and ``flamegraph.pl`` load directly."""
+        return [
+            ";".join(stack) + f" {size}"
+            for stack, size in sorted(self.flame.items())
+            if size > 0
+        ]
+
+    def summary(
+        self,
+        network_stats: Optional[Any] = None,
+        storage_stats: Optional[Dict[int, Any]] = None,
+    ) -> Dict[str, Any]:
+        """JSON-able roll-up for ``RunResult.extra["cost"]``."""
+        out: Dict[str, Any] = {
+            "wire": {
+                "total_bytes": self.wire_bytes_total,
+                "messages": self.wire_messages,
+                "retransmits": self.wire_retransmits,
+                "by_purpose": self.by_purpose("wire"),
+                "by_phase": self.by_phase("wire"),
+            },
+            "storage": {
+                "total_bytes": self.storage_bytes_total,
+                "ops": self.storage_ops_total,
+                "by_purpose": self.by_purpose("storage"),
+                "by_phase": self.by_phase("storage"),
+            },
+            "gc": {"total_bytes": self.gc_bytes_total},
+            "overhead_share": self.overhead_share(),
+            "episodes": self._episodes_begun,
+            "accounts": [
+                [domain, proc, peer, purpose, phase, cell[0], cell[1]]
+                for (domain, proc, peer, purpose, phase), cell in sorted(
+                    self.accounts.items(),
+                    key=lambda kv: tuple(map(str, kv[0])),
+                )
+            ],
+        }
+        if network_stats is not None and storage_stats is not None:
+            out["conservation"] = self.conservation(network_stats, storage_stats)
+            out["conserved"] = out["conservation"]["conserved"]
+        return out
+
+    # ------------------------------------------------------------------
+    # cross-trial dump/merge (repro.runner)
+    # ------------------------------------------------------------------
+    def dump(self) -> Dict[str, Any]:
+        """Picklable, mergeable state (see :func:`merge_cost_dumps`)."""
+        return {
+            "accounts": [
+                [list(key), cell[0], cell[1]]
+                for key, cell in sorted(
+                    self.accounts.items(), key=lambda kv: tuple(map(str, kv[0]))
+                )
+            ],
+            "wire_messages": self.wire_messages,
+            "wire_retransmits": self.wire_retransmits,
+            "wire_bytes_total": self.wire_bytes_total,
+            "storage_ops_total": self.storage_ops_total,
+            "storage_bytes_total": self.storage_bytes_total,
+            "gc_bytes_total": self.gc_bytes_total,
+            "episodes": self._episodes_begun,
+            "flame": [
+                [list(stack), size] for stack, size in sorted(self.flame.items())
+            ],
+        }
+
+
+def merge_cost_dumps(dumps: List[Dict[str, Any]]) -> CostLedger:
+    """Fold per-trial :meth:`CostLedger.dump` outputs into one ledger.
+
+    Accounts and flame stacks sum; counters add.  Folding happens
+    strictly in the order given (the runner passes dumps in spec order),
+    so merged reports are identical at any job count.  Per-trial
+    recovery phases keep their own ordinals — a merged ``recovery-1``
+    aggregates every trial's first episode, which is what a sweep report
+    wants to compare.
+    """
+    merged = CostLedger()
+    for dump in dumps:
+        for key_list, count, nbytes in dump["accounts"]:
+            cell = merged._account(*key_list)
+            cell[0] += count
+            cell[1] += nbytes
+        merged.wire_messages += dump["wire_messages"]
+        merged.wire_retransmits += dump["wire_retransmits"]
+        merged.wire_bytes_total += dump["wire_bytes_total"]
+        merged.storage_ops_total += dump["storage_ops_total"]
+        merged.storage_bytes_total += dump["storage_bytes_total"]
+        merged.gc_bytes_total += dump["gc_bytes_total"]
+        merged._episodes_begun = max(merged._episodes_begun, dump["episodes"])
+        for stack_list, size in dump.get("flame", []):
+            key = tuple(stack_list)
+            merged.flame[key] = merged.flame.get(key, 0) + size
+    # rebuild the purpose aggregates from the merged accounts
+    for (domain, _proc, _peer, purpose, _phase), cell in merged.accounts.items():
+        if domain == "wire":
+            merged.wire_purpose_bytes[purpose] = (
+                merged.wire_purpose_bytes.get(purpose, 0) + cell[1]
+            )
+        elif domain == "storage":
+            merged.storage_purpose_bytes[purpose] = (
+                merged.storage_purpose_bytes.get(purpose, 0) + cell[1]
+            )
+    return merged

@@ -102,6 +102,9 @@ class TrialResult:
     #: the trial's ``category.action`` trace counters (mergeable)
     trace_counters: Dict[str, int]
     wall_s: float = field(default=0.0, compare=False)
+    #: :meth:`repro.obs.CostLedger.dump` when the trial ran with the
+    #: cost ledger enabled (mergeable via :func:`merge_cost`)
+    cost: Optional[Dict[str, Any]] = None
 
 
 # ----------------------------------------------------------------------
@@ -121,6 +124,7 @@ def run_trial(spec: TrialSpec, index: int = 0) -> TrialResult:
         metrics=system.registry.dump(),
         trace_counters=dict(system.trace.counters),
         wall_s=wall,
+        cost=system.cost.dump() if system.cost is not None else None,
     )
 
 
@@ -201,6 +205,20 @@ def merge_metrics(results: Sequence[TrialResult]) -> MetricsRegistry:
     """Fold every trial's registry dump into one registry, in spec order."""
     ordered = sorted(results, key=lambda r: r.index)
     return MetricsRegistry.merge([r.metrics for r in ordered])
+
+
+def merge_cost(results: Sequence[TrialResult]):
+    """Fold every trial's cost-ledger dump into one
+    :class:`~repro.obs.CostLedger`, in spec order (byte-identical across
+    job counts).  Trials that ran without the ledger are skipped;
+    returns ``None`` when no trial carried one."""
+    from repro.obs import merge_cost_dumps
+
+    ordered = sorted(results, key=lambda r: r.index)
+    dumps = [r.cost for r in ordered if r.cost is not None]
+    if not dumps:
+        return None
+    return merge_cost_dumps(dumps)
 
 
 def merge_trace_counters(results: Sequence[TrialResult]) -> Dict[str, int]:

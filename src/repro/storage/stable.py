@@ -206,6 +206,9 @@ class StableStorage:
         self.stats = StableStorageStats()
         #: optional repro.core.metrics_registry.MetricsRegistry (set by System)
         self.registry = None
+        #: optional repro.obs.CostLedger (set by System; None = zero cost);
+        #: charged beside every stats mutation so account sums conserve
+        self.cost = None
         self._data: Dict[str, Any] = {}
         self._device_free_at = 0.0
         self._pending: Dict[int, Any] = {}
@@ -339,6 +342,8 @@ class StableStorage:
         """
         self.stats.writes += 1
         self.stats.bytes_written += size_bytes
+        if self.cost is not None:
+            self.cost.charge_storage(self.sim.now, self.owner, "write", name, size_bytes)
         if self.trace is not None:
             self.trace.record(
                 self.sim.now, "storage", self.owner, "write", name=name, size=size_bytes
@@ -368,6 +373,8 @@ class StableStorage:
         """
         self.stats.reads += 1
         self.stats.bytes_read += size_bytes
+        if self.cost is not None:
+            self.cost.charge_storage(self.sim.now, self.owner, "read", name, size_bytes)
         if self.trace is not None:
             self.trace.record(
                 self.sim.now, "storage", self.owner, "read", name=name, size=size_bytes
@@ -414,6 +421,10 @@ class StableStorage:
             return self._enqueue_append(log, entry, size_bytes, on_done, stall_node)
         self.stats.writes += 1
         self.stats.bytes_written += size_bytes
+        if self.cost is not None:
+            self.cost.charge_storage(
+                self.sim.now, self.owner, "write", log, size_bytes, is_log=True
+            )
         if self.trace is not None:
             self.trace.record(
                 self.sim.now, "storage", self.owner, "log_append", log=log, size=size_bytes
@@ -480,6 +491,14 @@ class StableStorage:
         self.stats.writes += 1
         self.stats.bytes_written += total
         self.stats.batch_flushes += 1
+        if self.cost is not None:
+            # one device op; per-entry bytes keep purpose attribution exact
+            self.cost.charge_batch(
+                self.sim.now,
+                self.owner,
+                [(log, size) for log, _e, size, _cb, _s, _at in batch],
+                total,
+            )
         if self.trace is not None:
             self.trace.record(
                 self.sim.now, "storage", self.owner, "batch_flush",
@@ -527,6 +546,10 @@ class StableStorage:
         size = entry_bytes * len(entries)
         self.stats.reads += 1
         self.stats.bytes_read += size
+        if self.cost is not None:
+            self.cost.charge_storage(
+                self.sim.now, self.owner, "read", log, size, is_log=True
+            )
         if self.trace is not None:
             self.trace.record(
                 self.sim.now, "storage", self.owner, "log_read", log=log, size=size
@@ -566,6 +589,8 @@ class StableStorage:
             freed = sum(size_of(entry) for entry in entries if not keep(entry))
             self.stats.bytes_reclaimed += freed
             self.stats.reclaims += 1
+            if self.cost is not None:
+                self.cost.charge_gc(self.sim.now, self.owner, freed)
             if self.registry is not None:
                 self.registry.counter("storage.bytes_reclaimed").inc(freed)
         return dropped
@@ -580,6 +605,8 @@ class StableStorage:
         self._data.pop(name, None)
         self.stats.bytes_reclaimed += size_bytes
         self.stats.reclaims += 1
+        if self.cost is not None:
+            self.cost.charge_gc(self.sim.now, self.owner, size_bytes)
         if self.trace is not None:
             self.trace.record(
                 self.sim.now, "storage", self.owner, "reclaim",
