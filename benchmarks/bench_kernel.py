@@ -16,6 +16,15 @@ that bought them.  Three workloads:
 * ``lossy_system`` -- a real E11-style run (FBL + non-blocking
   recovery, reliable transport over a 20 %-loss network, one crash):
   the end-to-end events/sec a sweep actually sees.
+* ``huge_system`` -- intra-run scale: event chains hopping between
+  thousands of per-process counters through the kernel's handle-free
+  ``schedule_fast`` path (event-pool reuse, no EventHandle per hop).
+  Tracks peak RSS and its flatness: ``rss_ratio`` compares the process
+  peak at the end of the run against the peak at 10 % of the horizon,
+  so unbounded per-event growth shows up as a ratio well above 1.
+  The default (CI smoke) size is 2k processes / 400k events; pass
+  ``--huge-full`` for the 10k-process / 10M-event version recorded
+  under ``huge_system_full``.
 
 Usage::
 
@@ -142,10 +151,67 @@ def bench_lossy_system(hops: int = 500, loss: float = 0.2) -> Dict[str, Any]:
     }
 
 
+def bench_huge_system(
+    n_procs: int = 2_000,
+    n_events: int = 400_000,
+    chains: int = 64,
+) -> Dict[str, Any]:
+    """Intra-run scale through the handle-free pooled path.
+
+    ``chains`` concurrent event chains hop between ``n_procs``
+    per-process counters via ``schedule_fast`` (an LCG picks the next
+    hop, so the access pattern is scattered but deterministic).  No
+    handles, no kwargs: every hop after the first ``EVENT_POOL_MAX``
+    should be served by recycling a pooled Event.  ``rss_ratio`` is the
+    process's peak RSS at the end of the run over its peak at 10 % of
+    the horizon -- flat-memory execution keeps it near 1.0 regardless
+    of ``n_events``.
+    """
+    from array import array
+
+    sim = Simulator()
+    counters = array("Q", [0]) * n_procs
+    state = {"count": 0, "rss_tenth": 0}
+    tenth = max(1, n_events // 10)
+
+    def hop(proc: int, r: int) -> None:
+        counters[proc] += 1
+        count = state["count"] + 1
+        state["count"] = count
+        if count == tenth:
+            state["rss_tenth"] = peak_rss_kb()
+        if count < n_events:
+            r = (r * 1103515245 + 12345) & 0x7FFFFFFF
+            sim.schedule_fast(0.001, hop, r % n_procs, r)
+
+    for i in range(chains):
+        sim.schedule_fast(0.0005 * (i + 1), hop, i % n_procs, (i + 1) * 2654435761)
+    t0 = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - t0
+    rss_end = peak_rss_kb()
+    rss_tenth = state["rss_tenth"] or rss_end
+    return {
+        "events": sim.events_processed,
+        "wall_s": wall,
+        "events_per_sec": sim.events_processed / wall,
+        "peak_heap": chains,
+        "n_procs": n_procs,
+        "peak_rss_kb": rss_end,
+        "rss_ratio": round(rss_end / rss_tenth, 3),
+        "pool_reuses": sim.pool_reuses,
+    }
+
+
+#: rss_ratio above this fails --check / --huge-full: RSS at the end of
+#: the run must stay within 1.5x the RSS at 10% of the horizon
+RSS_RATIO_MAX = 1.5
+
 WORKLOADS = {
     "dispatch_chain": bench_dispatch_chain,
     "timer_churn": bench_timer_churn,
     "lossy_system": bench_lossy_system,
+    "huge_system": bench_huge_system,
 }
 
 
@@ -160,10 +226,13 @@ def measure_all(repeats: int = 3) -> Dict[str, Any]:
             if best is None or sample["events_per_sec"] > best["events_per_sec"]:
                 best = sample
         results[name] = best
+        rss = (
+            f"  rss_ratio {best['rss_ratio']:.2f}" if "rss_ratio" in best else ""
+        )
         print(
             f"  {name:16s} {best['events']:>8d} events  "
             f"{best['events_per_sec']:>12.0f} ev/s  "
-            f"peak heap {best['peak_heap']}"
+            f"peak heap {best['peak_heap']}{rss}"
         )
     return results
 
@@ -268,6 +337,10 @@ def cmd_capture(path: str, label: str) -> int:
     if before and after:
         print("before -> after events/sec:")
         for name in WORKLOADS:
+            # a workload may exist in only one capture (e.g. added after
+            # the 'before' label was taken)
+            if name not in before or name not in after:
+                continue
             b = before[name]["events_per_sec"]
             a = after[name]["events_per_sec"]
             print(f"  {name:16s} {b:>12.0f} -> {a:>12.0f}  ({(a / b - 1) * 100:+.1f}%)")
@@ -287,6 +360,9 @@ def cmd_check(path: str, tolerance: float) -> int:
     measured = measure_all()
     failed = []
     for name, stats in measured.items():
+        if name not in baseline:
+            print(f"  {name:16s} (no committed baseline; skipped)")
+            continue
         want = baseline[name]["events_per_sec"] * (1.0 - tolerance)
         ok = stats["events_per_sec"] >= want
         print(
@@ -295,11 +371,42 @@ def cmd_check(path: str, tolerance: float) -> int:
         )
         if not ok:
             failed.append(name)
+        if stats.get("rss_ratio", 0.0) > RSS_RATIO_MAX:
+            print(
+                f"  {name:16s} rss_ratio {stats['rss_ratio']:.2f} > "
+                f"{RSS_RATIO_MAX:.2f}: MEMORY NOT FLAT"
+            )
+            failed.append(f"{name} (rss)")
     if failed:
         print(f"FAIL: events/sec regressed >{tolerance:.0%} on: {', '.join(failed)}",
               file=sys.stderr)
         return 1
     print("ok: kernel throughput within tolerance")
+    return 0
+
+
+def cmd_huge_full(path: str) -> int:
+    """The full-size huge_system run (10k procs, 10M events), recorded
+    under ``huge_system_full``; fails if RSS is not flat vs horizon."""
+    print("running full-size huge_system (10,000 procs, 10,000,000 events) ...")
+    stats = bench_huge_system(n_procs=10_000, n_events=10_000_000)
+    print(
+        f"  {stats['events']} events in {stats['wall_s']:.1f}s "
+        f"({stats['events_per_sec']:.0f} ev/s), peak RSS "
+        f"{stats['peak_rss_kb'] / 1024:.1f} MB, rss_ratio {stats['rss_ratio']:.3f}, "
+        f"pool reuses {stats['pool_reuses']}"
+    )
+    data = load(path)
+    data["huge_system_full"] = {"host": host_info(), **stats}
+    save(path, data)
+    print(f"wrote {path}")
+    if stats["rss_ratio"] > RSS_RATIO_MAX:
+        print(
+            f"FAIL: rss_ratio {stats['rss_ratio']:.3f} > {RSS_RATIO_MAX} "
+            "(memory grows with horizon)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -327,12 +434,17 @@ def main(argv=None) -> int:
                         help="measure E5/E11 serial vs parallel wall clock")
     parser.add_argument("--jobs", type=int, default=4,
                         help="worker count for --runner-speedup")
+    parser.add_argument("--huge-full", action="store_true",
+                        help="run the full-size huge_system workload "
+                             "(10k procs, 10M events) and record it")
     args = parser.parse_args(argv)
 
     if args.check:
         return cmd_check(args.out, args.tolerance)
     if args.runner_speedup:
         return cmd_runner_speedup(args.out, args.jobs)
+    if args.huge_full:
+        return cmd_huge_full(args.out)
     return cmd_capture(args.out, args.capture or "after")
 
 

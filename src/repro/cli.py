@@ -248,6 +248,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     config.sanitize = args.sanitize
     config.cost_ledger = args.cost
     config.timeseries_window = args.timeseries_window
+    config.trace_spill_path = args.trace_spill
+    config.trace_spill_window = args.trace_spill_window
     system = build_system(config)
     result = system.run()
     print(config.describe())
@@ -283,6 +285,13 @@ def cmd_run(args: argparse.Namespace) -> int:
 
         count = dump_trace(system.trace, args.trace_out)
         print(f"  trace: wrote {count} events to {args.trace_out}")
+    if args.trace_spill:
+        spill = system.trace.spill
+        if spill is not None:
+            print(
+                f"  trace: streamed {len(spill)} events to {args.trace_spill} "
+                f"(in-memory window {spill.window})"
+            )
     if result.outputs_committed:
         stats = summarize(result.output_latencies())
         print(
@@ -828,6 +837,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeseries-window", type=float, default=None, metavar="SECONDS",
         help="sample the cost ledger every SECONDS of virtual time "
              "(implies --cost)",
+    )
+    run_parser.add_argument(
+        "--trace-spill", metavar="PATH", default=None,
+        help="stream trace events to this JSONL file with a bounded "
+             "in-memory window (flat-memory tracing at any horizon); "
+             "the file is readable with `repro trace PATH`",
+    )
+    run_parser.add_argument(
+        "--trace-spill-window", type=int, default=10_000, metavar="N",
+        help="in-memory window size for --trace-spill (default 10000)",
     )
     run_parser.set_defaults(fn=cmd_run)
 

@@ -271,6 +271,13 @@ class SystemConfig:
     #: retain the full trace event list; False keeps only counters
     #: (the counters-only fast path for large parameter sweeps)
     keep_trace_events: bool = True
+    #: stream retained trace events to this JSONL file, keeping only a
+    #: bounded window in memory (flat-memory tracing at any horizon);
+    #: the file is `repro trace`-compatible.  Only meaningful with
+    #: keep_trace_events on
+    trace_spill_path: Optional[str] = None
+    #: in-memory window size for the trace spill log
+    trace_spill_window: int = 10_000
     #: run the online invariant monitor (repro.sanitizer) over the trace
     #: stream; implies spans so violations carry causal span chains
     sanitize: bool = False
@@ -294,6 +301,9 @@ class SystemConfig:
     run_until: Optional[float] = None
     #: safety valve on total events
     max_events: int = 5_000_000
+    #: ceiling for Simulator.drain when no explicit max_events is given;
+    #: None = the kernel default (repro.sim.kernel.DRAIN_MAX_EVENTS)
+    drain_max_events: Optional[int] = None
 
     # ------------------------------------------------------------------
     @property
@@ -354,6 +364,10 @@ class SystemConfig:
             raise ValueError("timeseries_window must be positive")
         if self.timeseries_max_samples < 2:
             raise ValueError("timeseries_max_samples must be >= 2")
+        if self.trace_spill_window < 1:
+            raise ValueError("trace_spill_window must be >= 1")
+        if self.drain_max_events is not None and self.drain_max_events < 1:
+            raise ValueError("drain_max_events must be >= 1")
         if self.storage_realism is not None:
             self.storage_realism.validate()
 

@@ -44,9 +44,16 @@ class System:
     def __init__(self, config: SystemConfig) -> None:
         config.validate()
         self.config = config
-        self.sim = Simulator(tiebreak_seed=config.tiebreak_seed)
+        self.sim = Simulator(
+            tiebreak_seed=config.tiebreak_seed,
+            drain_max_events=config.drain_max_events,
+        )
         self.rngs = RngRegistry(config.seed)
-        self.trace = TraceRecorder(keep_events=config.keep_trace_events)
+        self.trace = TraceRecorder(
+            keep_events=config.keep_trace_events,
+            spill_path=config.trace_spill_path,
+            spill_window=config.trace_spill_window,
+        )
         if config.spans or config.sanitize:
             # the sanitizer needs span events to attach causal chains
             self.trace.spans.enable()
@@ -256,6 +263,8 @@ class System:
     def summarize(self) -> RunResult:
         """Build the RunResult (including the oracle's safety check)."""
         self.metrics.close_open_blocks(self.sim.now)
+        # flush any trace spill file so it holds the complete run
+        self.trace.finalize()
 
         all_live = all(node.is_live for node in self.nodes)
         if all_live:
@@ -323,6 +332,8 @@ class System:
                 "live_events": self.sim.live_events,
                 "pending_events": self.sim.pending_events,
                 "compactions": self.sim.compactions,
+                "pool_reuses": self.sim.pool_reuses,
+                "pool_size": self.sim.pool_size,
             },
         }
         if self.transport is not None:

@@ -47,7 +47,7 @@ class MessageKind(enum.Enum):
     TRANSPORT = "transport"  # reliable-transport control (acks)
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A message in flight.
 
@@ -59,6 +59,10 @@ class Message:
     (each network owns its own counter, so two runs in one process never
     share an id sequence); ``transport_seq``/``transport_epoch`` are set
     by the reliable transport when one is installed.
+
+    ``slots=True``: a run at scale holds tens of thousands of messages
+    in flight; the per-instance ``__dict__`` would roughly double their
+    footprint for no benefit.
     """
 
     src: int
@@ -203,7 +207,14 @@ class Network:
             self._emit_deliver = trace.emitter("net", "deliver")
         self.stats = NetworkStats()
         self._handlers: Dict[int, Callable[[Message], None]] = {}
-        self._channel_clock: Dict[Tuple[int, int], float] = {}
+        #: FIFO clamp per directed channel, keyed by ``(src << 21) | dst``
+        #: -- node ids are non-negative and far below 2**21, and one int
+        #: key is cheaper to hash per message than a (src, dst) tuple
+        self._channel_clock: Dict[int, float] = {}
+        #: per-mtype deliver labels, interned once instead of an f-string
+        #: build per message on the hot path
+        self._deliver_labels: Dict[str, str] = {}
+        self._dup_labels: Dict[str, str] = {}
         self._msg_ids = itertools.count(1)
 
     @property
@@ -325,7 +336,7 @@ class Network:
         rng = self.rngs.stream("net.latency")
         delay = model.sample(size, rng)
 
-        channel = (src, dst)
+        channel = (src << 21) | dst
         if decision is not None and decision.extra_delay > 0:
             # reordered: bypass the FIFO clamp so later sends may overtake
             deliver_at = self.sim.now + delay + decision.extra_delay
@@ -333,20 +344,33 @@ class Network:
             earliest = self._channel_clock.get(channel, 0.0)
             deliver_at = max(self.sim.now + delay, earliest)
             self._channel_clock[channel] = deliver_at
-        self.sim.schedule_at(deliver_at, self._deliver, message, label=f"deliver:{message.mtype}")
+        # deliveries are fire-and-forget (never cancelled), so they take
+        # the kernel's handle-free pooled path; the label is interned
+        # once per mtype rather than f-string-built per message
+        label = self._deliver_labels.get(message.mtype)
+        if label is None:
+            label = self._deliver_labels.setdefault(
+                message.mtype, f"deliver:{message.mtype}"
+            )
+        self.sim.schedule_fast_at(deliver_at, self._deliver, message, label=label)
 
         if decision is not None and decision.duplicates:
             # the copy's latency draws from the faults stream, so injected
             # duplicates never perturb the primary latency sequence
             dup_rng = self.rngs.stream("net.faults")
+            dup_label = self._dup_labels.get(message.mtype)
+            if dup_label is None:
+                dup_label = self._dup_labels.setdefault(
+                    message.mtype, f"deliver-dup:{message.mtype}"
+                )
             for _ in range(decision.duplicates):
                 self.stats.duplicates_injected += 1
                 dup_delay = model.sample(size, dup_rng)
-                self.sim.schedule_at(
+                self.sim.schedule_fast_at(
                     self.sim.now + dup_delay,
                     self._deliver,
                     message,
-                    label=f"deliver-dup:{message.mtype}",
+                    label=dup_label,
                 )
         return message
 

@@ -25,11 +25,18 @@ class Event:
     ``kwargs`` is ``None`` on the hot path (no keyword arguments were
     passed to ``schedule``); :meth:`fire` then calls ``fn(*args)``
     directly without allocating or expanding a dict.
+
+    ``poolable`` marks events created through the kernel's handle-free
+    ``schedule_fast`` path: no :class:`EventHandle` exists for them, so
+    after firing the kernel may clear their slots and recycle the object
+    through its free-list pool.  Handle-backed events are never pooled
+    (a recycled object would let a stale handle cancel an unrelated,
+    later event).
     """
 
     __slots__ = (
         "time", "priority", "seq", "fn", "args", "kwargs",
-        "cancelled", "label", "in_heap",
+        "cancelled", "label", "in_heap", "poolable",
     )
 
     def __init__(
@@ -53,9 +60,18 @@ class Event:
         #: maintained by the kernel: True while sitting in the heap.  Lets
         #: cancellation know whether the live-event counter must move.
         self.in_heap = False
+        #: True only for handle-free schedule_fast events (pool-eligible)
+        self.poolable = False
 
     def sort_key(self) -> Tuple[float, int, int]:
-        """Total order used by the kernel's heap."""
+        """Total order used by the kernel's heap.
+
+        This tuple is the one *definition* of the event order; it is
+        only built on cold paths (tests, external sorting).  The heap's
+        own comparisons go through :meth:`__lt__`, which compares the
+        same three fields directly so no tuples are allocated per
+        comparison -- the two must order identically.
+        """
         return (self.time, self.priority, self.seq)
 
     def fire(self) -> None:
@@ -67,9 +83,13 @@ class Event:
                 self.fn(*self.args, **self.kwargs)
 
     def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.priority, self.seq) < (
-            other.time, other.priority, other.seq
-        )
+        # field-direct comparison: the hottest code in the kernel (one
+        # call per heap sift step).  Must match sort_key()'s tuple order.
+        if self.time != other.time:
+            return self.time < other.time
+        if self.priority != other.priority:
+            return self.priority < other.priority
+        return self.seq < other.seq
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"

@@ -19,6 +19,19 @@ two exact counters instead of scanning the heap:
   would fire -- the heap is *compacted*: corpses are filtered out and
   the survivors re-heapified.  Compaction only removes events that can
   never fire, so event order (and therefore every run) is unchanged.
+
+Intra-run scale (10k+ processes, 100M+ events in one run) adds a third
+discipline: the inner loop must not allocate per event.
+
+* :meth:`Simulator.schedule_fast` is a handle-free scheduling path for
+  the fire-and-forget majority (network deliveries, watchdog restarts):
+  no :class:`EventHandle` is constructed, and the :class:`Event` object
+  itself is drawn from a free-list pool of previously-fired events;
+* after a pooled event fires, its ``fn``/``args``/``kwargs``/``label``
+  slots are cleared before release so the pool never pins callbacks or
+  payloads, and only handle-free events are ever pooled -- a recycled
+  object can therefore never be reached by a stale handle, so a
+  cancelled corpse cannot be resurrected by reuse.
 """
 
 from __future__ import annotations
@@ -35,10 +48,29 @@ COMPACT_MIN_HEAP = 1024
 #: ... and at least this fraction of them are cancelled corpses.  At 0.5
 #: the rebuild cost amortises to O(1) per cancellation.
 COMPACT_RATIO = 0.5
+#: Free-list bound: fired schedule_fast events kept for reuse.  The pool
+#: only needs to cover the live-event working set; anything beyond that
+#: would pin memory for no throughput gain.
+EVENT_POOL_MAX = 4096
+#: Default ceiling for :meth:`Simulator.drain` (per-simulator override:
+#: the ``drain_max_events`` constructor knob, plumbed from
+#: ``SystemConfig.drain_max_events``).  Sized for the 100M-event runs
+#: the ``huge_system`` benchmark targets; pass an explicit ``max_events``
+#: for a tighter runaway check.
+DRAIN_MAX_EVENTS = 100_000_000
 
 
 class SimulationError(RuntimeError):
     """Raised on kernel misuse (e.g. scheduling in the past)."""
+
+
+def _released_fn(*_args: Any, **_kwargs: Any) -> None:
+    """Placeholder callback installed on pooled events between uses.
+
+    Firing it means the kernel recycled an event that something still
+    referenced -- a pooling bug -- so fail loudly instead of silently
+    running a stale callback."""
+    raise SimulationError("a pooled (released) event was fired")
 
 
 class Simulator:
@@ -79,6 +111,7 @@ class Simulator:
         compact_min_heap: Optional[int] = COMPACT_MIN_HEAP,
         compact_ratio: float = COMPACT_RATIO,
         tiebreak_seed: Optional[int] = None,
+        drain_max_events: Optional[int] = None,
     ) -> None:
         self._now = float(start_time)
         self._heap: List[Event] = []
@@ -102,6 +135,15 @@ class Simulator:
         self._choice_oracle: Optional[Callable[[int], int]] = None
         #: optional repro.sim.profile.SimProfiler; None = direct dispatch
         self.profiler: Optional[Any] = None
+        #: ceiling for drain() when no explicit max_events is passed
+        self._drain_max_events = (
+            drain_max_events if drain_max_events is not None else DRAIN_MAX_EVENTS
+        )
+        #: free-list of fired schedule_fast events awaiting reuse.  Only
+        #: handle-free (poolable) events ever land here; cancelled corpses
+        #: always have a handle, so a recycled object can never be one.
+        self._pool: List[Event] = []
+        self._pool_reuses = 0
 
     # ------------------------------------------------------------------
     # clock
@@ -133,6 +175,16 @@ class Simulator:
     def compactions(self) -> int:
         """Times the heap was rebuilt to shed cancelled corpses."""
         return self._compactions
+
+    @property
+    def pool_size(self) -> int:
+        """Fired schedule_fast events currently parked in the free list."""
+        return len(self._pool)
+
+    @property
+    def pool_reuses(self) -> int:
+        """schedule_fast calls served by recycling a pooled event."""
+        return self._pool_reuses
 
     # ------------------------------------------------------------------
     # scheduling
@@ -195,6 +247,88 @@ class Simulator:
         if self.profiler is not None:
             self.profiler.note_heap_depth(len(self._heap) - self._heap_cancelled)
         return EventHandle(event, self)
+
+    def schedule_fast(
+        self,
+        delay: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+        label: str = "",
+    ) -> None:
+        """Schedule a fire-and-forget ``fn(*args)`` -- no handle, no kwargs.
+
+        The allocation-free twin of :meth:`schedule` for callers that
+        never cancel (network deliveries, watchdog restarts): no
+        :class:`EventHandle` is built, and the :class:`Event` itself is
+        recycled from the free-list pool when one is available.  Ordering
+        is identical to :meth:`schedule` -- both paths share the same
+        sequence counter and tie-break jitter, so mixing them leaves
+        every run byte-identical.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay!r} seconds in the past")
+        self._push_fast(self._now + delay, fn, args, priority, label)
+
+    def schedule_fast_at(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+        label: str = "",
+    ) -> None:
+        """Absolute-time twin of :meth:`schedule_fast`."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time!r}, clock is already at t={self._now!r}"
+            )
+        self._push_fast(time, fn, args, priority, label)
+
+    def _push_fast(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        args: Tuple[Any, ...],
+        priority: int,
+        label: str,
+    ) -> None:
+        seq = self._seq
+        if self._tiebreak_rng is not None:
+            seq = (self._tiebreak_rng.getrandbits(20) << 40) | seq
+        pool = self._pool
+        if pool:
+            event = pool.pop()
+            self._pool_reuses += 1
+            event.time = time
+            event.priority = priority
+            event.seq = seq
+            event.fn = fn
+            event.args = args
+            event.label = label
+            # kwargs/cancelled/poolable were reset by _release
+        else:
+            event = Event(time, seq, fn, args, None, priority=priority, label=label)
+            event.poolable = True
+        event.in_heap = True
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        if self.profiler is not None:
+            self.profiler.note_heap_depth(len(self._heap) - self._heap_cancelled)
+
+    def _release(self, event: Event) -> None:
+        """Return a fired schedule_fast event to the free list.
+
+        Slots are cleared first so the pool never pins the callback or
+        its payload; ``fn`` becomes a tripwire that raises if a pooling
+        bug ever fires a released event."""
+        event.fn = _released_fn
+        event.args = ()
+        event.kwargs = None
+        event.label = ""
+        event.cancelled = False
+        if len(self._pool) < EVENT_POOL_MAX:
+            self._pool.append(event)
 
     # ------------------------------------------------------------------
     # cancellation bookkeeping / compaction
@@ -299,6 +433,8 @@ class Simulator:
                 event.fire()
             else:
                 self.profiler.fire(event)
+            if event.poolable:
+                self._release(event)
             return True
         while self._heap:
             event = heapq.heappop(self._heap)
@@ -312,6 +448,8 @@ class Simulator:
                 event.fire()
             else:
                 self.profiler.fire(event)
+            if event.poolable:
+                self._release(event)
             return True
         return False
 
@@ -365,6 +503,8 @@ class Simulator:
                     event.fire()
                 else:
                     profiler.fire(event)
+                if event.poolable:
+                    self._release(event)
                 heap = self._heap  # compaction may have swapped the list
             else:
                 if until is not None and not self._stopped and self._now < until:
@@ -377,8 +517,14 @@ class Simulator:
         """Stop a :meth:`run` in progress after the current event."""
         self._stopped = True
 
-    def drain(self, max_events: int = 10_000_000) -> float:
-        """Run until the heap is empty.  Raises if ``max_events`` trips."""
+    def drain(self, max_events: Optional[int] = None) -> float:
+        """Run until the heap is empty.  Raises if the ceiling trips.
+
+        ``max_events`` defaults to the simulator's ``drain_max_events``
+        constructor knob (itself defaulting to :data:`DRAIN_MAX_EVENTS`).
+        """
+        if max_events is None:
+            max_events = self._drain_max_events
         self.run(max_events=max_events)
         if self.live_events:
             raise SimulationError(

@@ -10,8 +10,10 @@ number can be audited against the raw event stream.
 
 from __future__ import annotations
 
+import json
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional, Union
 
 from repro.sim.spans import SpanTracker
 
@@ -82,6 +84,128 @@ class BoundEmitter:
         return f"BoundEmitter({self._key})"
 
 
+class TraceSpillLog:
+    """The streaming backend for ``TraceRecorder.events``.
+
+    Keeps the newest ``window`` events in a deque and spills older ones
+    to a JSONL file, so a ``keep_trace_events=True`` run holds O(window)
+    trace memory at any horizon.  The spill file uses the exact line
+    format of :func:`repro.analysis.trace_io.dump_trace` (one
+    ``{"time", "category", "node", "action", "details"}`` object per
+    line), so ``repro trace`` and :func:`load_trace` read it directly.
+
+    The class quacks like the plain event list it replaces: ``append``,
+    iteration, ``len``/truthiness, ``reversed`` and ``clear`` all work,
+    with iteration transparently replaying the spilled prefix from disk
+    before the in-memory window.  One observable difference is inherent
+    to the JSON round trip: tuple values inside ``details`` come back as
+    lists (exactly as they do from ``dump_trace``/``load_trace``).
+    """
+
+    __slots__ = ("path", "window", "_window", "_file", "_spilled")
+
+    def __init__(self, path: str, window: int = 10_000) -> None:
+        self.path = path
+        self.window = max(1, int(window))
+        self._window: Deque[TraceEvent] = deque()
+        self._file = open(path, "w", encoding="utf-8")
+        self._spilled = 0
+
+    # -- write side ----------------------------------------------------
+    def append(self, event: TraceEvent) -> None:
+        window = self._window
+        window.append(event)
+        if len(window) > self.window:
+            self._spill_one(window.popleft())
+
+    def _spill_one(self, event: TraceEvent) -> None:
+        # local json encoding (rather than analysis.trace_io) to keep
+        # sim free of an analysis-layer import; the shape must match
+        # trace_io.event_to_dict exactly.
+        record = {
+            "time": event.time,
+            "category": event.category,
+            "node": event.node,
+            "action": event.action,
+            "details": event.details,
+        }
+        self._file.write(json.dumps(record, default=str))
+        self._file.write("\n")
+        self._spilled += 1
+
+    def finalize(self) -> None:
+        """Spill the in-memory window so the file is the complete trace.
+
+        Called at run end; afterwards iteration reads everything from
+        disk and the file can be shipped as-is (``repro trace`` /
+        ``load_trace`` compatible).  Appending remains legal.
+        """
+        window = self._window
+        while window:
+            self._spill_one(window.popleft())
+        self._file.flush()
+
+    def close(self) -> None:
+        """Finalize and release the file handle."""
+        self.finalize()
+        if not self._file.closed:
+            self._file.close()
+
+    def clear(self) -> None:
+        """Drop all events: truncate the spill file, empty the window."""
+        self._window.clear()
+        self._spilled = 0
+        if self._file.closed:
+            self._file = open(self.path, "w", encoding="utf-8")
+        else:
+            self._file.seek(0)
+            self._file.truncate()
+
+    # -- read side -----------------------------------------------------
+    def _iter_spilled(self) -> Iterator[TraceEvent]:
+        if self._spilled == 0:
+            return
+        if not self._file.closed:
+            self._file.flush()
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                d = json.loads(line)
+                yield TraceEvent(
+                    time=d["time"],
+                    category=d["category"],
+                    node=d["node"],
+                    action=d["action"],
+                    details=d.get("details", {}),
+                )
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        yield from self._iter_spilled()
+        yield from list(self._window)
+
+    def __reversed__(self) -> Iterator[TraceEvent]:
+        yield from reversed(list(self._window))
+        if self._spilled:
+            # the spilled prefix is replayed into memory only for
+            # reversed scans (cold path: TraceRecorder.last on a query
+            # that misses the whole window)
+            yield from reversed(list(self._iter_spilled()))
+
+    def __len__(self) -> int:
+        return self._spilled + len(self._window)
+
+    def __bool__(self) -> bool:
+        return self._spilled > 0 or bool(self._window)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TraceSpillLog(path={self.path!r}, spilled={self._spilled}, "
+            f"window={len(self._window)}/{self.window})"
+        )
+
+
 class TraceRecorder:
     """Append-only trace with counters and simple query support.
 
@@ -94,15 +218,48 @@ class TraceRecorder:
         attached (subscribers -- the failure injector -- must still see
         every event, and may come and go mid-run, so the check is made
         per call).
+    spill_path:
+        When set (and ``keep_events`` is on), events stream to this
+        JSONL file through a :class:`TraceSpillLog` instead of
+        accumulating in an unbounded list: only the newest
+        ``spill_window`` events stay in memory, and every query API
+        (:meth:`select`, :meth:`first`, :meth:`last`, iteration, span
+        reconstruction, ``repro trace``) reads transparently through the
+        spill file.
+    spill_window:
+        In-memory window size for the spill log.
     """
 
-    def __init__(self, keep_events: bool = True) -> None:
+    def __init__(
+        self,
+        keep_events: bool = True,
+        spill_path: Optional[str] = None,
+        spill_window: int = 10_000,
+    ) -> None:
         self.keep_events = keep_events
-        self.events: List[TraceEvent] = []
+        self.events: Union[List[TraceEvent], TraceSpillLog]
+        if spill_path is not None and keep_events:
+            self.events = TraceSpillLog(spill_path, spill_window)
+        else:
+            self.events = []
         self.counters: Dict[str, int] = {}
         self._subscribers: List[Callable[[TraceEvent], None]] = []
         #: causal-span layer (disabled until ``spans.enable()``)
         self.spans = SpanTracker(self)
+
+    @property
+    def spill(self) -> Optional[TraceSpillLog]:
+        """The spill backend, or ``None`` when events live in a list."""
+        events = self.events
+        return events if isinstance(events, TraceSpillLog) else None
+
+    def finalize(self) -> None:
+        """Flush any spill backend so its file holds the full trace.
+
+        No-op for the default in-memory list backend."""
+        spill = self.spill
+        if spill is not None:
+            spill.finalize()
 
     # ------------------------------------------------------------------
     def record(
