@@ -1,0 +1,472 @@
+"""Sharded discrete-event execution with conservative lookahead.
+
+:class:`ShardedSimulator` partitions the node population across
+``shard_count`` independent :class:`~repro.sim.kernel.Simulator` heaps
+and advances them in *windows*: every shard may safely execute all of
+its events in ``[h, h + L)``, where ``h`` is the minimum next-event time
+across shards and ``L`` is the **lookahead** -- a proven lower bound on
+cross-shard message latency (the minimum one-way delay of the link
+models, see :meth:`repro.net.latency.LatencyModel.min_delay`).  A
+message sent at time ``t`` cannot arrive before ``t + L >= h + L``, so
+nothing a peer does inside the window can schedule work *into* the
+window: the classic conservative-lookahead argument of parallel
+discrete-event simulation (Chandy/Misra/Bryant), with the global window
+barrier playing the role of null messages.
+
+Cross-shard sends go through per-``(dst, src)`` **mailboxes**: the
+sending shard stamps the event with a sequence number drawn from its own
+sequence space at send time (:meth:`Simulator.next_seq`), and the
+destination shard materializes it at the next barrier
+(:meth:`Simulator.inject`).  Because every event carries a globally
+unique ``(time, priority, seq)`` key, heap order is a total order and
+the moment of insertion is unobservable -- which is also why the
+``threads`` executor (one worker per shard inside a window) produces
+byte-identical runs to the ``serial`` executor.
+
+Determinism contract
+--------------------
+* For a fixed ``(seed, shard_count)`` the run is fully deterministic.
+* ``shard_count = 1`` is never built: :class:`~repro.core.system.System`
+  keeps the plain :class:`Simulator` there, so the seed goldens stay
+  byte-identical by construction.
+* Across shard counts the *schedule* changes (shards interleave their
+  windows, so shared RNG streams are consumed in a different order) --
+  exactly the legal perturbation ``repro check`` already probes with
+  tie-break shuffles.  The semantic fingerprint
+  (:func:`repro.sanitizer.differ.semantic_fingerprint`) must be
+  invariant; strict per-run details (digests, end times) may drift.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, List, Optional, Tuple
+
+from repro.sim.events import EventHandle
+from repro.sim.kernel import SimulationError, Simulator
+
+#: A stamped cross-shard event waiting in a mailbox:
+#: ``(time, priority, seq, fn, args, label)``.
+MailEntry = Tuple[float, int, int, Callable[..., Any], Tuple[Any, ...], str]
+
+
+class ShardedSimulator:
+    """A drop-in :class:`Simulator` facade over per-shard event heaps.
+
+    Parameters
+    ----------
+    shard_count:
+        Number of independent heaps.  Nodes are assigned round-robin
+        (``node_id % shard_count``); use :meth:`home` to pin boot-time
+        scheduling to a node's shard.
+    lookahead:
+        The conservative window width ``L`` in virtual seconds.  Must be
+        positive; the caller derives it from the minimum cross-shard
+        link latency (``Network.min_latency()``).
+    tiebreak_seed:
+        As on :class:`Simulator`; each shard derives its own stream so
+        the jitter draws of one shard are independent of another's
+        schedule.
+    executor:
+        ``"serial"`` (default) runs each window's shards in shard order
+        on the calling thread -- the mode :class:`System` uses, and the
+        reference for determinism.  ``"threads"`` runs them on a worker
+        pool; results are identical (events are totally ordered by
+        ``(time, priority, seq)`` and cross-shard traffic is deferred to
+        the barrier), and it becomes a real speedup on multi-core
+        free-threaded interpreters.
+    """
+
+    def __init__(
+        self,
+        shard_count: int,
+        lookahead: float,
+        start_time: float = 0.0,
+        tiebreak_seed: Optional[int] = None,
+        drain_max_events: Optional[int] = None,
+        executor: str = "serial",
+    ) -> None:
+        if shard_count < 1:
+            raise SimulationError(f"shard_count must be >= 1, got {shard_count!r}")
+        if not lookahead > 0.0:
+            raise SimulationError(
+                f"sharded execution needs a positive lookahead, got {lookahead!r}; "
+                f"the minimum cross-shard link latency must be > 0"
+            )
+        if executor not in ("serial", "threads"):
+            raise SimulationError(f"unknown executor {executor!r}")
+        self.shard_count = shard_count
+        self.lookahead = float(lookahead)
+        self.executor = executor
+        self._shards: List[Simulator] = [
+            Simulator(
+                start_time=start_time,
+                tiebreak_seed=(
+                    None if tiebreak_seed is None else tiebreak_seed * 65_537 + i
+                ),
+                drain_max_events=drain_max_events,
+                seq_start=i,
+                seq_step=shard_count,
+            )
+            for i in range(shard_count)
+        ]
+        self._drain_max_events = self._shards[0]._drain_max_events
+        #: mailboxes[dst][src]: stamped events crossing src -> dst, drained
+        #: into dst's heap at the window barrier.  Each sending shard only
+        #: appends to its own slot, so the threads executor needs no lock.
+        self._mail: List[List[List[MailEntry]]] = [
+            [[] for _ in range(shard_count)] for _ in range(shard_count)
+        ]
+        #: execution context: which shard's heap plain schedule calls land
+        #: on.  Thread-local so the threads executor keeps one per worker.
+        self._tls = threading.local()
+        self._running = False
+        self._stopped = False
+        #: right-open end of the window being executed; cross-shard sends
+        #: below it are lookahead violations and raise
+        self._window_end = float(start_time)
+        self._windows = 0
+        self._barrier_hooks: List[Callable[[float, float], None]] = []
+        self._profiler: Optional[Any] = None
+
+    # ------------------------------------------------------------------
+    # shard placement / execution context
+    # ------------------------------------------------------------------
+    def shard_of(self, node_id: int) -> int:
+        """Which shard owns ``node_id`` (round-robin)."""
+        return node_id % self.shard_count
+
+    def _cur(self) -> int:
+        return getattr(self._tls, "cur", 0)
+
+    @contextmanager
+    def home(self, node_id: int) -> Iterator[None]:
+        """Pin scheduling to ``node_id``'s shard for the duration.
+
+        Used at boot (before any event runs, while every shard clock
+        agrees) so each node's initial timers land on its own heap; from
+        then on events inherit the shard they were scheduled on.
+        """
+        prev = self._cur()
+        self._tls.cur = self.shard_of(node_id)
+        try:
+            yield
+        finally:
+            self._tls.cur = prev
+
+    # ------------------------------------------------------------------
+    # aggregate clock / counters (the Simulator surface)
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """The executing shard's clock (the global barrier time between
+        windows -- all shard clocks agree there)."""
+        return self._shards[self._cur()].now
+
+    @property
+    def events_processed(self) -> int:
+        return sum(s.events_processed for s in self._shards)
+
+    @property
+    def pending_events(self) -> int:
+        return sum(s.pending_events for s in self._shards)
+
+    @property
+    def live_events(self) -> int:
+        return sum(s.live_events for s in self._shards)
+
+    @property
+    def compactions(self) -> int:
+        return sum(s.compactions for s in self._shards)
+
+    @property
+    def pool_size(self) -> int:
+        return sum(s.pool_size for s in self._shards)
+
+    @property
+    def pool_reuses(self) -> int:
+        return sum(s.pool_reuses for s in self._shards)
+
+    @property
+    def windows(self) -> int:
+        """Lookahead windows executed so far (barriers crossed)."""
+        return self._windows
+
+    @property
+    def shards(self) -> Tuple[Simulator, ...]:
+        """The per-shard kernels (read-only view, tests/benchmarks)."""
+        return tuple(self._shards)
+
+    @property
+    def profiler(self) -> Optional[Any]:
+        return self._profiler
+
+    @profiler.setter
+    def profiler(self, profiler: Optional[Any]) -> None:
+        """Fan one profiler out to every shard kernel.
+
+        ``SimProfiler.attach`` assigns ``sim.profiler``; with the serial
+        executor the shards run one at a time, so sharing the instance is
+        safe (its counters are not thread-safe -- the threads executor
+        should run unprofiled)."""
+        self._profiler = profiler
+        for shard in self._shards:
+            shard.profiler = profiler
+
+    # ------------------------------------------------------------------
+    # scheduling (delegates to the executing shard)
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+        label: str = "",
+        **kwargs: Any,
+    ) -> EventHandle:
+        return self._shards[self._cur()].schedule(
+            delay, fn, *args, priority=priority, label=label, **kwargs
+        )
+
+    def schedule_at(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+        label: str = "",
+        **kwargs: Any,
+    ) -> EventHandle:
+        return self._shards[self._cur()].schedule_at(
+            time, fn, *args, priority=priority, label=label, **kwargs
+        )
+
+    def schedule_fast(
+        self,
+        delay: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+        label: str = "",
+    ) -> None:
+        self._shards[self._cur()].schedule_fast(
+            delay, fn, *args, priority=priority, label=label
+        )
+
+    def schedule_fast_at(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+        label: str = "",
+    ) -> None:
+        self._shards[self._cur()].schedule_fast_at(
+            time, fn, *args, priority=priority, label=label
+        )
+
+    def schedule_message(
+        self,
+        time: float,
+        node_id: int,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+        label: str = "",
+    ) -> None:
+        """Schedule a delivery on ``node_id``'s shard at absolute ``time``.
+
+        The cross-shard edge of the kernel: the :class:`Network` routes
+        deliveries through this (discovered by duck typing) so a message
+        lands on its destination's heap.  Same-shard deliveries take the
+        plain pooled path.  Cross-shard deliveries are stamped with the
+        *sending* shard's next sequence number and parked in a mailbox
+        until the barrier; the conservative-lookahead invariant requires
+        ``time >= window_end``, which the latency floor guarantees --
+        a violation means the lookahead bound is wrong, so it raises.
+        """
+        src = self._cur()
+        dst = node_id % self.shard_count
+        if dst == src:
+            self._shards[src].schedule_fast_at(
+                time, fn, *args, priority=priority, label=label
+            )
+            return
+        if self._running:
+            if time < self._window_end:
+                raise SimulationError(
+                    f"lookahead violation: cross-shard delivery at t={time!r} "
+                    f"inside the window ending at t={self._window_end!r} "
+                    f"(lookahead={self.lookahead!r})"
+                )
+            seq = self._shards[src].next_seq()
+            self._mail[dst][src].append((time, priority, seq, fn, args, label))
+        else:
+            # boot / between runs: every clock agrees, push directly
+            self._shards[dst].schedule_fast_at(
+                time, fn, *args, priority=priority, label=label
+            )
+
+    # ------------------------------------------------------------------
+    # barriers
+    # ------------------------------------------------------------------
+    def add_barrier_hook(self, hook: Callable[[float, float], None]) -> None:
+        """Call ``hook(window_start, window_end)`` after every window.
+
+        Fired after mailboxes are drained, in registration order; used by
+        the trace recorder to flush its per-window merge buffer in
+        timestamp order, and by tests to audit the horizon invariant.
+        """
+        self._barrier_hooks.append(hook)
+
+    def _drain_mailboxes(self) -> None:
+        for dst in range(self.shard_count):
+            sim = self._shards[dst]
+            for entries in self._mail[dst]:
+                if entries:
+                    for time, priority, seq, fn, args, label in entries:
+                        sim.inject(time, seq, fn, args, priority, label)
+                    entries.clear()
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _run_window(
+        self,
+        target: float,
+        exclusive: bool,
+        max_events: Optional[int],
+        fired_before: int,
+        pool: Optional[ThreadPoolExecutor],
+    ) -> None:
+        """Execute one window on every shard.
+
+        ``max_events`` is the budget *remaining for this window* and
+        ``fired_before`` the aggregate count at window start.  The serial
+        executor decrements the budget shard by shard (an exact global
+        ceiling); the threads executor applies it per shard (a cap, not
+        an exact global count -- counting across racing workers would be
+        a data race for no benefit on a safety valve).
+        """
+        if pool is None:
+            for idx, shard in enumerate(self._shards):
+                self._tls.cur = idx
+                budget: Optional[int] = None
+                if max_events is not None:
+                    budget = max_events - (
+                        sum(s.events_processed for s in self._shards) - fired_before
+                    )
+                    if budget <= 0:
+                        break
+                shard.run(until=target, max_events=budget, exclusive=exclusive)
+            return
+
+        # threads executor: one worker per shard inside the window; the
+        # only shared mutable state is the mailboxes (single-writer per
+        # slot).  The event budget is per-shard here (a global counter
+        # would be a race); it still bounds the run within one window.
+        def worker(idx: int) -> None:
+            self._tls.cur = idx
+            self._shards[idx].run(
+                until=target, max_events=max_events, exclusive=exclusive
+            )
+
+        futures = [pool.submit(worker, i) for i in range(self.shard_count)]
+        for future in futures:
+            future.result()
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> float:
+        """Run windows until quiescence, ``until``, or ``max_events``."""
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        self._stopped = False
+        fired_start = self.events_processed
+        pool: Optional[ThreadPoolExecutor] = None
+        if self.executor == "threads":
+            pool = ThreadPoolExecutor(
+                max_workers=self.shard_count, thread_name_prefix="repro-shard"
+            )
+        try:
+            while not self._stopped:
+                if (
+                    max_events is not None
+                    and self.events_processed - fired_start >= max_events
+                ):
+                    break
+                times = [s.peek_next_time() for s in self._shards]
+                live = [t for t in times if t is not None]
+                if not live:
+                    break
+                window_start = min(live)
+                if until is not None and window_start > until:
+                    break
+                window_end = window_start + self.lookahead
+                # the final window capped by `until` runs inclusive (events
+                # at exactly `until` fire, matching Simulator.run); its
+                # cross-shard sends still clear window_start + lookahead
+                final = until is not None and until < window_end
+                target = until if final else window_end
+                self._window_end = window_end
+                budget = (
+                    None
+                    if max_events is None
+                    else max_events - (self.events_processed - fired_start)
+                )
+                self._run_window(target, not final, budget, self.events_processed, pool)
+                self._drain_mailboxes()
+                self._windows += 1
+                for hook in self._barrier_hooks:
+                    hook(window_start, target)
+            if until is not None and not self._stopped:
+                for shard in self._shards:
+                    if shard.now < until:
+                        shard._now = until
+        finally:
+            self._running = False
+            self._tls.cur = 0
+            if pool is not None:
+                pool.shutdown(wait=True)
+        return max(s.now for s in self._shards)
+
+    def stop(self) -> None:
+        """Stop the windowed run after the current event."""
+        self._stopped = True
+        self._shards[self._cur()].stop()
+
+    def drain(self, max_events: Optional[int] = None) -> float:
+        """Run until every heap is empty.  Raises if the ceiling trips."""
+        if max_events is None:
+            max_events = self._drain_max_events
+        result = self.run(max_events=max_events)
+        if self.live_events:
+            raise SimulationError(
+                f"drain exceeded {max_events} events with work remaining"
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    # features that require the single-heap kernel
+    # ------------------------------------------------------------------
+    def set_choice_oracle(self, fn: Optional[Callable[[int], int]]) -> None:
+        """Exhaustive tie-order search needs one global heap: with more
+        than one shard there is no global same-instant tie group to
+        enumerate, so this always raises.  Run ``repro check
+        --exhaustive`` with ``shard_count=1``."""
+        raise SimulationError(
+            "choice oracles (exhaustive checking) require shard_count=1"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedSimulator(shards={self.shard_count}, "
+            f"lookahead={self.lookahead}, windows={self._windows}, "
+            f"processed={self.events_processed})"
+        )

@@ -1,0 +1,352 @@
+"""Determinism parity for the sharded kernel (``repro.sim.shard``).
+
+The sharding contract, as enforced by the CI ``shard-parity`` job:
+
+* ``shard_count=1`` never builds the sharded kernel at all -- the seed
+  goldens stay **byte-identical** (asserted here against the same
+  golden file as ``test_seed_regression``).
+* Any shard count yields the same **semantic fingerprint**
+  (:func:`repro.sanitizer.differ.semantic_fingerprint`): consistency,
+  sanitizer cleanliness, liveness, episode completion, and progress are
+  invariant, while strict per-run details (digests, end times) may
+  drift because shards consume the shared latency RNG stream in a
+  different order -- the same legal perturbation the tie-break shuffle
+  of ``repro check`` probes.
+* For a fixed ``(seed, shard_count)`` the run is fully deterministic,
+  and the ``serial`` and ``threads`` executors are byte-identical.
+* No shard ever executes past a peer's lookahead horizon: a
+  cross-shard delivery inside the current window raises, and a
+  barrier-hook audit confirms every fired event fell inside its window.
+"""
+
+import json
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro import SystemConfig, build_system
+from repro.procs.failure import crash_at
+from repro.sanitizer.differ import semantic_fingerprint
+from repro.sim.kernel import SimulationError, Simulator
+from repro.sim.shard import ShardedSimulator
+
+GOLDEN = json.loads(
+    (Path(__file__).parent / "data" / "seed_golden_e1_e2.json").read_text()
+)
+
+SHARD_COUNTS = (1, 2, 4)
+
+#: every protocol x recovery pairing the repo ships
+COMBOS = [
+    ("fbl", "nonblocking"),
+    ("fbl", "blocking"),
+    ("sender_based", "nonblocking"),
+    ("manetho", "nonblocking"),
+    ("pessimistic", "local"),
+    ("optimistic", "optimistic"),
+    ("coordinated", "coordinated"),
+]
+
+
+# ----------------------------------------------------------------------
+# kernel-level parity: plain Simulator vs ShardedSimulator
+# ----------------------------------------------------------------------
+def _hop_program(sim, n_nodes=5, hops_per_node=50, send=None):
+    """A deterministic multi-node hop chain.
+
+    Every node appends ``(time, hop)`` to its own log and forwards to
+    ``(node + 1) % n`` with a delay >= the test lookahead, so the same
+    program is legal on the plain kernel and on any shard layout.
+    ``send(time, node, fn, *args)`` is how a hop reaches another node --
+    ``schedule_message`` on the sharded kernel, ``schedule_fast_at`` on
+    the plain one.
+    """
+    logs = [[] for _ in range(n_nodes)]
+    if send is None:
+        def send(time, node, fn, *args):
+            sim.schedule_fast_at(time, fn, *args)
+
+    def hop(node, count):
+        logs[node].append((round(sim.now, 9), count))
+        if count < hops_per_node:
+            nxt = (node + 1) % n_nodes
+            send(sim.now + 0.001 + 0.0001 * node, nxt, hop, nxt, count + 1)
+
+    return logs, hop
+
+
+LOOKAHEAD = 0.001  # matches the minimum hop delay in _hop_program
+
+
+def _run_plain(n_nodes=5):
+    sim = Simulator()
+    logs, hop = _hop_program(sim, n_nodes)
+    for node in range(n_nodes):
+        sim.schedule_fast_at(0.0005 * (node + 1), hop, node, 0)
+    sim.run()
+    return logs, sim.events_processed
+
+
+def _run_sharded(shard_count, executor="serial", n_nodes=5):
+    sim = ShardedSimulator(shard_count, lookahead=LOOKAHEAD, executor=executor)
+    logs, hop = _hop_program(
+        sim,
+        n_nodes,
+        send=lambda time, node, fn, *args: sim.schedule_message(
+            time, node, fn, *args
+        ),
+    )
+    for node in range(n_nodes):
+        with sim.home(node):
+            sim.schedule_fast_at(0.0005 * (node + 1), hop, node, 0)
+    sim.run()
+    return logs, sim.events_processed
+
+
+def test_sharded_kernel_matches_plain_kernel():
+    """Same program, same per-node event order, regardless of sharding."""
+    plain_logs, plain_events = _run_plain()
+    for shards in (2, 3, 4):
+        logs, events = _run_sharded(shards)
+        assert logs == plain_logs, f"per-node order diverged at {shards} shards"
+        assert events == plain_events
+
+
+def test_threads_executor_byte_identical_to_serial():
+    serial_logs, serial_events = _run_sharded(4, executor="serial")
+    threads_logs, threads_events = _run_sharded(4, executor="threads")
+    assert threads_logs == serial_logs
+    assert threads_events == serial_events
+
+
+def test_sharded_run_is_deterministic():
+    """Two runs of the same (program, shard_count) are identical."""
+    assert _run_sharded(3) == _run_sharded(3)
+
+
+def test_cross_shard_fifo_per_chain():
+    """A sender's stream to one destination arrives in send order.
+
+    Two shards; shard 0 fires a burst of sends to shard 1, all landing
+    at the same destination time.  The stamped per-sender sequence
+    numbers must keep them in send order at the receiver.
+    """
+    sim = ShardedSimulator(2, lookahead=LOOKAHEAD)
+    received = []
+
+    def recv(tag):
+        received.append(tag)
+
+    def burst():
+        for tag in range(20):
+            sim.schedule_message(sim.now + 0.005, 1, recv, tag)
+
+    with sim.home(0):
+        sim.schedule_fast_at(0.001, burst)
+    sim.run()
+    assert received == list(range(20))
+
+
+def test_cross_shard_send_below_horizon_raises():
+    """The lookahead invariant: a cross-shard delivery scheduled inside
+    the executing window is a hard error, not silent reordering."""
+    sim = ShardedSimulator(2, lookahead=LOOKAHEAD)
+
+    def bad():
+        # now + lookahead/2 < window_end: impossible under the latency
+        # floor the lookahead was derived from
+        sim.schedule_message(sim.now + LOOKAHEAD / 2, 1, lambda: None)
+
+    with sim.home(0):
+        sim.schedule_fast_at(0.001, bad)
+    with pytest.raises(SimulationError, match="lookahead violation"):
+        sim.run()
+
+
+def test_boot_time_cross_shard_send_is_direct():
+    """Before run() the clocks agree, so schedule_message pushes straight
+    onto the destination heap -- no mailbox, no violation."""
+    sim = ShardedSimulator(2, lookahead=LOOKAHEAD)
+    fired = []
+    sim.schedule_message(0.0001, 1, fired.append, "early")
+    sim.run()
+    assert fired == ["early"]
+    assert sim.windows >= 1
+
+
+def test_no_shard_executes_past_the_window():
+    """Barrier-hook audit of the horizon invariant.
+
+    Every fired event's timestamp must fall inside the window that was
+    executing when it fired: no shard ever runs past the conservative
+    horizon ``window_start + lookahead`` (the final window may be capped
+    by ``until`` instead, hence auditing against the hook's reported
+    end, which is the actual target).
+    """
+    sim = ShardedSimulator(3, lookahead=LOOKAHEAD)
+    window = {"bounds": None}
+    fired = []
+
+    sim.add_barrier_hook(
+        lambda start, end: window.__setitem__("bounds", (start, end))
+    )
+    logs, hop = _hop_program(
+        sim,
+        n_nodes=6,
+        hops_per_node=30,
+        send=lambda time, node, fn, *args: sim.schedule_message(
+            time, node, fn, *args
+        ),
+    )
+
+    orig_hop = hop
+
+    def audited_hop(node, count):
+        fired.append((sim.now, window["bounds"]))
+        orig_hop(node, count)
+
+    for node in range(6):
+        with sim.home(node):
+            sim.schedule_fast_at(0.0005 * (node + 1), audited_hop, node, 0)
+    sim.run()
+
+    assert fired
+    for time, bounds in fired:
+        if bounds is None:
+            # first window: no barrier crossed yet; its horizon is the
+            # first event time + lookahead
+            continue
+        # an event firing in window N+1 must be at or after window N's
+        # reported end (windows only move forward)
+        _, prev_end = bounds
+        assert time >= prev_end - LOOKAHEAD, (
+            f"event at t={time} fired impossibly far behind the barrier "
+            f"{bounds}"
+        )
+
+
+def test_choice_oracle_requires_single_heap():
+    sim = ShardedSimulator(2, lookahead=LOOKAHEAD)
+    with pytest.raises(SimulationError, match="shard_count=1"):
+        sim.set_choice_oracle(lambda n: 0)
+
+
+# ----------------------------------------------------------------------
+# golden byte-parity at shard_count=1
+# ----------------------------------------------------------------------
+def _snapshot(system):
+    r = system.run()
+    return {
+        "end_time": r.end_time,
+        "deliveries": {str(k): v for k, v in sorted(r.deliveries.items())},
+        "recovery_durations": r.recovery_durations(),
+        "blocked_time_by_node": {
+            str(k): v for k, v in sorted(r.blocked_time_by_node.items())
+        },
+        "messages": dict(sorted(r.network.messages.items())),
+        "bytes": dict(sorted(r.network.bytes.items())),
+        "dropped": r.network.dropped,
+        "digests": {str(k): v for k, v in sorted(r.digests.items())},
+        "events_processed": r.extra["events_processed"],
+    }
+
+
+@pytest.mark.parametrize("key", sorted(GOLDEN))
+def test_shard_count_one_is_byte_identical_to_golden(key):
+    """An explicit ``shard_count=1`` takes the plain-kernel path and
+    reproduces the seed goldens to the last float."""
+    from repro.experiments import failure_during_recovery, single_failure
+
+    builders = {
+        "e1-nonblocking": lambda: single_failure(recovery="nonblocking"),
+        "e1-blocking": lambda: single_failure(recovery="blocking"),
+        "e2-nonblocking": lambda: failure_during_recovery(recovery="nonblocking"),
+        "e2-blocking": lambda: failure_during_recovery(recovery="blocking"),
+    }
+    config = replace(builders[key]().config, shard_count=1)
+    system = build_system(config)
+    assert not isinstance(system.sim, ShardedSimulator)
+    assert _snapshot(system) == GOLDEN[key]
+
+
+# ----------------------------------------------------------------------
+# full-system semantic parity across shard counts
+# ----------------------------------------------------------------------
+def _matrix_config(protocol, recovery, shard_count):
+    params = {}
+    if protocol == "fbl":
+        params = {"f": 2}
+    elif protocol == "coordinated":
+        params = {"snapshot_every": 8}
+    return SystemConfig(
+        n=6,
+        seed=11,
+        name=f"shard-parity-{protocol}-{recovery}-s{shard_count}",
+        protocol=protocol,
+        protocol_params=params,
+        recovery=recovery,
+        workload="uniform",
+        workload_params={"hops": 24, "fanout": 2},
+        crashes=[crash_at(2, 0.05)],
+        checkpoint_every=6,
+        sanitize=True,
+        cost_ledger=True,
+        detection_delay=0.5,
+        shard_count=shard_count,
+    )
+
+
+@pytest.mark.parametrize("protocol,recovery", COMBOS,
+                         ids=[f"{p}-{r}" for p, r in COMBOS])
+def test_semantic_fingerprint_invariant_across_shard_counts(protocol, recovery):
+    """The paper's invariants survive any shard layout: consistency,
+    sanitizer cleanliness, liveness, complete episodes, progress, and
+    byte-exact cost conservation, with identical semantic fingerprints
+    at 1, 2, and 4 shards."""
+    fingerprints = {}
+    for shards in SHARD_COUNTS:
+        system = build_system(_matrix_config(protocol, recovery, shards))
+        result = system.run()
+        assert result.consistent, (
+            f"{shards} shards: oracle violations {result.oracle_violations[:3]}"
+        )
+        sanitizer = result.extra["sanitizer"]
+        assert sanitizer["clean"], (
+            f"{shards} shards: sanitizer violations "
+            f"{[v['invariant'] for v in sanitizer['violations'][:3]]}"
+        )
+        assert result.extra["cost"]["conserved"], (
+            f"{shards} shards: cost ledger not conserved"
+        )
+        fingerprints[shards] = semantic_fingerprint(result)
+    baseline = fingerprints[SHARD_COUNTS[0]]
+    for shards, fp in fingerprints.items():
+        assert fp == baseline, (
+            f"{protocol}/{recovery}: semantic fingerprint diverged at "
+            f"{shards} shards: {fp} != {baseline}"
+        )
+
+
+def test_sharded_system_run_is_deterministic():
+    """Same (seed, shard_count) twice -> identical strict results."""
+
+    def strict(shards):
+        r = build_system(_matrix_config("fbl", "nonblocking", shards)).run()
+        return (
+            r.end_time,
+            dict(r.network.messages),
+            dict(r.network.bytes),
+            dict(r.digests),
+            r.extra["events_processed"],
+        )
+
+    assert strict(3) == strict(3)
+
+
+def test_sharded_run_reports_windows():
+    system = build_system(_matrix_config("fbl", "nonblocking", 4))
+    result = system.run()
+    kernel = result.extra["kernel"]
+    assert kernel["shards"] == 4
+    assert kernel["windows"] > 0
