@@ -70,9 +70,10 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--protocol",
         default="fbl",
         choices=["fbl", "sender_based", "manetho", "pessimistic",
-                 "optimistic", "coordinated"],
+                 "optimistic", "coordinated", "adaptive"],
     )
-    parser.add_argument("--f", type=int, default=2, help="failures tolerated (fbl)")
+    parser.add_argument("--f", type=int, default=2,
+                        help="failures tolerated (fbl, adaptive)")
     parser.add_argument(
         "--recovery",
         default=None,
@@ -80,7 +81,8 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--workload", default="uniform",
-        choices=["uniform", "token_ring", "client_server", "ping_pong", "all_to_all"],
+        choices=["uniform", "token_ring", "client_server", "ping_pong",
+                 "all_to_all", "shifting"],
     )
     parser.add_argument("--hops", type=int, default=40)
     parser.add_argument("--output-every", type=int, default=0,
@@ -151,6 +153,31 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="reclaim checkpoint-covered log entries and superseded "
              "snapshots, with reclaimed-byte accounting",
     )
+    adaptive = parser.add_argument_group(
+        "adaptive hybrid logging",
+        "controller knobs for --protocol adaptive (repro.core.config."
+        "AdaptiveConfig); ignored by every other protocol",
+    )
+    adaptive.add_argument(
+        "--adaptive-initial-mode", default="fbl",
+        choices=["pessimistic", "fbl", "optimistic"],
+        help="logging mode every process starts in",
+    )
+    adaptive.add_argument(
+        "--adaptive-eval-every", type=int, default=16,
+        help="controller evaluation cadence, in deliveries",
+    )
+    adaptive.add_argument(
+        "--adaptive-min-dwell", type=int, default=48,
+        help="deliveries a process must spend in a mode before the "
+             "controller may switch it again",
+    )
+    adaptive.add_argument(
+        "--adaptive-hysteresis", type=float, default=0.9,
+        help="switch only when the candidate mode's estimated cost is "
+             "below this fraction of the current mode's (1.0 = any "
+             "strict improvement)",
+    )
 
 
 DEFAULT_RECOVERY = {
@@ -160,6 +187,7 @@ DEFAULT_RECOVERY = {
     "pessimistic": "local",
     "optimistic": "optimistic",
     "coordinated": "coordinated",
+    "adaptive": "nonblocking",
 }
 
 
@@ -169,11 +197,25 @@ def _config_from_args(args: argparse.Namespace, **overrides: Any) -> SystemConfi
         "recovery", args.recovery or DEFAULT_RECOVERY[protocol]
     )
     protocol_params: Dict[str, Any] = {}
-    if protocol == "fbl":
+    if protocol in ("fbl", "adaptive"):
         protocol_params = {"f": overrides.pop("f", args.f)}
     elif protocol == "coordinated":
         protocol_params = {"snapshot_every": 12}
-    workload_params: Dict[str, Any] = {"hops": args.hops}
+    adaptive_config = None
+    if protocol == "adaptive":
+        from repro.core.config import AdaptiveConfig
+
+        adaptive_config = AdaptiveConfig(
+            initial_mode=args.adaptive_initial_mode,
+            f=protocol_params["f"],
+            eval_every=args.adaptive_eval_every,
+            min_dwell=args.adaptive_min_dwell,
+            hysteresis=args.adaptive_hysteresis,
+        )
+    if args.workload == "shifting":
+        workload_params: Dict[str, Any] = {"steady_hops": args.hops}
+    else:
+        workload_params = {"hops": args.hops}
     if args.workload == "uniform":
         workload_params["fanout"] = 2
         if args.output_every:
@@ -234,6 +276,7 @@ def _config_from_args(args: argparse.Namespace, **overrides: Any) -> SystemConfi
         faults=faults,
         transport=transport,
         storage_realism=realism,
+        adaptive=adaptive_config,
         checkpoint_every=overrides.pop("checkpoint_every", args.checkpoint_every),
         shard_count=overrides.pop("shard_count", args.shards),
     )

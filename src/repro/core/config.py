@@ -195,6 +195,63 @@ class StorageRealismConfig:
 
 
 @dataclass
+class AdaptiveConfig:
+    """Knobs of the adaptive hybrid-logging stack (``protocol="adaptive"``).
+
+    The adaptive protocol migrates each process independently between
+    pessimistic / FBL(f) / optimistic logging modes at runtime under a
+    byte-cost model (see :mod:`repro.protocols.adaptive`).  Everything
+    here is count-based or a pure model constant — never wall-clock —
+    so replayed decisions regenerate exactly.
+    """
+
+    #: mode every process starts in: pessimistic | fbl | optimistic
+    initial_mode: str = "fbl"
+    #: replication degree of the fbl mode (and of piggyback stability)
+    f: int = 2
+    #: controller cadence, in own deliveries
+    eval_every: int = 16
+    #: minimum own deliveries between two switches of one process
+    min_dwell: int = 48
+    #: switch only when best-mode cost < hysteresis * current-mode cost
+    hysteresis: float = 0.9
+    #: modelled on-disk bytes of one determinant record in the adaptive log
+    det_record_bytes: int = 32
+
+    def validate(self) -> None:
+        """Raise ValueError on inconsistent settings."""
+        from repro.protocols.adaptive import MODES
+
+        if self.initial_mode not in MODES:
+            raise ValueError(
+                f"initial_mode must be one of {MODES}, got {self.initial_mode!r}"
+            )
+        if self.f < 1:
+            raise ValueError(f"f must be >= 1, got {self.f!r}")
+        if self.eval_every < 1:
+            raise ValueError(f"eval_every must be >= 1, got {self.eval_every!r}")
+        if self.min_dwell < 0:
+            raise ValueError(f"min_dwell must be >= 0, got {self.min_dwell!r}")
+        if not (0.0 < self.hysteresis <= 1.0):
+            raise ValueError(f"hysteresis must be in (0, 1], got {self.hysteresis!r}")
+        if self.det_record_bytes < 1:
+            raise ValueError(
+                f"det_record_bytes must be >= 1, got {self.det_record_bytes!r}"
+            )
+
+    def protocol_kwargs(self) -> Dict[str, Any]:
+        """Constructor kwargs for :class:`repro.protocols.adaptive.AdaptiveLogging`."""
+        return {
+            "initial_mode": self.initial_mode,
+            "f": self.f,
+            "eval_every": self.eval_every,
+            "min_dwell": self.min_dwell,
+            "hysteresis": self.hysteresis,
+            "det_record_bytes": self.det_record_bytes,
+        }
+
+
+@dataclass
 class SystemConfig:
     """Everything needed to build and run one simulated system."""
 
@@ -256,6 +313,9 @@ class SystemConfig:
     #: storage-stack optimisations (incremental checkpoints, group
     #: commit, compaction); None = the seed's flat cost model
     storage_realism: Optional[StorageRealismConfig] = None
+    #: knobs of the adaptive hybrid-logging stack; only read when
+    #: ``protocol="adaptive"`` (None = that protocol's defaults)
+    adaptive: Optional[AdaptiveConfig] = None
 
     # -- policies ----------------------------------------------------------
     #: take a checkpoint every k deliveries (0 = only the initial one)
@@ -380,6 +440,8 @@ class SystemConfig:
             raise ValueError(f"shard_count must be >= 1, got {self.shard_count!r}")
         if self.storage_realism is not None:
             self.storage_realism.validate()
+        if self.adaptive is not None:
+            self.adaptive.validate()
 
     def describe(self) -> str:
         """One-line human summary for reports."""

@@ -437,6 +437,17 @@ class Node:
         if every and self.app.delivered_count % every == 0:
             self._take_checkpoint()
 
+    def force_checkpoint(self) -> Optional[Checkpoint]:
+        """Protocol-driven checkpoint outside the count-based policy.
+
+        Used by the adaptive stack at a mode switch so the new mode
+        starts from a durable line.  A no-op while the node is down or
+        recovering: replay rebuilds state, and checkpointing a partially
+        replayed image would corrupt the recovery horizon."""
+        if not self.is_live or self.is_recovering:
+            return None
+        return self._take_checkpoint()
+
     def _take_checkpoint(self, bootstrap: bool = False) -> Checkpoint:
         extra = {
             "delivered_ids": sorted(self.delivered_ids),

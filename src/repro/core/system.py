@@ -35,6 +35,9 @@ def _build_protocol(config: SystemConfig):
     params = dict(config.protocol_params)
     if config.protocol == "manetho":
         params.setdefault("n_nodes", config.n)
+    if config.protocol == "adaptive" and config.adaptive is not None:
+        for key, value in config.adaptive.protocol_kwargs().items():
+            params.setdefault(key, value)
     return PROTOCOLS[config.protocol](**params)
 
 

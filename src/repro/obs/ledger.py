@@ -92,6 +92,10 @@ def classify_storage(name: str, is_log: bool = False) -> str:
         return "checkpoint"
     if name.startswith("recovery_reply:"):
         return "recovery-data"
+    if name.startswith("admode:"):
+        # the adaptive stack's epoch-stamped mode markers: switch events
+        # are control traffic, not determinant logging
+        return "control-plane"
     # commit markers, gather progress and other durable control records
     return "control-plane"
 

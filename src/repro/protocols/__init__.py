@@ -23,8 +23,14 @@ comparator protocols its related-work section situates it against:
 * :class:`~repro.protocols.coordinated.CoordinatedCheckpointing` --
   no logging at all; quiesced consistent snapshots, and every process
   rolls back on any failure.
+* :class:`~repro.protocols.adaptive.AdaptiveLogging` -- runtime hybrid:
+  each process migrates between pessimistic / FBL(f) / optimistic modes
+  under a byte-cost model, switching only at determinant-quiescent
+  points (the paper's "no single protocol wins" result, made a
+  protocol).
 """
 
+from repro.protocols.adaptive import AdaptiveLogging
 from repro.protocols.base import LoggingProtocol, LogBasedProtocol
 from repro.protocols.coordinated import CoordinatedCheckpointing
 from repro.protocols.fbl import STABLE_HOST, FamilyBasedLogging
@@ -40,11 +46,13 @@ PROTOCOLS = {
     "pessimistic": PessimisticLogging,
     "optimistic": OptimisticLogging,
     "coordinated": CoordinatedCheckpointing,
+    "adaptive": AdaptiveLogging,
 }
 
 __all__ = [
     "LoggingProtocol",
     "LogBasedProtocol",
+    "AdaptiveLogging",
     "FamilyBasedLogging",
     "SenderBasedLogging",
     "ManethoLogging",

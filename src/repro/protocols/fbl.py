@@ -31,7 +31,7 @@ paper and all experiments operate in.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.causality.determinant import Determinant
 from repro.net.network import Message, MessageKind
@@ -307,7 +307,13 @@ class FamilyBasedLogging(LogBasedProtocol):
         dropped = self.det_log.drop_receiver_prefix(node.node_id, count)
         for key in [k for k in self._unstable if k[0] == node.node_id and k[1] < count]:
             del self._unstable[key]
-        prefixes = self._contiguous_delivered_prefixes()
+        # prune strictly from the snapshot's own delivered set: messages
+        # delivered while the checkpoint write was in flight are NOT
+        # covered by it, and a crash before the next checkpoint would
+        # need their data from the senders again
+        prefixes = self._contiguous_delivered_prefixes(
+            checkpoint.extra.get("delivered_ids")
+        )
         node.trace.record(
             node.sim.now, "gc", node.node_id, "notice",
             covered=count, local_dets_dropped=dropped,
@@ -333,14 +339,20 @@ class FamilyBasedLogging(LogBasedProtocol):
                 )
             )
 
-    def _contiguous_delivered_prefixes(self) -> Dict[int, int]:
+    def _contiguous_delivered_prefixes(
+        self, delivered_ids: Optional[Iterable[Tuple[int, int]]] = None
+    ) -> Dict[int, int]:
         """Per sender: highest k such that ssns 0..k are all delivered.
 
         Only a contiguous prefix is safe to prune at the sender -- a gap
-        may be a message still in flight.
+        may be a message still in flight.  ``delivered_ids`` defaults to
+        the live set; garbage collection passes a durable checkpoint's
+        set instead, since only those deliveries can never replay again.
         """
+        if delivered_ids is None:
+            delivered_ids = self.node.delivered_ids
         by_sender: Dict[int, set] = {}
-        for sender, ssn in self.node.delivered_ids:
+        for sender, ssn in delivered_ids:
             by_sender.setdefault(sender, set()).add(ssn)
         prefixes: Dict[int, int] = {}
         for sender, ssns in by_sender.items():

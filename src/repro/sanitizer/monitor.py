@@ -103,6 +103,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 GRAPH_FREE_PROTOCOLS = frozenset({"coordinated"})
 #: protocols gating outputs on determinant stability (f+1 replication)
 FBL_FAMILY = frozenset({"fbl", "sender_based", "manetho"})
+#: protocols whose outputs gate on det_stable events; the adaptive stack
+#: announces stability uniformly (f+1 piggyback, durable record, or
+#: synchronous write) so the FBL commit-order check covers all its modes
+DET_STABILITY_PROTOCOLS = FBL_FAMILY | frozenset({"adaptive"})
 
 
 @dataclass
@@ -197,6 +201,22 @@ class Sanitizer:
         #: per-node latest restored incarnation (from node.restored)
         self._incarnation: Dict[int, int] = {}
 
+        # -- adaptive mode epochs --------------------------------------
+        #: mode every process starts in (adaptive only)
+        self._mode_default = "fbl"
+        if config.protocol == "adaptive":
+            adaptive = getattr(config, "adaptive", None)
+            if adaptive is not None:
+                self._mode_default = adaptive.initial_mode
+            else:
+                self._mode_default = config.protocol_params.get(
+                    "initial_mode", "fbl"
+                )
+        #: per-node mode currently governing deliveries
+        self._mode: Dict[int, str] = {}
+        #: per-node mode epoch (bumped by each committed switch)
+        self._mode_epoch: Dict[int, int] = {}
+
         # -- coordinated -----------------------------------------------
         #: round -> node -> (delivered, sent counts, recv counts)
         self._snaps: Dict[int, Dict[int, Tuple[int, Dict, Dict]]] = {}
@@ -231,6 +251,8 @@ class Sanitizer:
             ("protocol", "det_store"): self._on_det_store,
             ("protocol", "det_ack"): self._on_det_ack,
             ("protocol", "log_commit"): self._on_log_commit,
+            ("protocol", "mode_switch"): self._on_mode_switch,
+            ("protocol", "mode_restored"): self._on_mode_restored,
             ("replay", "done"): self._on_replay_done,
             ("output", "commit"): self._on_output_commit,
             ("snapshot", "snap"): self._on_snap,
@@ -317,6 +339,29 @@ class Sanitizer:
                         f"delivered ({sender}, ssn {ssn}) at rsn {rsn} "
                         f"before its receipt-log write committed",
                     )
+        if self.protocol == "adaptive":
+            # every delivery is governed by exactly one mode's
+            # obligations; under pessimistic governance the receipt-log
+            # write must have committed first, with the same replay
+            # exemptions as the static pessimistic stack (replayed
+            # deliveries happen while the node is down; leftovers land
+            # exactly at the recovery instant)
+            self._check("mode-epoch")
+            mode = self._mode.get(receiver, self._mode_default)
+            if mode == "pessimistic" and self._live.get(receiver, True):
+                key = (receiver, sender, ssn)
+                if key not in self._pess_logged:
+                    if event.time == self._recovered_at.get(receiver):
+                        self._pess_unlogged_ok.add(key)
+                    else:
+                        self._flag(
+                            "mode-epoch",
+                            receiver,
+                            event.time,
+                            f"delivery ({sender}, ssn {ssn}) at rsn {rsn} is "
+                            f"governed by pessimistic mode but no receipt-log "
+                            f"write committed first",
+                        )
 
     # ------------------------------------------------------------------
     # node lifecycle
@@ -556,7 +601,7 @@ class Sanitizer:
         if node is None:
             return
         d = event.details
-        if self.protocol == "pessimistic":
+        if self.protocol in ("pessimistic", "adaptive"):
             self._pess_logged.add((node, d["sender"], d["ssn"]))
         elif self.protocol == "optimistic":
             current = self._opt_logged.get(node, 0)
@@ -565,6 +610,80 @@ class Sanitizer:
     def _on_replay_done(self, event: "TraceEvent") -> None:
         if self.protocol == "optimistic" and event.node is not None:
             self._opt_logged[event.node] = event.details["delivered"]
+
+    # ------------------------------------------------------------------
+    # adaptive mode epochs
+    # ------------------------------------------------------------------
+    def _on_mode_switch(self, event: "TraceEvent") -> None:
+        """A process committed a logging-mode switch.
+
+        The ``mode-epoch`` invariant: epochs advance by exactly one per
+        committed switch, the claimed outgoing mode is the one that
+        actually governed deliveries, the process is live, and — the
+        load-bearing part — the switch happens at a determinant-quiescent
+        point: every delivery above the checkpoint horizon already has a
+        stable determinant, so no obligation straddles the epoch line.
+        """
+        node = event.node
+        if node is None:
+            return
+        d = event.details
+        epoch = d["epoch"]
+        self._check("mode-epoch")
+        last = self._mode_epoch.get(node, 0)
+        if epoch != last + 1:
+            self._flag(
+                "mode-epoch",
+                node,
+                event.time,
+                f"mode switch carries epoch {epoch}, which does not advance "
+                f"the node's previous mode epoch {last} by one",
+            )
+        prev_mode = self._mode.get(node, self._mode_default)
+        if d.get("from_mode") != prev_mode:
+            self._flag(
+                "mode-epoch",
+                node,
+                event.time,
+                f"switch claims to leave mode {d.get('from_mode')!r} but "
+                f"deliveries were governed by {prev_mode!r}",
+            )
+        if not self._live.get(node, True):
+            self._flag(
+                "mode-epoch",
+                node,
+                event.time,
+                f"mode switch to {d.get('to_mode')!r} while the process is "
+                f"down or recovering",
+            )
+        delivered = self._delivered.get(node, 0)
+        horizon = self._horizon.get(node, 0)
+        stable = self._stable_rsns.get(node, set())
+        missing = [r for r in range(horizon, delivered) if r not in stable]
+        if missing:
+            self._flag(
+                "mode-epoch",
+                node,
+                event.time,
+                f"switch to {d.get('to_mode')!r} at a non-quiescent point: "
+                f"determinants at rsns {missing[:6]} not yet stable",
+            )
+        self._mode_epoch[node] = epoch
+        self._mode[node] = d["to_mode"]
+
+    def _on_mode_restored(self, event: "TraceEvent") -> None:
+        """A restore re-baselined the mode state from a checkpoint.
+
+        A crash between the durable mode marker and the switch
+        checkpoint legitimately rolls the epoch back; monotonicity is
+        re-anchored here rather than flagged.
+        """
+        node = event.node
+        if node is None:
+            return
+        self._check("mode-epoch")
+        self._mode[node] = event.details["mode"]
+        self._mode_epoch[node] = event.details["epoch"]
 
     # ------------------------------------------------------------------
     # output commit ordering
@@ -578,7 +697,7 @@ class Sanitizer:
         rsn = event.details["output_id"][1]
         time = event.time
         self._check("commit-order")
-        if self.protocol in FBL_FAMILY:
+        if self.protocol in DET_STABILITY_PROTOCOLS:
             horizon = self._horizon.get(node, 0)
             stable = self._stable_rsns.get(node, set())
             missing = [r for r in range(horizon, rsn + 1) if r not in stable]

@@ -13,6 +13,7 @@ from repro.workloads.generators import (
     AllToAllWorkload,
     ClientServerWorkload,
     PingPongWorkload,
+    ShiftingWorkload,
     TokenRingWorkload,
     UniformWorkload,
     Workload,
@@ -23,6 +24,7 @@ __all__ = [
     "AllToAllWorkload",
     "ClientServerWorkload",
     "PingPongWorkload",
+    "ShiftingWorkload",
     "TokenRingWorkload",
     "UniformWorkload",
     "Workload",

@@ -368,12 +368,196 @@ class AllToAllWorkload(Workload):
         ]
 
 
+class ShiftingWorkload(Workload):
+    """Three workload regimes chained in one run: bursty → steady →
+    client-server.
+
+    The regime a message belongs to travels *in its payload* (purity:
+    replay regenerates the same phases), and each phase hands off to the
+    next when its hop budget dies:
+
+    * **bursty** — all-to-all bursts of large bodies
+      (``bursty_body_bytes``), thinned like :class:`AllToAllWorkload`.
+      A dying burst chain seeds one steady chain.
+    * **steady** — sparse uniform forwarding of small bodies for
+      ``steady_hops`` hops.  An expiring steady chain turns its holder
+      into a client of ``server``.
+    * **client-server** — ``requests`` request/reply exchanges against
+      ``server``, which externalises a receipt per request (an output
+      commit each).
+
+    The phases deliberately favour *different* logging protocols (big
+    bodies punish receiver-side data logging; sparse small bodies favour
+    asynchronous determinant records; a hot output-committing server
+    favours synchronous logging), which is what the adaptive stack's E14
+    benchmark sweeps.
+    """
+
+    def __init__(
+        self,
+        bursty_hops: int = 6,
+        steady_hops: int = 40,
+        requests: int = 8,
+        server: int = 0,
+        seed: int = 0,
+        body_bytes: int = 96,
+        bursty_body_bytes: int = 4096,
+        steady_one_in: int = 1,
+    ) -> None:
+        super().__init__(seed, body_bytes)
+        if bursty_hops < 0 or steady_hops < 0 or requests < 0:
+            raise ValueError("bursty_hops, steady_hops and requests must be >= 0")
+        if steady_one_in < 1:
+            raise ValueError("steady_one_in must be >= 1")
+        self.bursty_hops = bursty_hops
+        self.steady_hops = steady_hops
+        self.requests = requests
+        self.server = server
+        self.bursty_body_bytes = bursty_body_bytes
+        self.steady_one_in = steady_one_in
+
+    def _workers(self, node_id: int, n_nodes: int) -> List[int]:
+        """Peers of ``node_id`` excluding the server (the server only
+        sees client-server traffic once ``n_nodes`` permits it)."""
+        workers = [
+            dst for dst in range(n_nodes)
+            if dst != node_id and (dst != self.server or n_nodes <= 2)
+        ]
+        return workers
+
+    def _pick_worker(self, node_id: int, n_nodes: int, *parts: Any) -> int:
+        workers = self._workers(node_id, n_nodes)
+        return workers[self._choice(len(workers), node_id, *parts)]
+
+    def initial_sends(self, node_id: int, n_nodes: int) -> List[Send]:
+        if node_id == self.server and n_nodes > 2:
+            return []
+        return [
+            Send(
+                dst=dst,
+                payload={"phase": "bursty", "origin": node_id, "hops": self.bursty_hops},
+                body_bytes=self.bursty_body_bytes,
+            )
+            for dst in self._workers(node_id, n_nodes)
+        ]
+
+    def _start_client(self, node_id: int, n_nodes: int) -> List[Send]:
+        if self.requests == 0 or node_id == self.server:
+            return []
+        return [
+            Send(
+                dst=self.server,
+                payload={
+                    "phase": "cs",
+                    "op": "request",
+                    "client": node_id,
+                    "remaining": self.requests,
+                },
+                body_bytes=self.body_bytes,
+            )
+        ]
+
+    def on_deliver(
+        self,
+        node_id: int,
+        n_nodes: int,
+        rsn: int,
+        sender: int,
+        payload: Dict[str, Any],
+    ) -> List[Send]:
+        phase = payload.get("phase")
+        if phase == "bursty":
+            hops = payload.get("hops", 0)
+            if hops <= 0 or n_nodes < 2:
+                # the burst dies; one in ``steady_one_in`` dying bursts
+                # seeds a steady chain, thinning traffic phase-to-phase
+                if self._choice(self.steady_one_in, "seed", node_id, sender, rsn) != 0:
+                    return []
+                return [
+                    Send(
+                        dst=self._pick_worker(node_id, n_nodes, "handoff", sender, rsn),
+                        payload={
+                            "phase": "steady",
+                            "chain": f"{node_id}.{rsn}",
+                            "hops": self.steady_hops,
+                        },
+                        body_bytes=self.body_bytes,
+                    )
+                ]
+            workers = self._workers(node_id, n_nodes)
+            toss = self._choice(
+                len(workers), "burst", node_id, sender, hops,
+                stable_payload_repr(payload),
+            )
+            if toss != 0:
+                return []
+            return [
+                Send(
+                    dst=dst,
+                    payload={"phase": "bursty", "origin": node_id, "hops": hops - 1},
+                    body_bytes=self.bursty_body_bytes,
+                )
+                for dst in workers
+            ]
+        if phase == "steady":
+            hops = payload.get("hops", 0)
+            if hops <= 0 or n_nodes < 2:
+                # the chain expires; its holder becomes a client
+                return self._start_client(node_id, n_nodes)
+            chain = payload.get("chain", "?")
+            return [
+                Send(
+                    dst=self._pick_worker(node_id, n_nodes, "fwd", chain, hops, sender),
+                    payload={"phase": "steady", "chain": chain, "hops": hops - 1},
+                    body_bytes=self.body_bytes,
+                )
+            ]
+        if phase == "cs":
+            op = payload.get("op")
+            if node_id == self.server and op == "request":
+                return [
+                    Send(
+                        dst=OUTPUT_DST,
+                        payload={"receipt_for": payload["client"], "at": rsn},
+                        body_bytes=32,
+                    ),
+                    Send(
+                        dst=payload["client"],
+                        payload={
+                            "phase": "cs",
+                            "op": "reply",
+                            "client": payload["client"],
+                            "remaining": payload["remaining"],
+                        },
+                        body_bytes=self.body_bytes,
+                    ),
+                ]
+            if node_id != self.server and op == "reply":
+                remaining = payload["remaining"] - 1
+                if remaining <= 0:
+                    return []
+                return [
+                    Send(
+                        dst=self.server,
+                        payload={
+                            "phase": "cs",
+                            "op": "request",
+                            "client": node_id,
+                            "remaining": remaining,
+                        },
+                        body_bytes=self.body_bytes,
+                    )
+                ]
+        return []
+
+
 _WORKLOADS = {
     "token_ring": TokenRingWorkload,
     "uniform": UniformWorkload,
     "client_server": ClientServerWorkload,
     "ping_pong": PingPongWorkload,
     "all_to_all": AllToAllWorkload,
+    "shifting": ShiftingWorkload,
 }
 
 

@@ -1,0 +1,222 @@
+"""Adaptive hybrid logging: mode switches, cross-mode recovery, config.
+
+The switch matrix drives every ordered mode pair through a scripted
+``switch_plan`` (bypassing the cost model but not quiescence) and holds
+each run to the full bar: oracle consistent, online sanitizer clean
+(including the ``mode-epoch`` invariant), and the switch actually
+committed.  The crash matrix then kills the switching process inside
+the most delicate window -- determinants flushed and the mode marker
+durable, but the first new-mode checkpoint not yet taken -- and
+requires recovery across the mode boundary to finish cleanly.
+"""
+
+import itertools
+
+import pytest
+
+from repro import SystemConfig, build_system
+from repro.core.config import AdaptiveConfig
+from repro.procs.failure import crash_on
+from repro.protocols.adaptive import MODES, AdaptiveLogging
+
+#: every ordered pair of distinct modes
+TRANSITIONS = [(a, b) for a, b in itertools.permutations(MODES, 2)]
+
+
+def adaptive_config(
+    initial_mode="fbl",
+    switch_plan=None,
+    crashes=None,
+    seed=0,
+    **overrides,
+):
+    params = {
+        "f": 2,
+        "initial_mode": initial_mode,
+        # a plan-only controller: the dwell is prohibitive and the
+        # cadence long, so only scripted switches fire
+        "eval_every": 1000,
+        "min_dwell": 10_000,
+    }
+    if switch_plan is not None:
+        params["switch_plan"] = switch_plan
+    return SystemConfig(
+        n=4,
+        seed=seed,
+        name=f"test-adaptive-{initial_mode}",
+        protocol="adaptive",
+        protocol_params=params,
+        recovery="nonblocking",
+        workload="uniform",
+        workload_params={"hops": 30, "fanout": 2},
+        crashes=list(crashes or []),
+        checkpoint_every=overrides.pop("checkpoint_every", 8),
+        detection_delay=0.5,
+        state_bytes=50_000,
+        sanitize=True,
+        **overrides,
+    )
+
+
+def run(config):
+    system = build_system(config)
+    result = system.run()
+    return system, result
+
+
+def assert_green(result, label=""):
+    assert result.consistent, f"{label}: oracle violations {result.oracle_violations[:3]}"
+    sanitizer = result.extra["sanitizer"]
+    assert sanitizer["clean"], (
+        f"{label}: sanitizer violations "
+        f"{[v['invariant'] for v in sanitizer['violations'][:3]]}"
+    )
+    assert not result.extra["non_live_nodes"], label
+    assert all(e.complete for e in result.episodes), label
+
+
+# ----------------------------------------------------------------------
+# the switch matrix: every ordered mode pair, failure-free
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("from_mode,to_mode", TRANSITIONS,
+                         ids=[f"{a}-to-{b}" for a, b in TRANSITIONS])
+def test_scripted_switch_every_mode_pair(from_mode, to_mode):
+    config = adaptive_config(
+        initial_mode=from_mode,
+        switch_plan={1: [(10, to_mode)]},
+    )
+    _, result = run(config)
+    assert_green(result, f"{from_mode}->{to_mode}")
+    assert result.extra["trace_counters"].get("protocol.mode_switch", 0) >= 1
+    stats = result.extra["protocol_stats"][1]
+    assert stats["mode"] == to_mode
+    assert stats["mode_epoch"] == 1
+    # the other processes never left the initial mode
+    for node_id in (0, 2, 3):
+        assert result.extra["protocol_stats"][node_id]["mode"] == from_mode
+
+
+# ----------------------------------------------------------------------
+# the crash matrix: die inside the switch window, recover across it
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("from_mode,to_mode", TRANSITIONS,
+                         ids=[f"{a}-to-{b}" for a, b in TRANSITIONS])
+def test_crash_in_switch_window_every_mode_pair(from_mode, to_mode):
+    """The marker is durable but the first new-mode checkpoint is not:
+    the restart restores the *old* mode from its checkpoint (a
+    legitimate epoch rollback the sanitizer re-baselines on) and replay
+    crosses the boundary without orphans or lost determinants."""
+    config = adaptive_config(
+        initial_mode=from_mode,
+        switch_plan={1: [(10, to_mode)]},
+        crashes=[crash_on(1, "protocol", "mode_switch",
+                          match_node=1, delay=0.0005)],
+    )
+    _, result = run(config)
+    assert_green(result, f"crash {from_mode}->{to_mode}")
+    counters = result.extra["trace_counters"]
+    assert counters.get("protocol.mode_switch", 0) >= 1
+    assert counters.get("protocol.mode_restored", 0) >= 1
+
+
+def test_crash_after_flush_before_commit():
+    """Mid-switch, one notch earlier: the outstanding determinants are
+    flushed to the adaptive log but the mode marker is not yet durable.
+    The restart must find those determinants stable (the flush record
+    survives) and stay in the old mode."""
+    config = adaptive_config(
+        initial_mode="fbl",
+        switch_plan={1: [(10, "optimistic")]},
+        crashes=[crash_on(1, "protocol", "mode_flush",
+                          match_node=1, delay=0.0002)],
+    )
+    _, result = run(config)
+    assert_green(result, "crash on flush")
+    assert result.extra["trace_counters"].get("protocol.mode_restored", 0) >= 1
+
+
+# ----------------------------------------------------------------------
+# config plumbing and validation
+# ----------------------------------------------------------------------
+def test_adaptive_config_reaches_protocol():
+    config = SystemConfig(
+        n=4,
+        protocol="adaptive",
+        recovery="nonblocking",
+        workload="uniform",
+        workload_params={"hops": 5, "fanout": 1},
+        adaptive=AdaptiveConfig(
+            initial_mode="pessimistic",
+            f=1,
+            eval_every=7,
+            min_dwell=3,
+            hysteresis=0.5,
+            det_record_bytes=48,
+        ),
+    )
+    system = build_system(config)
+    protocol = system.nodes[0].protocol
+    assert isinstance(protocol, AdaptiveLogging)
+    assert protocol.mode == "pessimistic"
+    assert protocol.f == 1
+    assert protocol.eval_every == 7
+    assert protocol.min_dwell == 3
+    assert protocol.hysteresis == 0.5
+    assert protocol.det_record_bytes == 48
+
+
+def test_explicit_protocol_params_win_over_adaptive_config():
+    config = SystemConfig(
+        n=4,
+        protocol="adaptive",
+        protocol_params={"initial_mode": "optimistic"},
+        recovery="nonblocking",
+        adaptive=AdaptiveConfig(initial_mode="pessimistic"),
+    )
+    system = build_system(config)
+    assert system.nodes[0].protocol.mode == "optimistic"
+
+
+@pytest.mark.parametrize("kwargs,fragment", [
+    ({"initial_mode": "eager"}, "initial_mode"),
+    ({"f": 0}, "f must be"),
+    ({"eval_every": 0}, "eval_every"),
+    ({"min_dwell": -1}, "min_dwell"),
+    ({"hysteresis": 0.0}, "hysteresis"),
+    ({"hysteresis": 1.5}, "hysteresis"),
+    ({"det_record_bytes": 0}, "det_record_bytes"),
+])
+def test_adaptive_config_validation(kwargs, fragment):
+    with pytest.raises(ValueError, match=fragment):
+        AdaptiveConfig(**kwargs).validate()
+
+
+@pytest.mark.parametrize("kwargs,fragment", [
+    ({"initial_mode": "eager"}, "initial_mode"),
+    ({"eval_every": 0}, "eval_every"),
+    ({"min_dwell": -1}, "min_dwell"),
+    ({"hysteresis": 0.0}, "hysteresis"),
+    ({"det_record_bytes": 0}, "det_record_bytes"),
+])
+def test_protocol_constructor_validation(kwargs, fragment):
+    with pytest.raises(ValueError, match=fragment):
+        AdaptiveLogging(**kwargs)
+
+
+def test_switch_plan_fires_at_most_once_across_crashes():
+    """Plan progress survives a crash: the restarted process does not
+    replay the scripted switch a second time."""
+    config = adaptive_config(
+        initial_mode="fbl",
+        switch_plan={1: [(10, "optimistic")]},
+        crashes=[crash_on(1, "protocol", "mode_switch",
+                          match_node=1, delay=0.001)],
+    )
+    system, result = run(config)
+    assert_green(result, "plan-once")
+    switch_events = [
+        e for e in system.trace.events
+        if e.category == "protocol" and e.action == "mode_switch"
+        and e.node == 1
+    ]
+    assert len(switch_events) == 1

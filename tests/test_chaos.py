@@ -61,6 +61,7 @@ COMBOS = [
     ("pessimistic", "local", 1),
     ("optimistic", "optimistic", 1),
     ("coordinated", "coordinated", 1),
+    ("adaptive", "nonblocking", 2),
 ]
 
 
@@ -138,6 +139,9 @@ def chaos_config(
         params = {"f": 2}
     elif protocol == "coordinated":
         params = {"snapshot_every": 8}
+    elif protocol == "adaptive":
+        # an eager controller so short chaos runs still cross modes
+        params = {"f": 2, "eval_every": 6, "min_dwell": 8, "hysteresis": 1.0}
     return SystemConfig(
         n=n,
         seed=seed,

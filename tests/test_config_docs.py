@@ -11,7 +11,14 @@ import re
 
 import pytest
 
-from repro.core.config import FaultConfig, StorageRealismConfig, SystemConfig
+from repro.core.config import (
+    AdaptiveConfig,
+    FaultConfig,
+    StorageRealismConfig,
+    SystemConfig,
+)
+
+CONFIG_CLASSES = [SystemConfig, FaultConfig, StorageRealismConfig, AdaptiveConfig]
 
 DOC_PATH = os.path.join(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
@@ -30,9 +37,7 @@ def documented_fields(text: str) -> set:
     return set(re.findall(r"^\| `([A-Za-z_][A-Za-z0-9_]*)`", text, re.MULTILINE))
 
 
-@pytest.mark.parametrize(
-    "config_class", [SystemConfig, FaultConfig, StorageRealismConfig]
-)
+@pytest.mark.parametrize("config_class", CONFIG_CLASSES)
 def test_every_config_field_is_documented(config_class):
     documented = documented_fields(doc_text())
     missing = {
@@ -47,7 +52,7 @@ def test_every_config_field_is_documented(config_class):
 def test_documented_fields_exist():
     """No stale rows: every documented name is a real config field."""
     known = set()
-    for config_class in (SystemConfig, FaultConfig, StorageRealismConfig):
+    for config_class in CONFIG_CLASSES:
         known |= {field.name for field in dataclasses.fields(config_class)}
     stale = documented_fields(doc_text()) - known
     assert not stale, (
@@ -58,5 +63,5 @@ def test_documented_fields_exist():
 
 def test_doc_mentions_every_sub_config():
     text = doc_text()
-    for config_class in (SystemConfig, FaultConfig, StorageRealismConfig):
+    for config_class in CONFIG_CLASSES:
         assert config_class.__name__ in text

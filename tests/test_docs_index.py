@@ -1,0 +1,53 @@
+"""docs/INDEX.md must list every documentation file.
+
+The index promises to be the complete map of docs/; this test makes
+the promise enforceable: a file added to docs/ without an entry in
+INDEX.md fails here with the missing names, and an entry pointing at a
+file that no longer exists fails the stale check.
+"""
+
+import os
+import re
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DOCS_DIR = os.path.join(REPO_ROOT, "docs")
+INDEX_PATH = os.path.join(DOCS_DIR, "INDEX.md")
+
+
+def index_text() -> str:
+    with open(INDEX_PATH, encoding="utf-8") as handle:
+        return handle.read()
+
+
+def linked_doc_files(text: str) -> set:
+    """Markdown links to sibling docs/ files: ``[...](NAME.md)``."""
+    return set(re.findall(r"\]\(([A-Za-z0-9_.-]+\.md)\)", text))
+
+
+def test_every_docs_file_is_listed():
+    present = {
+        name for name in os.listdir(DOCS_DIR)
+        if name.endswith(".md") and name != "INDEX.md"
+    }
+    missing = present - linked_doc_files(index_text())
+    assert not missing, (
+        f"docs/ files missing from docs/INDEX.md: {sorted(missing)} -- "
+        f"add an entry (and a one-line description) for each"
+    )
+
+
+def test_no_stale_index_entries():
+    stale = {
+        name for name in linked_doc_files(index_text())
+        if not os.path.exists(os.path.join(DOCS_DIR, name))
+    }
+    assert not stale, (
+        f"docs/INDEX.md links to files that do not exist: {sorted(stale)}"
+    )
+
+
+def test_readme_links_to_the_index():
+    with open(os.path.join(REPO_ROOT, "README.md"), encoding="utf-8") as handle:
+        assert "docs/INDEX.md" in handle.read(), (
+            "README.md must link to docs/INDEX.md so the index is reachable"
+        )
